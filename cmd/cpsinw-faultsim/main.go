@@ -1,0 +1,130 @@
+// Command cpsinw-faultsim runs fault simulation campaigns on a gate-level
+// circuit (.bench format on stdin or a built-in benchmark by name): the
+// classical stuck-at model, the paper's CP transistor faults with and
+// without IDDQ observation, and the Table III exhaustive polarity study
+// when the circuit is a single XOR2.
+//
+// Usage:
+//
+//	cpsinw-faultsim [-circuit name | < netlist.bench] [-patterns n]
+//	cpsinw-faultsim -tableiii
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+
+	"cpsinw/internal/bench"
+	"cpsinw/internal/core"
+	"cpsinw/internal/experiments"
+	"cpsinw/internal/faultsim"
+	"cpsinw/internal/logic"
+	"cpsinw/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cpsinw-faultsim: ")
+
+	circuitName := flag.String("circuit", "", "built-in benchmark name (empty: read .bench from stdin)")
+	patterns := flag.Int("patterns", 256, "random patterns (exhaustive when inputs <= 12)")
+	tableIII := flag.Bool("tableiii", false, "run the paper's Table III polarity study on the XOR2 and exit")
+	seed := flag.Int64("seed", 1, "random pattern seed")
+	list := flag.Bool("list", false, "list built-in benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0)
+		for name := range bench.Suite() {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *tableIII {
+		r, err := experiments.TableIII(true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(r.Report())
+		return
+	}
+
+	var c *logic.Circuit
+	if *circuitName != "" {
+		suite := bench.Suite()
+		var ok bool
+		c, ok = suite[*circuitName]
+		if !ok {
+			log.Fatalf("unknown benchmark %q (use -list)", *circuitName)
+		}
+	} else {
+		var err error
+		c, err = logic.ParseBench("stdin", os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("circuit: %s  %s\n\n", c.Name, c.Statistics())
+
+	pats := buildPatterns(c, *patterns, *seed)
+	sim := faultsim.New(c)
+
+	saFaults := core.Universe(c, core.ClassicalOnly())
+	saCov := faultsim.Summarise(sim.RunStuckAt(saFaults, pats))
+
+	trUniverse := core.Universe(c, core.UniverseOptions{ChannelBreak: true, Polarity: true, StuckOn: true})
+	noIDDQ, err := sim.RunTransistor(trUniverse, pats, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withIDDQ, err := sim.RunTransistor(trUniverse, pats, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	covNo := faultsim.Summarise(noIDDQ)
+	covYes := faultsim.Summarise(withIDDQ)
+
+	t := report.Table{
+		Title:   fmt.Sprintf("fault simulation with %d patterns", len(pats)),
+		Headers: []string{"model", "faults", "detected", "coverage"},
+	}
+	t.Add("classical stuck-at", saCov.Total, saCov.Detected, fmt.Sprintf("%.1f%%", saCov.Percent()))
+	t.Add("CP transistor (voltage only)", covNo.Total, covNo.Detected, fmt.Sprintf("%.1f%%", covNo.Percent()))
+	t.Add("CP transistor (+IDDQ)", covYes.Total, covYes.Detected, fmt.Sprintf("%.1f%%", covYes.Percent()))
+	fmt.Print(t.String())
+
+	if len(covYes.Undetected) > 0 {
+		fmt.Printf("\nundetected CP faults (%d):\n", len(covYes.Undetected))
+		for i, f := range covYes.Undetected {
+			if i == 20 {
+				fmt.Printf("  ... and %d more\n", len(covYes.Undetected)-20)
+				break
+			}
+			fmt.Printf("  %v\n", f)
+		}
+	}
+}
+
+func buildPatterns(c *logic.Circuit, n int, seed int64) []faultsim.Pattern {
+	if len(c.Inputs) <= 12 {
+		return faultsim.ExhaustivePatterns(c)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]faultsim.Pattern, n)
+	for k := range out {
+		p := faultsim.Pattern{}
+		for _, pi := range c.Inputs {
+			p[pi] = logic.FromBool(rng.Intn(2) == 1)
+		}
+		out[k] = p
+	}
+	return out
+}

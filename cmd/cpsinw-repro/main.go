@@ -1,0 +1,153 @@
+// Command cpsinw-repro regenerates every table and figure of the paper
+// (Ghasemzadeh Mohammadi et al., "Fault Modeling in Controllable Polarity
+// Silicon Nanowire Circuits", DATE 2015) and prints the paper-style
+// reports. Select individual experiments with -only.
+//
+// Usage:
+//
+//	cpsinw-repro [-only t1,t2,t3,f3,f4,f5,vc1,vc2,vc3,a1,a2,e1,e2,e3,e4,e5] [-fast]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"cpsinw/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cpsinw-repro: ")
+
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	fast := flag.Bool("fast", false, "reduced sweep resolutions")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	points := 9
+	f3points := 61
+	if *fast {
+		points, f3points = 5, 17
+	}
+
+	run := func(id, title string, f func() (string, error)) {
+		if !want(id) {
+			return
+		}
+		start := time.Now()
+		out, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Printf("### %s — %s (%.2fs)\n\n%s\n", strings.ToUpper(id), title, time.Since(start).Seconds(), out)
+	}
+
+	run("t1", "Table I: fabrication process and defect model", func() (string, error) {
+		return experiments.TableI().Report(), nil
+	})
+	run("t2", "Table II: device parameters", func() (string, error) {
+		return experiments.TableII().Report(), nil
+	})
+	run("f3", "Figure 3: GOS I-V study", func() (string, error) {
+		rep := experiments.Figure3(f3points).Report()
+		rep += fmt.Sprintf("synthetic-TCAD ID(SAT) cross-check: %v\n", experiments.Figure3TCAD())
+		return rep, nil
+	})
+	run("f4", "Figure 4: electron density", func() (string, error) {
+		return experiments.Figure4().Report(), nil
+	})
+	run("f5", "Figure 5: open polarity gate sweeps", func() (string, error) {
+		r, err := experiments.Figure5(experiments.Figure5Options{Points: points})
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+	run("t3", "Table III: polarity defects in the XOR2", func() (string, error) {
+		r, err := experiments.TableIII(true)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+	run("vc1", "Section V-C: channel-break masking", func() (string, error) {
+		r, err := experiments.ChannelBreakMasking()
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+	run("vc2", "Section V-C: NAND two-pattern set", func() (string, error) {
+		r, err := experiments.NANDTwoPattern()
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+	run("vc3", "Section V-C: channel-break procedure on DP gates", func() (string, error) {
+		r, err := experiments.ChannelBreakAlgorithm(nil)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+	run("a1", "Extension: ATPG campaign (classical vs extended)", func() (string, error) {
+		r, err := experiments.ATPGCampaign(nil)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+	run("a2", "Ablation: PGD quasi-ballistic softening", func() (string, error) {
+		r, err := experiments.AblationPGD(6)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+	run("e1", "Extension: gate-level GOS detectability", func() (string, error) {
+		r, err := experiments.GOSDetect(nil)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+	run("e2", "Extension: partial break severity regimes", func() (string, error) {
+		r, err := experiments.BreakSeverity(8)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+	run("e3", "Extension: interconnect bridge campaign", func() (string, error) {
+		r, err := experiments.BridgeCampaign(nil)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+	run("e4", "Extension: circuit-level delay faults from partial breaks", func() (string, error) {
+		r, err := experiments.DelayFault(6)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+	run("e5", "Extension: fault-dictionary diagnosis resolution", func() (string, error) {
+		r, err := experiments.Diagnosis(nil)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+}

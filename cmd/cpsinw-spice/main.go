@@ -1,0 +1,107 @@
+// Command cpsinw-spice is a small analog circuit simulator for the
+// project's SPICE-like netlist format (see internal/circuit): TIG-SiNWFET
+// instances with defect annotations, R/C elements, DC/pulse/PWL sources
+// and subcircuits. It runs a DC operating point or a transient analysis
+// and prints node voltages / CSV waveforms.
+//
+// Usage:
+//
+//	cpsinw-spice -op < netlist.sp
+//	cpsinw-spice -tran 1.6n -step 1p -probe out,in < netlist.sp
+//
+// Example netlist (a defect-free CP inverter):
+//
+//   - inverter
+//     VDD vdd 0 1.2
+//     VIN in 0 pulse(0 1.2 100p 10p 10p 600p 1.4n)
+//     M1 out in 0 0 vdd      ; pull-up: p-type (PGs grounded)
+//     M2 out in vdd vdd 0    ; pull-down: n-type (PGs at VDD)
+//     CL out 0 0.2f
+//     .end
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"cpsinw/internal/circuit"
+	"cpsinw/internal/spice"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cpsinw-spice: ")
+
+	op := flag.Bool("op", false, "DC operating point")
+	tran := flag.String("tran", "", "transient stop time (e.g. 1.6n)")
+	step := flag.String("step", "1p", "transient step")
+	probe := flag.String("probe", "", "comma-separated nodes to record (default: all)")
+	flag.Parse()
+
+	var p circuit.Parser
+	net, err := p.Parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := spice.NewEngine(net, spice.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch {
+	case *tran != "":
+		stop, err := circuit.ParseValue(*tran)
+		if err != nil {
+			log.Fatalf("bad -tran: %v", err)
+		}
+		h, err := circuit.ParseValue(*step)
+		if err != nil {
+			log.Fatalf("bad -step: %v", err)
+		}
+		nodes := net.Nodes()
+		if *probe != "" {
+			nodes = nil
+			for _, n := range strings.Split(*probe, ",") {
+				nodes = append(nodes, strings.TrimSpace(n))
+			}
+		}
+		wf, err := eng.Tran(h, stop, nodes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// CSV: time, then probed node voltages, then source currents.
+		header := []string{"t"}
+		header = append(header, nodes...)
+		for _, s := range net.Sources {
+			header = append(header, "I("+s.Name+")")
+		}
+		fmt.Println(strings.Join(header, ","))
+		for i, t := range wf.T {
+			row := []string{fmt.Sprintf("%.6g", t)}
+			for _, n := range nodes {
+				row = append(row, fmt.Sprintf("%.6g", wf.V[n][i]))
+			}
+			for _, s := range net.Sources {
+				row = append(row, fmt.Sprintf("%.6g", wf.I[s.Name][i]))
+			}
+			fmt.Println(strings.Join(row, ","))
+		}
+	default:
+		if !*op {
+			log.Println("no analysis selected; defaulting to -op")
+		}
+		sol, err := eng.DC(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, n := range net.Nodes() {
+			fmt.Printf("V(%s) = %.6g\n", n, sol.V(n))
+		}
+		for _, s := range net.Sources {
+			fmt.Printf("I(%s) = %.6g\n", s.Name, sol.I(s.Name))
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Command cpsinw-sweep runs the paper's Figure 5 experiment: the floating
+// polarity-gate voltage (Vcut) sweeps on the pull-up and pull-down
+// transistors of the INV, NAND and XOR gates, reporting static leakage
+// and propagation delay per point.
+//
+// Usage:
+//
+//	cpsinw-sweep [-points n] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"cpsinw/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cpsinw-sweep: ")
+
+	points := flag.Int("points", 9, "Vcut samples per curve")
+	csv := flag.Bool("csv", false, "emit raw CSV instead of tables")
+	flag.Parse()
+
+	res, err := experiments.Figure5(experiments.Figure5Options{Points: *points})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*csv {
+		fmt.Print(res.Report())
+		return
+	}
+	fmt.Fprintln(os.Stdout, "gate,transistor,terminal,vcut,leakage_A,delay_s,functional")
+	for _, p := range res.Panels {
+		for _, c := range p.Curves {
+			for _, pt := range c.Points {
+				delay := ""
+				if !math.IsNaN(pt.Delay) {
+					delay = fmt.Sprintf("%.6g", pt.Delay)
+				}
+				fmt.Fprintf(os.Stdout, "%s,%s,%s,%.3f,%.6g,%s,%v\n",
+					p.Gate, p.Transistor, c.Terminal, pt.Vcut, pt.Leakage, delay, pt.Functional)
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Quickstart: build the paper's reference TIG-SiNWFET, sweep its transfer
+// characteristic, simulate a CP inverter electrically, and run a complete
+// ATPG flow on a benchmark circuit — the public API end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cpsinw"
+	"cpsinw/internal/circuit"
+	"cpsinw/internal/device"
+	"cpsinw/internal/gates"
+	"cpsinw/internal/spice"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. The device: Table II geometry, controllable polarity.
+	dev := cpsinw.NewDevice()
+	fmt.Printf("TIG-SiNWFET: ID(SAT) = %.3g A, VthN = %.3f V, on/off = %.2g\n",
+		dev.IDSat(), dev.VThN(0), dev.IDSat()/dev.OffCurrent())
+
+	// Conduction needs all three gates to agree (CG = PGS = PGD).
+	v := dev.P.VDD
+	nOn := dev.ID(device.Bias{VCG: v, VPGS: v, VPGD: v, VD: v})
+	blocked := dev.ID(device.Bias{VCG: v, VPGS: 0, VPGD: 0, VD: v})
+	fmt.Printf("n-type on: %.3g A, polarity-blocked: %.3g A\n\n", nOn, blocked)
+
+	// 2. A CP inverter at the analog level (the paper's simulation flow).
+	inv := gates.Get(gates.INV)
+	netlist, err := gates.BuildAnalog(inv, gates.BuildOptions{
+		Inputs: []circuit.Waveform{circuit.Pulse{
+			V0: 0, V1: v, Delay: 100e-12, Rise: 10e-12, Fall: 10e-12,
+			Width: 600e-12, Period: 1.4e-9,
+		}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := spice.NewEngine(netlist, spice.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wf, err := eng.Tran(2e-12, 1.4e-9, []string{"a", "out"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tphl, err := spice.PropDelay(wf, "a", "out", v, true, false, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tplh, err := spice.PropDelay(wf, "a", "out", v, false, true, 500e-12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CP inverter: tpHL = %.1f ps, tpLH = %.1f ps\n\n", tphl*1e12, tplh*1e12)
+
+	// 3. Gate-level: a CP full adder is just two gates (XOR3 + MAJ).
+	fa := cpsinw.Benchmarks()["fa_cp"]
+	fmt.Printf("CP full adder: %s\n", fa.Statistics())
+
+	// 4. ATPG under the extended fault model of the paper.
+	res := cpsinw.RunATPG(fa)
+	fmt.Printf("extended-model ATPG coverage: %.1f%% with %d vector applications\n",
+		res.Coverage(), res.Set.TotalVectors())
+	fmt.Printf("  stuck-at %d/%d, polarity %d/%d, DP channel breaks %d/%d\n",
+		res.StuckAtCovered, res.StuckAtTargeted,
+		res.PolarityCovered, res.PolarityTargeted,
+		res.CBDPCovered, res.CBDPTargeted)
+}

@@ -1,0 +1,79 @@
+// Tester flow: the complete production-test story, end to end.
+//
+// Generate the extended-model test set for a CP circuit, assemble it into
+// an ordered tester program (logic vectors, two-pattern sequences, IDDQ
+// measurements, channel-break procedures), then play manufacturing: run
+// the program against a batch of devices — one golden, the rest carrying
+// a random defect each — and bin them.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cpsinw"
+	"cpsinw/internal/atpg"
+	"cpsinw/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	c := cpsinw.Benchmarks()["rca4"]
+	fmt.Printf("device under test: %s  %s\n\n", c.Name, c.Statistics())
+
+	// 1. Generate the test set under the extended CP fault model.
+	res := cpsinw.RunATPG(c)
+	fmt.Printf("ATPG: %.1f%% coverage, %d vector applications\n",
+		res.Coverage(), res.Set.TotalVectors())
+
+	// 2. Assemble the tester program.
+	prog := cpsinw.BuildTestProgram(c, res)
+	kinds := map[atpg.StepKind]int{}
+	for _, s := range prog.Steps {
+		kinds[s.Kind]++
+	}
+	fmt.Printf("tester program: %d steps (%d logic, %d two-pattern, %d IDDQ, %d CB procedures)\n\n",
+		len(prog.Steps), kinds[atpg.StepLogic], kinds[atpg.StepTwoPattern],
+		kinds[atpg.StepIDDQ], kinds[atpg.StepCBProcedure])
+
+	// 3. Manufacture a lot: one golden device + defective ones.
+	universe := cpsinw.FaultUniverse(c)
+	var testable []core.Fault
+	for _, f := range universe {
+		if _, ok := f.Kind.TFault(); ok || f.Kind.IsLineFault() {
+			testable = append(testable, f)
+		}
+	}
+	rng := rand.New(rand.NewSource(2015))
+	lot := make([]*core.Fault, 12)
+	for i := 1; i < len(lot); i++ {
+		f := testable[rng.Intn(len(testable))]
+		lot[i] = &f
+	}
+
+	// 4. Test the lot.
+	passed, failed := 0, 0
+	for i, defect := range lot {
+		v := cpsinw.ExecuteTestProgram(prog, defect)
+		label := "golden"
+		if defect != nil {
+			label = defect.String()
+		}
+		verdict := "PASS"
+		detail := ""
+		if !v.Pass {
+			verdict = "FAIL"
+			detail = fmt.Sprintf(" @ step %d (%v): %s", v.FailStep, v.StepKind, v.FailReason)
+			failed++
+		} else {
+			passed++
+		}
+		fmt.Printf("device %2d [%-40s] %s%s\n", i, label, verdict, detail)
+	}
+	fmt.Printf("\nlot summary: %d passed, %d failed\n", passed, failed)
+	if lot[0] == nil && passed >= 1 {
+		fmt.Println("golden device passed — no overkill on this program")
+	}
+}

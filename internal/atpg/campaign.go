@@ -1,0 +1,162 @@
+package atpg
+
+import (
+	"cpsinw/internal/core"
+	"cpsinw/internal/faultsim"
+	"cpsinw/internal/gates"
+	"cpsinw/internal/logic"
+)
+
+// TestSet is the full output of a generation campaign over the extended
+// CP fault model.
+type TestSet struct {
+	// Combinational voltage-observed patterns (stuck-at + output-
+	// detectable polarity faults).
+	Patterns []faultsim.Pattern
+	// IDDQ measurement patterns (leak-only polarity faults).
+	IDDQPatterns []faultsim.Pattern
+	// Two-pattern sequences for SP channel breaks.
+	TwoPattern []TwoPatternTest
+	// Channel-break plans for DP gates (the paper's new procedure).
+	CBPlans []ChannelBreakPlan
+}
+
+// TotalVectors counts every vector application the set requires.
+func (ts *TestSet) TotalVectors() int {
+	return len(ts.Patterns) + len(ts.IDDQPatterns) + 2*len(ts.TwoPattern) + len(ts.CBPlans)
+}
+
+// CampaignResult reports per-class generation outcomes.
+type CampaignResult struct {
+	Set TestSet
+
+	StuckAtTargeted, StuckAtCovered   int
+	PolarityTargeted, PolarityCovered int
+	CBSPTargeted, CBSPCovered         int
+	CBDPTargeted, CBDPCovered         int
+	Untestable                        []core.Fault
+}
+
+// Coverage returns the overall covered/targeted ratio in percent.
+func (r *CampaignResult) Coverage() float64 {
+	targeted := r.StuckAtTargeted + r.PolarityTargeted + r.CBSPTargeted + r.CBDPTargeted
+	covered := r.StuckAtCovered + r.PolarityCovered + r.CBSPCovered + r.CBDPCovered
+	if targeted == 0 {
+		return 0
+	}
+	return 100 * float64(covered) / float64(targeted)
+}
+
+// Generate runs the full ATPG campaign for the given fault list:
+// PODEM for line stuck-at faults (with fault dropping through parallel-
+// pattern fault simulation), polarity-fault generation with the IDDQ
+// fallback, classical two-pattern generation for channel breaks in SP
+// gates, and the paper's procedure for channel breaks in DP gates.
+func Generate(c *logic.Circuit, faults []core.Fault, opt Options) *CampaignResult {
+	res := &CampaignResult{}
+	sim := faultsim.New(c)
+
+	// --- Line stuck-at faults with fault dropping. ---
+	var saFaults []core.Fault
+	for _, f := range faults {
+		if f.Kind.IsLineFault() {
+			saFaults = append(saFaults, f)
+		}
+	}
+	res.StuckAtTargeted = len(saFaults)
+	detected := make([]bool, len(saFaults))
+	for i, f := range saFaults {
+		if detected[i] {
+			continue
+		}
+		pat, ok := GenerateStuckAt(c, f, opt)
+		if !ok {
+			res.Untestable = append(res.Untestable, f)
+			continue
+		}
+		res.Set.Patterns = append(res.Set.Patterns, pat)
+		// Fault dropping: mark everything the new pattern catches.
+		ds := sim.RunStuckAt(saFaults, []faultsim.Pattern{pat})
+		for j, d := range ds {
+			if d.Detected() {
+				detected[j] = true
+			}
+		}
+	}
+	for _, d := range detected {
+		if d {
+			res.StuckAtCovered++
+		}
+	}
+
+	// --- Polarity faults. ---
+	for _, f := range faults {
+		if !f.Kind.IsPolarityFault() {
+			continue
+		}
+		res.PolarityTargeted++
+		t, ok := GeneratePolarity(c, f, opt)
+		if !ok {
+			res.Untestable = append(res.Untestable, f)
+			continue
+		}
+		res.PolarityCovered++
+		if t.Method == faultsim.ByIDDQ {
+			res.Set.IDDQPatterns = append(res.Set.IDDQPatterns, t.Pattern)
+		} else {
+			res.Set.Patterns = append(res.Set.Patterns, t.Pattern)
+		}
+	}
+
+	// --- Channel breaks. ---
+	for _, f := range faults {
+		if f.Kind != core.FaultChannelBreak {
+			continue
+		}
+		gi, err := gateIndexByName(c, f.Gate)
+		if err != nil {
+			res.Untestable = append(res.Untestable, f)
+			continue
+		}
+		if gates.Get(c.Gates[gi].Kind).Class == gates.DynamicPolarity {
+			res.CBDPTargeted++
+			plan, ok := GenerateChannelBreakDP(c, f, opt)
+			if !ok {
+				res.Untestable = append(res.Untestable, f)
+				continue
+			}
+			res.CBDPCovered++
+			res.Set.CBPlans = append(res.Set.CBPlans, plan)
+		} else {
+			res.CBSPTargeted++
+			tp, ok := GenerateTwoPattern(c, f, opt)
+			if !ok {
+				res.Untestable = append(res.Untestable, f)
+				continue
+			}
+			res.CBSPCovered++
+			res.Set.TwoPattern = append(res.Set.TwoPattern, tp)
+		}
+	}
+	return res
+}
+
+// CompactPatterns drops combinational patterns that do not contribute
+// coverage when fault-simulated in reverse order against the given line
+// faults (classical reverse-order compaction).
+func CompactPatterns(c *logic.Circuit, faults []core.Fault, patterns []faultsim.Pattern) []faultsim.Pattern {
+	if len(patterns) == 0 {
+		return nil
+	}
+	sim := faultsim.New(c)
+	baseline := faultsim.Summarise(sim.RunStuckAt(faults, patterns)).Detected
+
+	kept := append([]faultsim.Pattern(nil), patterns...)
+	for i := len(kept) - 1; i >= 0; i-- {
+		trial := append(append([]faultsim.Pattern(nil), kept[:i]...), kept[i+1:]...)
+		if faultsim.Summarise(sim.RunStuckAt(faults, trial)).Detected == baseline {
+			kept = trial
+		}
+	}
+	return kept
+}

@@ -1,0 +1,331 @@
+package atpg
+
+import (
+	"fmt"
+
+	"cpsinw/internal/core"
+	"cpsinw/internal/faultsim"
+	"cpsinw/internal/gates"
+	"cpsinw/internal/logic"
+)
+
+// gateIndexByName resolves a gate instance name.
+func gateIndexByName(c *logic.Circuit, name string) (int, error) {
+	for i, g := range c.Gates {
+		if g.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("atpg: unknown gate %q", name)
+}
+
+// behaviorHooks builds faulty-circuit hooks from a gate behaviour table.
+// Floating rows evaluate to X.
+func behaviorHooks(gi int, beh *core.Behavior) logic.TernaryHooks {
+	return logic.TernaryHooks{Gate: func(idx int, in []logic.V) (logic.V, bool) {
+		if idx != gi {
+			return logic.LX, false
+		}
+		vec := 0
+		for i, v := range in {
+			b, ok := v.Bool()
+			if !ok {
+				return logic.LX, true
+			}
+			if b {
+				vec |= 1 << uint(i)
+			}
+		}
+		row := beh.Rows[vec]
+		if row.Floating {
+			return logic.LX, true
+		}
+		return row.Out, true
+	}}
+}
+
+// vectorGoals converts a local input vector of a gate into justification
+// goals on its fanin nets.
+func vectorGoals(c *logic.Circuit, gi, vec int) []goal {
+	g := &c.Gates[gi]
+	goals := make([]goal, len(g.Fanin))
+	for i, f := range g.Fanin {
+		goals[i] = goal{net: f, val: logic.FromBool(vec>>uint(i)&1 == 1)}
+	}
+	return goals
+}
+
+// PolarityTest is a generated test for a stuck-at n/p-type fault.
+type PolarityTest struct {
+	Fault   core.Fault
+	Pattern faultsim.Pattern
+	Method  faultsim.DetectMethod // output or iddq
+}
+
+// GeneratePolarity generates a test for a stuck-at n-type / p-type fault:
+// first it tries voltage observation (flip propagated to a PO); if the
+// fault only manifests as a rail-to-rail leak (the paper's pull-up case),
+// it generates an IDDQ excitation instead.
+func GeneratePolarity(c *logic.Circuit, f core.Fault, opt Options) (PolarityTest, bool) {
+	if !f.Kind.IsPolarityFault() {
+		return PolarityTest{}, false
+	}
+	tf, _ := f.Kind.TFault()
+	gi, err := gateIndexByName(c, f.Gate)
+	if err != nil {
+		return PolarityTest{}, false
+	}
+	kind := c.Gates[gi].Kind
+	beh, err := core.GateBehavior(kind, f.Transistor, tf)
+	if err != nil {
+		return PolarityTest{}, false
+	}
+
+	// Voltage-observable attempt: justify a flipping local vector and
+	// propagate the flip.
+	for _, vec := range beh.OutputDetecting() {
+		p := &podem{
+			c:         c,
+			opt:       opt.withDefaults(),
+			hooks:     behaviorHooks(gi, beh),
+			goals:     vectorGoals(c, gi, vec),
+			propagate: true,
+			faultGate: gi,
+		}
+		if pat, ok := p.run(); ok {
+			return PolarityTest{Fault: f, Pattern: pat, Method: faultsim.ByOutput}, true
+		}
+	}
+	// IDDQ attempt: justification is enough, the current measurement is
+	// globally observable.
+	for _, vec := range beh.LeakDetecting() {
+		p := &podem{
+			c:         c,
+			opt:       opt.withDefaults(),
+			goals:     vectorGoals(c, gi, vec),
+			faultGate: -1,
+		}
+		if pat, ok := p.run(); ok {
+			return PolarityTest{Fault: f, Pattern: pat, Method: faultsim.ByIDDQ}, true
+		}
+	}
+	return PolarityTest{}, false
+}
+
+// TwoPatternTest is a generated stuck-open test: an initialisation
+// pattern followed by a test pattern.
+type TwoPatternTest struct {
+	Fault core.Fault
+	Init  faultsim.Pattern
+	Test  faultsim.Pattern
+}
+
+// GenerateTwoPattern generates the classical two-pattern stuck-open test
+// for a channel break in an SP gate: the test pattern exposes the
+// floating output (justified + propagated assuming the retained value is
+// the complement), and the initialisation pattern forces that complement
+// beforehand.
+func GenerateTwoPattern(c *logic.Circuit, f core.Fault, opt Options) (TwoPatternTest, bool) {
+	if f.Kind != core.FaultChannelBreak {
+		return TwoPatternTest{}, false
+	}
+	gi, err := gateIndexByName(c, f.Gate)
+	if err != nil {
+		return TwoPatternTest{}, false
+	}
+	kind := c.Gates[gi].Kind
+	beh, err := core.GateBehavior(kind, f.Transistor, logic.TFaultOpen)
+	if err != nil {
+		return TwoPatternTest{}, false
+	}
+
+	for _, v2 := range beh.FloatingVectors() {
+		goodOut := core.GoodOut(kind, v2)
+		stale := goodOut.Not()
+		// Faulty circuit under the test pattern: output holds the stale
+		// value at v2.
+		hooks := logic.TernaryHooks{Gate: func(idx int, in []logic.V) (logic.V, bool) {
+			if idx != gi {
+				return logic.LX, false
+			}
+			vec := 0
+			for i, v := range in {
+				b, ok := v.Bool()
+				if !ok {
+					return logic.LX, true
+				}
+				if b {
+					vec |= 1 << uint(i)
+				}
+			}
+			if vec == v2 {
+				return stale, true
+			}
+			row := beh.Rows[vec]
+			if row.Floating {
+				return logic.LX, true
+			}
+			return row.Out, true
+		}}
+		p2 := &podem{
+			c:         c,
+			opt:       opt.withDefaults(),
+			hooks:     hooks,
+			goals:     vectorGoals(c, gi, v2),
+			propagate: true,
+			faultGate: gi,
+		}
+		testPat, ok := p2.run()
+		if !ok {
+			continue
+		}
+		// Initialisation: any vector where the FAULTY gate still drives
+		// the stale value.
+		for v1, row := range beh.Rows {
+			if row.Floating || row.Out != stale {
+				continue
+			}
+			p1 := &podem{c: c, opt: opt.withDefaults(), goals: vectorGoals(c, gi, v1), faultGate: -1}
+			if initPat, ok := p1.run(); ok {
+				return TwoPatternTest{Fault: f, Init: initPat, Test: testPat}, true
+			}
+		}
+	}
+	return TwoPatternTest{}, false
+}
+
+// ChannelBreakPlan is the paper's new test procedure for channel breaks
+// in DP gates (section V-C): deliberately complement the polarity of the
+// device under test (inject stuck-at n/p-type through the accessible
+// polarity terminals), apply the corresponding detection vector, and
+// observe. A healthy device makes the injected polarity fault manifest
+// (flipped output or large IDDQ); a broken device masks it — a
+// fault-free-looking response reveals the channel break.
+type ChannelBreakPlan struct {
+	Fault     core.Fault            // the targeted channel break
+	Injection logic.TFault          // deliberate polarity complement
+	Pattern   faultsim.Pattern      // PI vector to apply
+	Observe   faultsim.DetectMethod // output or iddq observation
+	// HealthyFlips is set for output observation: the PO set where a
+	// healthy device shows a flipped value.
+	HealthyFlips []string
+}
+
+// GenerateChannelBreakDP builds the paper's channel-break test for a
+// transistor inside a DP gate. It tries both polarity injections and both
+// observation styles.
+func GenerateChannelBreakDP(c *logic.Circuit, f core.Fault, opt Options) (ChannelBreakPlan, bool) {
+	if f.Kind != core.FaultChannelBreak {
+		return ChannelBreakPlan{}, false
+	}
+	gi, err := gateIndexByName(c, f.Gate)
+	if err != nil {
+		return ChannelBreakPlan{}, false
+	}
+	kind := c.Gates[gi].Kind
+	if gates.Get(kind).Class != gates.DynamicPolarity {
+		return ChannelBreakPlan{}, false
+	}
+	for _, inj := range []logic.TFault{logic.TFaultStuckAtN, logic.TFaultStuckAtP} {
+		beh, err := core.GateBehavior(kind, f.Transistor, inj)
+		if err != nil {
+			continue
+		}
+		// Output observation first: the injected flip must propagate.
+		for _, vec := range beh.OutputDetecting() {
+			p := &podem{
+				c:         c,
+				opt:       opt.withDefaults(),
+				hooks:     behaviorHooks(gi, beh),
+				goals:     vectorGoals(c, gi, vec),
+				propagate: true,
+				faultGate: gi,
+			}
+			pat, ok := p.run()
+			if !ok {
+				continue
+			}
+			plan := ChannelBreakPlan{
+				Fault:     f,
+				Injection: inj,
+				Pattern:   pat,
+				Observe:   faultsim.ByOutput,
+			}
+			good := c.Eval(pat)
+			faulty := c.EvalHooked(pat, behaviorHooks(gi, beh))
+			for _, po := range c.Outputs {
+				g, gok := good[po].Bool()
+				fv, fok := faulty[po].Bool()
+				if gok && fok && g != fv {
+					plan.HealthyFlips = append(plan.HealthyFlips, po)
+				}
+			}
+			return plan, true
+		}
+		// IDDQ observation: justify a leak vector.
+		for _, vec := range beh.LeakDetecting() {
+			p := &podem{c: c, opt: opt.withDefaults(), goals: vectorGoals(c, gi, vec), faultGate: -1}
+			if pat, ok := p.run(); ok {
+				return ChannelBreakPlan{
+					Fault:     f,
+					Injection: inj,
+					Pattern:   pat,
+					Observe:   faultsim.ByIDDQ,
+				}, true
+			}
+		}
+	}
+	return ChannelBreakPlan{}, false
+}
+
+// VerifyChannelBreakPlan simulates the plan against both device states
+// and reports whether the verdict separates them: with a healthy device
+// the injected polarity fault manifests (flip or leak); with a broken
+// device the response is fault-free (the break masks the injection).
+func VerifyChannelBreakPlan(c *logic.Circuit, plan ChannelBreakPlan) (healthySignature, brokenSignature bool, err error) {
+	gi, err := gateIndexByName(c, plan.Fault.Gate)
+	if err != nil {
+		return false, false, err
+	}
+	kind := c.Gates[gi].Kind
+	spec := gates.Get(kind)
+
+	signature := func(faults map[string]logic.TFault) (bool, error) {
+		leak := false
+		hooks := logic.TernaryHooks{Gate: func(idx int, in []logic.V) (logic.V, bool) {
+			if idx != gi {
+				return logic.LX, false
+			}
+			res := logic.EvalSwitch(spec, in, faults, nil)
+			if res.Leak {
+				leak = true
+			}
+			return res.Out, true
+		}}
+		faulty := c.EvalHooked(plan.Pattern, hooks)
+		if plan.Observe == faultsim.ByIDDQ {
+			return leak, nil
+		}
+		good := c.Eval(plan.Pattern)
+		for _, po := range c.Outputs {
+			g, gok := good[po].Bool()
+			f, fok := faulty[po].Bool()
+			if gok && fok && g != f {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+
+	healthy, err := signature(map[string]logic.TFault{plan.Fault.Transistor: plan.Injection})
+	if err != nil {
+		return false, false, err
+	}
+	// A broken device ignores the polarity injection entirely: the
+	// channel break dominates (the device conducts nothing).
+	broken, err := signature(map[string]logic.TFault{plan.Fault.Transistor: logic.TFaultOpen})
+	if err != nil {
+		return false, false, err
+	}
+	return healthy, broken, nil
+}

@@ -1,0 +1,89 @@
+package atpg
+
+import (
+	"cpsinw/internal/core"
+	"cpsinw/internal/faultsim"
+	"cpsinw/internal/logic"
+)
+
+// Signature is the full response of a device to a program: the sorted set
+// of failing step indices. Diagnosis matches observed signatures against
+// a fault dictionary.
+type Signature []int
+
+// Equal reports whether two signatures are identical.
+func (s Signature) Equal(o Signature) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Jaccard returns the Jaccard similarity of two signatures (1 for equal
+// non-empty sets, 0 for disjoint).
+func (s Signature) Jaccard(o Signature) float64 {
+	if len(s) == 0 && len(o) == 0 {
+		return 1
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] == o[j]:
+			inter++
+			i++
+			j++
+		case s[i] < o[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(s) + len(o) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// ExecuteAll runs every step of the program against the device (it does
+// not stop at the first failure) and returns the failure signature.
+func ExecuteAll(p *Program, fault *core.Fault) Signature {
+	dut := &dutState{c: p.Circuit, fault: fault}
+	var sig Signature
+	for i, step := range p.Steps {
+		fail := false
+		switch step.Kind {
+		case StepLogic:
+			got, _ := dut.eval(step.Pattern, -1, "", logic.TFaultNone, false)
+			_, fail = mismatch(p.Circuit, got, step.Expect)
+		case StepTwoPattern:
+			dut.prev = map[int]map[string]logic.V{}
+			dut.eval(step.Init, -1, "", logic.TFaultNone, true)
+			got, _ := dut.eval(step.Pattern, -1, "", logic.TFaultNone, true)
+			_, fail = mismatch(p.Circuit, got, step.Expect)
+		case StepIDDQ:
+			_, leak := dut.eval(step.Pattern, -1, "", logic.TFaultNone, false)
+			fail = leak
+		case StepCBProcedure:
+			gi := gateIndexOf(p.Circuit, step.CBGate)
+			got, leak := dut.eval(step.Pattern, gi, step.CBTransistor, step.CBInjection, false)
+			var manifest bool
+			if step.CBObserve == faultsim.ByIDDQ {
+				manifest = leak
+			} else {
+				_, manifest = mismatch(p.Circuit, got, step.Expect)
+			}
+			fail = !manifest
+		}
+		if fail {
+			sig = append(sig, i)
+		}
+	}
+	return sig
+}

@@ -1,0 +1,129 @@
+package atpg
+
+import (
+	"testing"
+
+	"cpsinw/internal/bench"
+	"cpsinw/internal/core"
+	"cpsinw/internal/logic"
+)
+
+// buildProgramFor generates the extended-model campaign and assembles the
+// tester program.
+func buildProgramFor(t *testing.T, c *logic.Circuit) (*Program, *CampaignResult, []core.Fault) {
+	t.Helper()
+	universe := core.Universe(c, core.UniverseOptions{
+		LineStuckAt: true, ChannelBreak: true, Polarity: true,
+	})
+	res := Generate(c, universe, Options{})
+	return BuildProgram(c, res), res, universe
+}
+
+func TestProgramPassesGoldenDevice(t *testing.T) {
+	for _, c := range []*logic.Circuit{bench.FullAdderCP(), bench.C17(), bench.TMRVoter()} {
+		p, _, _ := buildProgramFor(t, c)
+		if len(p.Steps) == 0 {
+			t.Fatalf("%s: empty program", c.Name)
+		}
+		v := Execute(p, nil)
+		if !v.Pass {
+			t.Errorf("%s: golden device fails step %d (%v): %s", c.Name, v.FailStep, v.StepKind, v.FailReason)
+		}
+	}
+}
+
+// TestProgramEndToEndSoundness is the system-level check of the whole
+// pipeline: every fault the campaign claims covered must make the
+// assembled tester program fail, and the golden device must pass.
+func TestProgramEndToEndSoundness(t *testing.T) {
+	c := bench.FullAdderCP()
+	p, res, universe := buildProgramFor(t, c)
+
+	uncovered := map[string]bool{}
+	for _, f := range res.Untestable {
+		uncovered[f.String()] = true
+	}
+	missed := 0
+	for i := range universe {
+		f := universe[i]
+		if uncovered[f.String()] {
+			continue
+		}
+		v := Execute(p, &f)
+		if v.Pass {
+			missed++
+			t.Errorf("covered fault %v escapes the tester program", f)
+		}
+	}
+	if missed == 0 {
+		t.Logf("program of %d steps kills all %d covered faults", len(p.Steps), len(universe)-len(res.Untestable))
+	}
+}
+
+func TestProgramEndToEndRCA(t *testing.T) {
+	c := bench.RippleCarryAdder(4)
+	p, res, universe := buildProgramFor(t, c)
+	uncovered := map[string]bool{}
+	for _, f := range res.Untestable {
+		uncovered[f.String()] = true
+	}
+	escaped := 0
+	for i := range universe {
+		f := universe[i]
+		if uncovered[f.String()] {
+			continue
+		}
+		if Execute(p, &f).Pass {
+			escaped++
+		}
+	}
+	if escaped > 0 {
+		t.Errorf("%d covered faults escape the program", escaped)
+	}
+}
+
+func TestProgramStepOrdering(t *testing.T) {
+	c := bench.FullAdderCP()
+	p, _, _ := buildProgramFor(t, c)
+	// Logic steps come first, then two-pattern, then IDDQ, then CB.
+	rank := map[StepKind]int{StepLogic: 0, StepTwoPattern: 1, StepIDDQ: 2, StepCBProcedure: 3}
+	last := -1
+	for i, s := range p.Steps {
+		r := rank[s.Kind]
+		if r < last {
+			t.Fatalf("step %d (%v) out of order", i, s.Kind)
+		}
+		last = r
+	}
+}
+
+func TestStepKindString(t *testing.T) {
+	for k, want := range map[StepKind]string{
+		StepLogic: "logic", StepIDDQ: "iddq",
+		StepTwoPattern: "two-pattern", StepCBProcedure: "cb-procedure",
+	} {
+		if k.String() != want {
+			t.Errorf("%d: %q", int(k), k.String())
+		}
+	}
+}
+
+func TestProgramDetectsUntargetedStuckOn(t *testing.T) {
+	// Stuck-on faults are not explicitly targeted by the campaign, but
+	// the assembled program often catches them anyway (collateral
+	// coverage through the IDDQ steps). This must never be reported as a
+	// golden pass for a fault the program does detect — just sanity-check
+	// a known case: stuck-on of an XOR2 pull-down leaks at some vector.
+	c := bench.FullAdderCP()
+	p, _, _ := buildProgramFor(t, c)
+	f := core.Fault{Kind: core.FaultStuckOn, Gate: c.Gates[0].Name, Transistor: "t1"}
+	v := Execute(p, &f)
+	// Either verdict is acceptable; the call must simply not panic and
+	// must return a consistent verdict structure.
+	if v.Pass && v.FailStep != -1 {
+		t.Error("inconsistent verdict")
+	}
+	if !v.Pass && v.FailReason == "" {
+		t.Error("failure without a reason")
+	}
+}

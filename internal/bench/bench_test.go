@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cpsinw/internal/gates"
+	"cpsinw/internal/logic"
+)
+
+func TestC17Function(t *testing.T) {
+	c := C17()
+	// Reference: o22 = NAND(n10,n16), with the classic c17 structure.
+	ref := func(i1, i2, i3, i4, i5 bool) (bool, bool) {
+		nand := func(a, b bool) bool { return !(a && b) }
+		n10 := nand(i1, i3)
+		n11 := nand(i3, i4)
+		n16 := nand(i2, n11)
+		n19 := nand(n11, i5)
+		return nand(n10, n16), nand(n16, n19)
+	}
+	for v := 0; v < 32; v++ {
+		bits := make([]bool, 5)
+		assign := map[string]logic.V{}
+		for i := 0; i < 5; i++ {
+			bits[i] = v>>uint(i)&1 == 1
+			assign[[]string{"i1", "i2", "i3", "i4", "i5"}[i]] = logic.FromBool(bits[i])
+		}
+		o22, o23 := ref(bits[0], bits[1], bits[2], bits[3], bits[4])
+		got := c.EvalOutputs(assign)
+		if got[0] != logic.FromBool(o22) || got[1] != logic.FromBool(o23) {
+			t.Errorf("c17 vector %05b: got %v,%v want %v,%v", v, got[0], got[1], o22, o23)
+		}
+	}
+}
+
+func TestRippleCarryAdderProperty(t *testing.T) {
+	c := RippleCarryAdder(4)
+	f := func(a, b uint8, cin bool) bool {
+		av, bv := uint32(a&0xF), uint32(b&0xF)
+		want := av + bv
+		if cin {
+			want++
+		}
+		assign := map[string]logic.V{"cin": logic.FromBool(cin)}
+		for i := 0; i < 4; i++ {
+			assign[key("a", i)] = logic.FromBool(av>>uint(i)&1 == 1)
+			assign[key("b", i)] = logic.FromBool(bv>>uint(i)&1 == 1)
+		}
+		vals := c.Eval(assign)
+		var got uint32
+		for i := 0; i < 4; i++ {
+			if vals[key("s", i)] == logic.L1 {
+				got |= 1 << uint(i)
+			}
+		}
+		if vals["cout"] == logic.L1 {
+			got |= 1 << 4
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func key(p string, i int) string { return p + string(rune('0'+i)) }
+
+func TestParityTreeProperty(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8, 16} {
+		c := ParityTree(n)
+		f := func(bits uint32) bool {
+			assign := map[string]logic.V{}
+			parity := false
+			for i := 0; i < n; i++ {
+				b := bits>>uint(i)&1 == 1
+				assign[c.Inputs[i]] = logic.FromBool(b)
+				parity = parity != b
+			}
+			return c.EvalOutputs(assign)[0] == logic.FromBool(parity)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("parity%d: %v", n, err)
+		}
+	}
+}
+
+func TestParityTreeIsDPDominated(t *testing.T) {
+	s := ParityTree(16).Statistics()
+	if s.DPGates != s.Gates {
+		t.Errorf("parity tree should be all-DP: %+v", s)
+	}
+}
+
+func TestTMRVoterMasksSingleModuleError(t *testing.T) {
+	c := TMRVoter()
+	// All modules agree on NAND(x,y); flipping a single module's inputs
+	// cannot change the vote when the other two agree.
+	assign := map[string]logic.V{
+		"x0": logic.L1, "y0": logic.L1, // f0 = 0
+		"x1": logic.L1, "y1": logic.L1, // f1 = 0
+		"x2": logic.L0, "y2": logic.L1, // f2 = 1 (disagreeing module)
+	}
+	if out := c.EvalOutputs(assign)[0]; out != logic.L0 {
+		t.Errorf("vote = %v, want 0 (majority)", out)
+	}
+}
+
+func TestMultiplierExhaustive(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		c := Multiplier(n)
+		max := 1 << uint(n)
+		for a := 0; a < max; a++ {
+			for b := 0; b < max; b++ {
+				assign := map[string]logic.V{}
+				for i := 0; i < n; i++ {
+					assign[key("a", i)] = logic.FromBool(a>>uint(i)&1 == 1)
+					assign[key("b", i)] = logic.FromBool(b>>uint(i)&1 == 1)
+				}
+				vals := c.Eval(assign)
+				var got int
+				for i := 0; i < 2*n; i++ {
+					if vals[key("m", i)] == logic.L1 {
+						got |= 1 << uint(i)
+					}
+				}
+				if got != a*b {
+					t.Fatalf("mult%d: %d*%d = %d, want %d", n, a, b, got, a*b)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	c1 := Random(7, 6, 20)
+	c2 := Random(7, 6, 20)
+	if len(c1.Gates) != len(c2.Gates) {
+		t.Fatal("random circuit not deterministic in size")
+	}
+	for i := range c1.Gates {
+		if c1.Gates[i].Kind != c2.Gates[i].Kind || c1.Gates[i].Output != c2.Gates[i].Output {
+			t.Fatal("random circuit not deterministic")
+		}
+	}
+	if len(Random(8, 6, 20).Gates) == 0 {
+		t.Fatal("random circuit empty")
+	}
+}
+
+func TestSuite(t *testing.T) {
+	s := Suite()
+	if len(s) < 8 {
+		t.Fatalf("suite has %d entries", len(s))
+	}
+	totalDP := 0
+	for name, c := range s {
+		if c == nil {
+			t.Errorf("%s: nil circuit", name)
+			continue
+		}
+		st := c.Statistics()
+		if st.Gates == 0 {
+			t.Errorf("%s: no gates", name)
+		}
+		totalDP += st.DPGates
+	}
+	if totalDP == 0 {
+		t.Error("suite contains no DP gates at all")
+	}
+}
+
+func TestMultiplierUsesNativeCPCells(t *testing.T) {
+	st := Multiplier(3).Statistics()
+	if st.ByKind[gates.XOR3] == 0 || st.ByKind[gates.MAJ3] == 0 {
+		t.Errorf("multiplier should use XOR3/MAJ cells: %+v", st.ByKind)
+	}
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cpsinw/internal/logic"
+)
+
+// TestRandomCircuitsAlwaysValidProperty: the generator must produce
+// structurally valid, simulatable circuits for any seed and size.
+func TestRandomCircuitsAlwaysValidProperty(t *testing.T) {
+	f := func(seed int64, nIn, nGates uint8) bool {
+		c := Random(seed, int(nIn%10)+3, int(nGates%40)+1)
+		if len(c.Outputs) == 0 || len(c.Gates) == 0 {
+			return false
+		}
+		// Simulate an arbitrary binary pattern without panic and with
+		// fully defined outputs.
+		assign := map[string]logic.V{}
+		for i, pi := range c.Inputs {
+			assign[pi] = logic.FromBool(i%2 == 0)
+		}
+		for _, v := range c.EvalOutputs(assign) {
+			if _, ok := v.Bool(); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAdderCommutativityProperty: the CP ripple-carry adder must be
+// symmetric in its operands.
+func TestAdderCommutativityProperty(t *testing.T) {
+	c := RippleCarryAdder(4)
+	f := func(a, b uint8, cin bool) bool {
+		av, bv := a&0xF, b&0xF
+		s1 := addWith(c, av, bv, cin)
+		s2 := addWith(c, bv, av, cin)
+		return s1 == s2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func addWith(c *logic.Circuit, a, b uint8, cin bool) uint32 {
+	assign := map[string]logic.V{"cin": logic.FromBool(cin)}
+	for i := 0; i < 4; i++ {
+		assign[key("a", i)] = logic.FromBool(a>>uint(i)&1 == 1)
+		assign[key("b", i)] = logic.FromBool(b>>uint(i)&1 == 1)
+	}
+	vals := c.Eval(assign)
+	var got uint32
+	for i := 0; i < 4; i++ {
+		if vals[key("s", i)] == logic.L1 {
+			got |= 1 << uint(i)
+		}
+	}
+	if vals["cout"] == logic.L1 {
+		got |= 1 << 4
+	}
+	return got
+}
+
+// TestParityLinearityProperty: flipping exactly one input flips the
+// parity output (the defining property of XOR trees).
+func TestParityLinearityProperty(t *testing.T) {
+	c := ParityTree(8)
+	f := func(bits uint8, which uint8) bool {
+		assign := map[string]logic.V{}
+		for i := 0; i < 8; i++ {
+			assign[c.Inputs[i]] = logic.FromBool(bits>>uint(i)&1 == 1)
+		}
+		before := c.EvalOutputs(assign)[0]
+		flip := int(which) % 8
+		assign[c.Inputs[flip]] = assign[c.Inputs[flip]].Not()
+		after := c.EvalOutputs(assign)[0]
+		return after == before.Not()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

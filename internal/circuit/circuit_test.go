@@ -1,0 +1,250 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cpsinw/internal/device"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"1", 1}, {"1.5", 1.5}, {"-2", -2},
+		{"10k", 1e4}, {"1meg", 1e6}, {"2g", 2e9}, {"3t", 3e12},
+		{"1m", 1e-3}, {"1u", 1e-6}, {"1n", 1e-9}, {"1p", 1e-12}, {"1f", 1e-15},
+		{"100P", 1e-10}, {"2.5K", 2500},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.in)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12*math.Abs(c.want) {
+			t.Errorf("ParseValue(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "1x2", "nan", "inf"} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Errorf("ParseValue(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPulseWaveform(t *testing.T) {
+	p := Pulse{V0: 0, V1: 1.2, Delay: 1e-9, Rise: 1e-10, Fall: 1e-10, Width: 5e-10, Period: 2e-9}
+	if v := p.At(0); v != 0 {
+		t.Errorf("At(0) = %v, want 0", v)
+	}
+	if v := p.At(1e-9 + 5e-11); math.Abs(v-0.6) > 1e-9 {
+		t.Errorf("mid-rise = %v, want 0.6", v)
+	}
+	if v := p.At(1e-9 + 3e-10); v != 1.2 {
+		t.Errorf("plateau = %v, want 1.2", v)
+	}
+	if v := p.At(1e-9 + 8e-10); v != 0 {
+		t.Errorf("after fall = %v, want 0", v)
+	}
+	// Periodicity.
+	if v1, v2 := p.At(1.05e-9), p.At(1.05e-9+2e-9); math.Abs(v1-v2) > 1e-9 {
+		t.Errorf("period broken: %v vs %v", v1, v2)
+	}
+}
+
+func TestPWLWaveform(t *testing.T) {
+	w := PWL{T: []float64{0, 1, 2}, V: []float64{0, 10, 10}}
+	for _, c := range []struct{ t, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 5}, {1, 10}, {1.5, 10}, {3, 10},
+	} {
+		if got := w.At(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("PWL.At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestPWLMonotonicProperty(t *testing.T) {
+	// For a monotonically increasing PWL, At must be monotone too.
+	w := PWL{T: []float64{0, 1, 2, 3}, V: []float64{0, 1, 4, 9}}
+	f := func(a, b uint16) bool {
+		t1 := 3 * float64(a) / 65535
+		t2 := 3 * float64(b) / 65535
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		return w.At(t2) >= w.At(t1)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseBasicNetlist(t *testing.T) {
+	src := `
+* a simple divider with a device
+R1 in mid 10k
+R2 mid 0 10K
+C1 mid gnd 1f
+Vdd in 0 1.2
+Vpulse ctl 0 pulse(0 1.2 0 10p 10p 400p 1n)
+M1 mid ctl vp vp 0 w=2 gos=cg break=0.25
+.end
+`
+	var p Parser
+	n, err := p.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Resistors) != 2 || len(n.Capacitors) != 1 || len(n.Sources) != 2 || len(n.Transistors) != 1 {
+		t.Fatalf("element counts wrong: %+v", n)
+	}
+	m := n.TransistorByName("M1")
+	if m == nil {
+		t.Fatal("M1 missing")
+	}
+	if m.Width != 2 {
+		t.Errorf("width = %v, want 2", m.Width)
+	}
+	if d := m.CompactModel().D; d.GOS != device.GOSAtCG || d.BreakSeverity != 0.25 {
+		t.Errorf("defects = %+v", d)
+	}
+	if got := n.SourceByName("Vpulse").W.(Pulse); got.Period != 1e-9 {
+		t.Errorf("pulse period = %v", got.Period)
+	}
+	// gnd alias collapsed to "0".
+	if n.Capacitors[0].B != Ground {
+		t.Errorf("gnd alias not collapsed: %q", n.Capacitors[0].B)
+	}
+	nodes := n.Nodes()
+	want := []string{"ctl", "in", "mid", "vp"}
+	if len(nodes) != len(want) {
+		t.Fatalf("nodes = %v, want %v", nodes, want)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("nodes = %v, want %v", nodes, want)
+		}
+	}
+}
+
+func TestParseSubcircuit(t *testing.T) {
+	src := `
+.subckt divider top bottom out
+Ra top out 1k
+Rb out bottom 1k
+Cl out internal 1f
+Rl internal bottom 1k
+.ends
+Vs in 0 1.0
+Xd1 in 0 o1 divider
+Xd2 in 0 o2 divider
+.end
+`
+	var p Parser
+	n, err := p.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Resistors) != 6 {
+		t.Fatalf("want 6 resistors after expansion, got %d", len(n.Resistors))
+	}
+	// Local nodes must be distinct per instance.
+	nodes := map[string]bool{}
+	for _, s := range n.Nodes() {
+		nodes[s] = true
+	}
+	if !nodes["Xd1.internal"] || !nodes["Xd2.internal"] {
+		t.Errorf("instance-local nodes missing: %v", n.Nodes())
+	}
+	if nodes["internal"] {
+		t.Error("unprefixed local node leaked")
+	}
+}
+
+func TestParseContinuationAndComments(t *testing.T) {
+	src := "R1 a b\n+ 10k ; trailing comment\n* full comment\nV1 a 0 1.0\n.end\n"
+	var p Parser
+	n, err := p.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Resistors[0].Ohms != 1e4 {
+		t.Errorf("continuation value = %v", n.Resistors[0].Ohms)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"R1 a b\n.end\n",               // missing value
+		"Q1 a b c\n.end\n",             // unknown element
+		"M1 a b c d\n.end\n",           // too few nodes
+		"M1 a b c d e gos=q\n.end\n",   // bad gos
+		"V1 a 0 pulse(1 2)\n.end\n",    // short pulse
+		"X1 a b nothere\n.end\n",       // unknown subckt
+		".subckt s a\nR1 a 0 1k\n",     // unterminated
+		"R1 a b 1k\nR1 a b 2k\n.end\n", // duplicate name
+		"C1 a 0 -1f\n.end\n",           // non-positive cap
+	}
+	for _, src := range bad {
+		var p Parser
+		if _, err := p.Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted bad netlist:\n%s", src)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	n := &Netlist{Title: "round trip"}
+	n.AddR("R1", "a", "b", 1234)
+	n.AddC("C1", "b", Ground, 2e-15)
+	n.AddV("V1", "a", Ground, DC(1.2))
+	n.AddV("V2", "c", Ground, Pulse{V0: 0, V1: 1.2, Delay: 1e-10, Rise: 1e-11, Fall: 1e-11, Width: 4e-10, Period: 1e-9})
+	n.AddV("V3", "d", Ground, PWL{T: []float64{0, 1e-9}, V: []float64{0, 1.2}})
+	m := n.AddM("M1", "b", "c", "d", "d", Ground, device.Default().WithDefects(device.Defects{GOS: device.GOSAtPGS, BreakSeverity: 0.5}))
+	m.Width = 3
+
+	text := n.String()
+	var p Parser
+	back, err := p.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, text)
+	}
+	if len(back.Resistors) != 1 || len(back.Capacitors) != 1 || len(back.Sources) != 3 || len(back.Transistors) != 1 {
+		t.Fatalf("round-trip element counts wrong:\n%s", text)
+	}
+	bm := back.TransistorByName("M1")
+	if bm.Width != 3 || bm.CompactModel().D.GOS != device.GOSAtPGS || bm.CompactModel().D.BreakSeverity != 0.5 {
+		t.Errorf("round-trip transistor lost attributes: %+v", bm)
+	}
+	p2 := back.SourceByName("V2").W.(Pulse)
+	if p2.Width != 4e-10 || p2.Period != 1e-9 {
+		t.Errorf("round-trip pulse lost fields: %+v", p2)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	n := &Netlist{}
+	n.AddR("R1", "a", Ground, 100)
+	if err := n.Validate(); err != nil {
+		t.Errorf("valid netlist rejected: %v", err)
+	}
+	n.AddM("M1", "a", "b", "c", "d", Ground, nil)
+	if err := n.Validate(); err == nil {
+		t.Error("nil transistor model accepted")
+	}
+}
+
+func TestTransistorEffectiveWidth(t *testing.T) {
+	tr := &Transistor{}
+	if tr.EffectiveWidth() != 1 {
+		t.Errorf("zero width should default to 1")
+	}
+	tr.Width = 2.5
+	if tr.EffectiveWidth() != 2.5 {
+		t.Errorf("width 2.5 not honoured")
+	}
+}

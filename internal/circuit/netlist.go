@@ -1,0 +1,291 @@
+// Package circuit defines the transistor-level circuit representation used
+// by the analog simulator, together with a hand-rolled SPICE-like netlist
+// text format (parser and writer). There is no public netlist
+// infrastructure for controllable-polarity devices, so the format is our
+// own; it supports resistors, capacitors, independent voltage sources with
+// pulse/PWL waveforms, TIG-SiNWFET instances with defect annotations, and
+// flat subcircuit expansion.
+package circuit
+
+import (
+	"fmt"
+	"sort"
+
+	"cpsinw/internal/device"
+)
+
+// Ground is the canonical name of the reference node.
+const Ground = "0"
+
+// Waveform describes the time behaviour of an independent voltage source.
+type Waveform interface {
+	// At returns the source voltage at time t (seconds).
+	At(t float64) float64
+}
+
+// DC is a constant source.
+type DC float64
+
+// At implements Waveform.
+func (d DC) At(float64) float64 { return float64(d) }
+
+// Pulse is a periodic trapezoidal pulse, mirroring the SPICE PULSE source:
+// V0 before Delay, then rise to V1 over Rise, hold for Width, fall over
+// Fall, repeat with Period (Period = 0 means single pulse).
+type Pulse struct {
+	V0, V1                   float64
+	Delay, Rise, Fall, Width float64
+	Period                   float64
+}
+
+// At implements Waveform.
+func (p Pulse) At(t float64) float64 {
+	t -= p.Delay
+	if t < 0 {
+		return p.V0
+	}
+	if p.Period > 0 {
+		cycles := int(t / p.Period)
+		t -= float64(cycles) * p.Period
+	}
+	switch {
+	case t < p.Rise:
+		if p.Rise == 0 {
+			return p.V1
+		}
+		return p.V0 + (p.V1-p.V0)*t/p.Rise
+	case t < p.Rise+p.Width:
+		return p.V1
+	case t < p.Rise+p.Width+p.Fall:
+		if p.Fall == 0 {
+			return p.V0
+		}
+		return p.V1 + (p.V0-p.V1)*(t-p.Rise-p.Width)/p.Fall
+	default:
+		return p.V0
+	}
+}
+
+// PWL is a piecewise-linear waveform given as (time, value) breakpoints in
+// ascending time order; the value holds flat outside the range.
+type PWL struct {
+	T []float64
+	V []float64
+}
+
+// At implements Waveform.
+func (w PWL) At(t float64) float64 {
+	n := len(w.T)
+	if n == 0 {
+		return 0
+	}
+	if t <= w.T[0] {
+		return w.V[0]
+	}
+	if t >= w.T[n-1] {
+		return w.V[n-1]
+	}
+	i := sort.SearchFloat64s(w.T, t)
+	if i > 0 && w.T[i] != t {
+		i--
+	}
+	if i >= n-1 {
+		return w.V[n-1]
+	}
+	dt := w.T[i+1] - w.T[i]
+	if dt <= 0 {
+		return w.V[i+1]
+	}
+	return w.V[i] + (w.V[i+1]-w.V[i])*(t-w.T[i])/dt
+}
+
+// Resistor is a two-terminal linear resistor.
+type Resistor struct {
+	Name string
+	A, B string
+	Ohms float64
+}
+
+// Capacitor is a two-terminal linear capacitor.
+type Capacitor struct {
+	Name   string
+	A, B   string
+	Farads float64
+}
+
+// VSource is an independent voltage source from P to N (VP - VN = value).
+type VSource struct {
+	Name string
+	P, N string
+	W    Waveform
+}
+
+// DeviceModel is the electrical behaviour a transistor instance needs for
+// simulation: the drain current and (for defective devices) the DC gate
+// currents. *device.Model implements it directly; lut.Device implements
+// it through a characterisation table, mirroring the paper's Verilog-A
+// table-model flow.
+type DeviceModel interface {
+	ID(device.Bias) float64
+	GateCurrents(device.Bias) (icg, ipgs, ipgd float64)
+}
+
+// Transistor is a TIG-SiNWFET instance. Terminal order follows the device:
+// drain, control gate, source-side polarity gate, drain-side polarity
+// gate, source. The Model carries the electrical behaviour (compact model
+// or characterisation table).
+type Transistor struct {
+	Name               string
+	D, CG, PGS, PGD, S string
+	Model              DeviceModel
+	// Width multiplies the device currents (parallel nanowires).
+	Width float64
+}
+
+// CompactModel returns the underlying compact model when the instance
+// uses one (nil for table models).
+func (t *Transistor) CompactModel() *device.Model {
+	m, _ := t.Model.(*device.Model)
+	return m
+}
+
+// EffectiveWidth returns the width multiplier, defaulting to 1.
+func (t *Transistor) EffectiveWidth() float64 {
+	if t.Width <= 0 {
+		return 1
+	}
+	return t.Width
+}
+
+// Netlist is a flat circuit: named elements over named nodes.
+type Netlist struct {
+	Title       string
+	Resistors   []*Resistor
+	Capacitors  []*Capacitor
+	Sources     []*VSource
+	Transistors []*Transistor
+}
+
+// AddR appends a resistor and returns it.
+func (n *Netlist) AddR(name, a, b string, ohms float64) *Resistor {
+	r := &Resistor{Name: name, A: a, B: b, Ohms: ohms}
+	n.Resistors = append(n.Resistors, r)
+	return r
+}
+
+// AddC appends a capacitor and returns it.
+func (n *Netlist) AddC(name, a, b string, f float64) *Capacitor {
+	c := &Capacitor{Name: name, A: a, B: b, Farads: f}
+	n.Capacitors = append(n.Capacitors, c)
+	return c
+}
+
+// AddV appends a voltage source and returns it.
+func (n *Netlist) AddV(name, p, q string, w Waveform) *VSource {
+	v := &VSource{Name: name, P: p, N: q, W: w}
+	n.Sources = append(n.Sources, v)
+	return v
+}
+
+// AddM appends a transistor and returns it.
+func (n *Netlist) AddM(name, d, cg, pgs, pgd, s string, m DeviceModel) *Transistor {
+	t := &Transistor{Name: name, D: d, CG: cg, PGS: pgs, PGD: pgd, S: s, Model: m, Width: 1}
+	n.Transistors = append(n.Transistors, t)
+	return t
+}
+
+// Nodes returns the sorted set of node names excluding ground.
+func (n *Netlist) Nodes() []string {
+	set := map[string]bool{}
+	add := func(names ...string) {
+		for _, s := range names {
+			if s != Ground {
+				set[s] = true
+			}
+		}
+	}
+	for _, r := range n.Resistors {
+		add(r.A, r.B)
+	}
+	for _, c := range n.Capacitors {
+		add(c.A, c.B)
+	}
+	for _, v := range n.Sources {
+		add(v.P, v.N)
+	}
+	for _, t := range n.Transistors {
+		add(t.D, t.CG, t.PGS, t.PGD, t.S)
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SourceByName returns the voltage source with the given name, or nil.
+func (n *Netlist) SourceByName(name string) *VSource {
+	for _, v := range n.Sources {
+		if v.Name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// TransistorByName returns the transistor with the given name, or nil.
+func (n *Netlist) TransistorByName(name string) *Transistor {
+	for _, t := range n.Transistors {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Validate checks structural sanity: unique element names, positive
+// resistances and capacitances, transistor models present.
+func (n *Netlist) Validate() error {
+	seen := map[string]bool{}
+	uniq := func(name string) error {
+		if seen[name] {
+			return fmt.Errorf("circuit: duplicate element name %q", name)
+		}
+		seen[name] = true
+		return nil
+	}
+	for _, r := range n.Resistors {
+		if err := uniq(r.Name); err != nil {
+			return err
+		}
+		if r.Ohms <= 0 {
+			return fmt.Errorf("circuit: resistor %s has non-positive value", r.Name)
+		}
+	}
+	for _, c := range n.Capacitors {
+		if err := uniq(c.Name); err != nil {
+			return err
+		}
+		if c.Farads <= 0 {
+			return fmt.Errorf("circuit: capacitor %s has non-positive value", c.Name)
+		}
+	}
+	for _, v := range n.Sources {
+		if err := uniq(v.Name); err != nil {
+			return err
+		}
+		if v.W == nil {
+			return fmt.Errorf("circuit: source %s has no waveform", v.Name)
+		}
+	}
+	for _, t := range n.Transistors {
+		if err := uniq(t.Name); err != nil {
+			return err
+		}
+		if t.Model == nil {
+			return fmt.Errorf("circuit: transistor %s has no model", t.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,417 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"cpsinw/internal/device"
+)
+
+// The netlist text format (hand-rolled; see the package comment):
+//
+//	* comment                       ; also "; comment"
+//	.title <anything>
+//	R<name> <a> <b> <value>
+//	C<name> <a> <b> <value>
+//	V<name> <p> <n> <dc value>
+//	V<name> <p> <n> pulse(<v0> <v1> <delay> <rise> <fall> <width> [period])
+//	V<name> <p> <n> pwl(<t1> <v1> <t2> <v2> ...)
+//	M<name> <d> <cg> <pgs> <pgd> <s> [w=<mult>] [gos=pgs|cg|pgd] [gossize=<nm>]
+//	        [break=<severity>] [floatpgs] [floatpgd]
+//	.subckt <name> <pin> <pin> ...
+//	.ends
+//	X<name> <node> <node> ... <subckt-name>
+//	.end
+//
+// Values accept engineering suffixes: f p n u m k meg g t.
+
+type subckt struct {
+	name  string
+	pins  []string
+	lines []string
+}
+
+// Parser reads the netlist format. A zero Parser is ready to use; set
+// Model to override the device model given to parsed transistors.
+type Parser struct {
+	// Model is the base device model for transistors (device.Default()
+	// when nil). Defect annotations derive per-instance models from it.
+	Model *device.Model
+}
+
+// Parse reads a netlist from r.
+func (p *Parser) Parse(r io.Reader) (*Netlist, error) {
+	base := p.Model
+	if base == nil {
+		base = device.Default()
+	}
+	n := &Netlist{}
+	subckts := map[string]*subckt{}
+
+	var cur *subckt
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	var pending []string // continuation handling with "+"
+	flush := func() (string, int) {
+		if len(pending) == 0 {
+			return "", 0
+		}
+		s := strings.Join(pending, " ")
+		pending = nil
+		return s, lineno
+	}
+	process := func(line string, ln int) error {
+		if line == "" {
+			return nil
+		}
+		fields := strings.Fields(line)
+		key := strings.ToLower(fields[0])
+		switch {
+		case key == ".subckt":
+			if cur != nil {
+				return fmt.Errorf("line %d: nested .subckt", ln)
+			}
+			if len(fields) < 2 {
+				return fmt.Errorf("line %d: .subckt needs a name", ln)
+			}
+			cur = &subckt{name: strings.ToLower(fields[1]), pins: fields[2:]}
+			return nil
+		case key == ".ends":
+			if cur == nil {
+				return fmt.Errorf("line %d: .ends without .subckt", ln)
+			}
+			subckts[cur.name] = cur
+			cur = nil
+			return nil
+		}
+		if cur != nil {
+			cur.lines = append(cur.lines, line)
+			return nil
+		}
+		return p.element(n, base, subckts, line, ln, "")
+	}
+
+	for sc.Scan() {
+		lineno++
+		raw := sc.Text()
+		if i := strings.IndexAny(raw, ";"); i >= 0 {
+			raw = raw[:i]
+		}
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "*") {
+			continue
+		}
+		if strings.HasPrefix(line, "+") {
+			pending = append(pending, strings.TrimSpace(line[1:]))
+			continue
+		}
+		full, ln := flush()
+		if full != "" {
+			if err := process(full, ln); err != nil {
+				return nil, err
+			}
+		}
+		pending = []string{line}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	full, ln := flush()
+	if full != "" {
+		if err := process(full, ln); err != nil {
+			return nil, err
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("circuit: unterminated .subckt %q", cur.name)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// element parses one element line into n. namePrefix is applied to the
+// element name only (subcircuit instance paths); node fields must already
+// be fully resolved by the caller.
+func (p *Parser) element(n *Netlist, base *device.Model, subckts map[string]*subckt, line string, ln int, namePrefix string) error {
+	fields := strings.Fields(line)
+	name := fields[0]
+	lower := strings.ToLower(name)
+	mangle := func(s string) string {
+		if namePrefix == "" {
+			return s
+		}
+		return namePrefix + "." + s
+	}
+	switch {
+	case lower == ".end" || lower == ".title":
+		return nil
+	case strings.HasPrefix(lower, ".title"):
+		return nil
+	case lower[0] == 'r':
+		if len(fields) != 4 {
+			return fmt.Errorf("line %d: R element needs 3 operands", ln)
+		}
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return fmt.Errorf("line %d: %v", ln, err)
+		}
+		n.AddR(mangle(name), mapNode(fields[1]), mapNode(fields[2]), v)
+	case lower[0] == 'c':
+		if len(fields) != 4 {
+			return fmt.Errorf("line %d: C element needs 3 operands", ln)
+		}
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return fmt.Errorf("line %d: %v", ln, err)
+		}
+		n.AddC(mangle(name), mapNode(fields[1]), mapNode(fields[2]), v)
+	case lower[0] == 'v':
+		if len(fields) < 4 {
+			return fmt.Errorf("line %d: V element needs operands", ln)
+		}
+		w, err := parseWaveform(strings.Join(fields[3:], " "))
+		if err != nil {
+			return fmt.Errorf("line %d: %v", ln, err)
+		}
+		n.AddV(mangle(name), mapNode(fields[1]), mapNode(fields[2]), w)
+	case lower[0] == 'm':
+		if len(fields) < 6 {
+			return fmt.Errorf("line %d: M element needs 5 nodes", ln)
+		}
+		model := base
+		var def device.Defects
+		width := 1.0
+		for _, opt := range fields[6:] {
+			o := strings.ToLower(opt)
+			switch {
+			case o == "floatpgs":
+				def.FloatPGS = true
+			case o == "floatpgd":
+				def.FloatPGD = true
+			case strings.HasPrefix(o, "w="):
+				v, err := ParseValue(o[2:])
+				if err != nil {
+					return fmt.Errorf("line %d: %v", ln, err)
+				}
+				width = v
+			case strings.HasPrefix(o, "gos="):
+				switch o[4:] {
+				case "pgs":
+					def.GOS = device.GOSAtPGS
+				case "cg":
+					def.GOS = device.GOSAtCG
+				case "pgd":
+					def.GOS = device.GOSAtPGD
+				default:
+					return fmt.Errorf("line %d: unknown gos location %q", ln, o[4:])
+				}
+			case strings.HasPrefix(o, "gossize="):
+				v, err := ParseValue(o[8:])
+				if err != nil {
+					return fmt.Errorf("line %d: %v", ln, err)
+				}
+				def.GOSSize = v
+			case strings.HasPrefix(o, "break="):
+				v, err := ParseValue(o[6:])
+				if err != nil {
+					return fmt.Errorf("line %d: %v", ln, err)
+				}
+				def.BreakSeverity = v
+			default:
+				return fmt.Errorf("line %d: unknown transistor option %q", ln, opt)
+			}
+		}
+		if def.Defective() {
+			model = model.WithDefects(def)
+		}
+		t := n.AddM(mangle(name),
+			mapNode(fields[1]), mapNode(fields[2]),
+			mapNode(fields[3]), mapNode(fields[4]),
+			mapNode(fields[5]), model)
+		t.Width = width
+	case lower[0] == 'x':
+		if len(fields) < 2 {
+			return fmt.Errorf("line %d: X element needs a subcircuit name", ln)
+		}
+		sub, ok := subckts[strings.ToLower(fields[len(fields)-1])]
+		if !ok {
+			return fmt.Errorf("line %d: unknown subcircuit %q", ln, fields[len(fields)-1])
+		}
+		actuals := fields[1 : len(fields)-1]
+		if len(actuals) != len(sub.pins) {
+			return fmt.Errorf("line %d: subcircuit %s wants %d pins, got %d", ln, sub.name, len(sub.pins), len(actuals))
+		}
+		binding := map[string]string{}
+		for i, pin := range sub.pins {
+			binding[pin] = mapNode(actuals[i])
+		}
+		inst := mangle(name)
+		for _, sl := range sub.lines {
+			if err := p.elementBound(n, base, subckts, sl, ln, inst, binding); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("line %d: unknown element %q", ln, name)
+	}
+	return nil
+}
+
+// elementBound expands one subcircuit body line with the pin binding:
+// bound pins map to the actual nodes, local nodes get the instance prefix.
+// Only the node positions of each element type are rewritten, so waveform
+// arguments and options pass through untouched.
+func (p *Parser) elementBound(n *Netlist, base *device.Model, subckts map[string]*subckt, line string, ln int, prefix string, binding map[string]string) error {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	lower := strings.ToLower(fields[0])
+	var nodeEnd int
+	switch lower[0] {
+	case 'r', 'c', 'v':
+		nodeEnd = 3
+	case 'm':
+		nodeEnd = 6
+	case 'x':
+		nodeEnd = len(fields) - 1
+	case '.':
+		nodeEnd = 1
+	default:
+		return fmt.Errorf("line %d: unknown element %q in subcircuit", ln, fields[0])
+	}
+	if nodeEnd > len(fields) {
+		return fmt.Errorf("line %d: element %q is missing nodes", ln, fields[0])
+	}
+	resolve := func(node string) string {
+		if node == Ground || strings.EqualFold(node, "gnd") {
+			return Ground
+		}
+		if actual, ok := binding[node]; ok {
+			return actual
+		}
+		return prefix + "." + node
+	}
+	for i := 1; i < nodeEnd; i++ {
+		fields[i] = resolve(fields[i])
+	}
+	return p.element(n, base, subckts, strings.Join(fields, " "), ln, prefix)
+}
+
+// mapNode resolves a node reference: ground aliases collapse and everything
+// else passes through (subcircuit expansion uses its own resolver).
+func mapNode(node string) string {
+	if node == Ground || strings.EqualFold(node, "gnd") {
+		return Ground
+	}
+	return node
+}
+
+// parseWaveform parses a source specification: a bare number (DC), an
+// explicit "dc <v>", "pulse(...)" or "pwl(...)".
+func parseWaveform(spec string) (Waveform, error) {
+	s := strings.TrimSpace(spec)
+	l := strings.ToLower(s)
+	switch {
+	case strings.HasPrefix(l, "dc "):
+		v, err := ParseValue(strings.TrimSpace(s[3:]))
+		if err != nil {
+			return nil, err
+		}
+		return DC(v), nil
+	case strings.HasPrefix(l, "pulse(") && strings.HasSuffix(l, ")"):
+		args, err := parseArgs(s[len("pulse(") : len(s)-1])
+		if err != nil {
+			return nil, err
+		}
+		if len(args) < 6 || len(args) > 7 {
+			return nil, fmt.Errorf("pulse() wants 6 or 7 arguments, got %d", len(args))
+		}
+		pu := Pulse{V0: args[0], V1: args[1], Delay: args[2], Rise: args[3], Fall: args[4], Width: args[5]}
+		if len(args) == 7 {
+			pu.Period = args[6]
+		}
+		return pu, nil
+	case strings.HasPrefix(l, "pwl(") && strings.HasSuffix(l, ")"):
+		args, err := parseArgs(s[len("pwl(") : len(s)-1])
+		if err != nil {
+			return nil, err
+		}
+		if len(args) == 0 || len(args)%2 != 0 {
+			return nil, fmt.Errorf("pwl() wants time/value pairs")
+		}
+		w := PWL{}
+		for i := 0; i < len(args); i += 2 {
+			w.T = append(w.T, args[i])
+			w.V = append(w.V, args[i+1])
+		}
+		for i := 1; i < len(w.T); i++ {
+			if w.T[i] < w.T[i-1] {
+				return nil, fmt.Errorf("pwl() times must ascend")
+			}
+		}
+		return w, nil
+	default:
+		v, err := ParseValue(s)
+		if err != nil {
+			return nil, fmt.Errorf("unrecognised waveform %q", spec)
+		}
+		return DC(v), nil
+	}
+}
+
+func parseArgs(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Fields(strings.ReplaceAll(s, ",", " ")) {
+		v, err := ParseValue(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseValue parses a number with optional SPICE engineering suffix
+// (f, p, n, u, m, k, meg, g, t; case-insensitive).
+func ParseValue(s string) (float64, error) {
+	l := strings.ToLower(strings.TrimSpace(s))
+	if l == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(l, "meg"):
+		mult, l = 1e6, l[:len(l)-3]
+	case strings.HasSuffix(l, "f"):
+		mult, l = 1e-15, l[:len(l)-1]
+	case strings.HasSuffix(l, "p"):
+		mult, l = 1e-12, l[:len(l)-1]
+	case strings.HasSuffix(l, "n"):
+		mult, l = 1e-9, l[:len(l)-1]
+	case strings.HasSuffix(l, "u"):
+		mult, l = 1e-6, l[:len(l)-1]
+	case strings.HasSuffix(l, "m"):
+		mult, l = 1e-3, l[:len(l)-1]
+	case strings.HasSuffix(l, "k"):
+		mult, l = 1e3, l[:len(l)-1]
+	case strings.HasSuffix(l, "g"):
+		mult, l = 1e9, l[:len(l)-1]
+	case strings.HasSuffix(l, "t"):
+		mult, l = 1e12, l[:len(l)-1]
+	}
+	v, err := strconv.ParseFloat(l, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v * mult, nil
+}

@@ -1,0 +1,111 @@
+package circuit
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cpsinw/internal/device"
+)
+
+// Write emits the netlist in the package's text format. The output parses
+// back into an equivalent netlist (round-trip safe for all element kinds).
+func (n *Netlist) Write(w io.Writer) error {
+	var b strings.Builder
+	if n.Title != "" {
+		fmt.Fprintf(&b, "* %s\n", n.Title)
+	}
+	for _, r := range n.Resistors {
+		fmt.Fprintf(&b, "%s %s %s %s\n", r.Name, r.A, r.B, FormatValue(r.Ohms))
+	}
+	for _, c := range n.Capacitors {
+		fmt.Fprintf(&b, "%s %s %s %s\n", c.Name, c.A, c.B, FormatValue(c.Farads))
+	}
+	for _, v := range n.Sources {
+		fmt.Fprintf(&b, "%s %s %s %s\n", v.Name, v.P, v.N, formatWaveform(v.W))
+	}
+	for _, t := range n.Transistors {
+		fmt.Fprintf(&b, "%s %s %s %s %s %s%s\n", t.Name, t.D, t.CG, t.PGS, t.PGD, t.S, formatDefects(t))
+	}
+	b.WriteString(".end\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the netlist text.
+func (n *Netlist) String() string {
+	var b strings.Builder
+	if err := n.Write(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+func formatDefects(t *Transistor) string {
+	var parts []string
+	if t.Width > 0 && t.Width != 1 {
+		parts = append(parts, fmt.Sprintf("w=%s", FormatValue(t.Width)))
+	}
+	cm := t.CompactModel()
+	if cm == nil {
+		return joinOpts(parts)
+	}
+	d := cm.D
+	switch d.GOS {
+	case device.GOSAtPGS:
+		parts = append(parts, "gos=pgs")
+	case device.GOSAtCG:
+		parts = append(parts, "gos=cg")
+	case device.GOSAtPGD:
+		parts = append(parts, "gos=pgd")
+	}
+	if d.GOSSize != 0 {
+		parts = append(parts, fmt.Sprintf("gossize=%s", FormatValue(d.GOSSize)))
+	}
+	if d.BreakSeverity > 0 {
+		parts = append(parts, fmt.Sprintf("break=%s", FormatValue(d.BreakSeverity)))
+	}
+	if d.FloatPGS {
+		parts = append(parts, "floatpgs")
+	}
+	if d.FloatPGD {
+		parts = append(parts, "floatpgd")
+	}
+	return joinOpts(parts)
+}
+
+func joinOpts(parts []string) string {
+	if len(parts) == 0 {
+		return ""
+	}
+	return " " + strings.Join(parts, " ")
+}
+
+func formatWaveform(w Waveform) string {
+	switch v := w.(type) {
+	case DC:
+		return FormatValue(float64(v))
+	case Pulse:
+		s := fmt.Sprintf("pulse(%s %s %s %s %s %s",
+			FormatValue(v.V0), FormatValue(v.V1), FormatValue(v.Delay),
+			FormatValue(v.Rise), FormatValue(v.Fall), FormatValue(v.Width))
+		if v.Period > 0 {
+			s += " " + FormatValue(v.Period)
+		}
+		return s + ")"
+	case PWL:
+		var parts []string
+		for i := range v.T {
+			parts = append(parts, FormatValue(v.T[i]), FormatValue(v.V[i]))
+		}
+		return "pwl(" + strings.Join(parts, " ") + ")"
+	default:
+		return "0"
+	}
+}
+
+// FormatValue renders a float without engineering suffixes, in a form
+// ParseValue accepts.
+func FormatValue(v float64) string {
+	return fmt.Sprintf("%.12g", v)
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"cpsinw/internal/gates"
+	"cpsinw/internal/logic"
+)
+
+// RowBehavior describes a faulty gate's response to one input vector.
+type RowBehavior struct {
+	Out      logic.V        // resolved output value
+	Strength logic.Strength // SCharge marks a floating (retaining) output
+	Leak     bool           // conducting rail-to-rail path (IDDQ signature)
+	Floating bool           // output undriven: value depends on history
+}
+
+// Behavior is the exhaustive response of a gate with one injected
+// transistor fault, indexed by input vector (LSB-first input encoding).
+type Behavior struct {
+	Kind       gates.Kind
+	Transistor string
+	Fault      logic.TFault
+	Rows       []RowBehavior
+}
+
+// GoodOut returns the fault-free output for vector v.
+func GoodOut(kind gates.Kind, v int) logic.V {
+	spec := gates.Get(kind)
+	return logic.FromBool(spec.Eval(spec.InputVector(v)))
+}
+
+// OutputDetecting returns the input vectors whose faulty output is a
+// defined value different from the fault-free output (voltage-observable
+// detection).
+func (b *Behavior) OutputDetecting() []int {
+	var out []int
+	for v, r := range b.Rows {
+		if r.Floating {
+			continue
+		}
+		good := GoodOut(b.Kind, v)
+		if r.Out != good && r.Out != logic.LX {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// LeakDetecting returns the input vectors with an IDDQ signature not
+// present in the fault-free gate (which never leaks).
+func (b *Behavior) LeakDetecting() []int {
+	var out []int
+	for v, r := range b.Rows {
+		if r.Leak {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FloatingVectors returns the vectors that leave the faulty output
+// undriven (the stuck-open condition requiring two-pattern tests).
+func (b *Behavior) FloatingVectors() []int {
+	var out []int
+	for v, r := range b.Rows {
+		if r.Floating {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+var behaviorCache sync.Map // behaviorKey -> *Behavior
+
+type behaviorKey struct {
+	kind gates.Kind
+	tr   string
+	f    logic.TFault
+}
+
+// GateBehavior characterises one gate kind with one transistor fault by
+// exhaustive switch-level evaluation over all binary input vectors.
+// Results are cached; the returned value is shared and must not be
+// modified.
+func GateBehavior(kind gates.Kind, transistor string, f logic.TFault) (*Behavior, error) {
+	key := behaviorKey{kind, transistor, f}
+	if v, ok := behaviorCache.Load(key); ok {
+		return v.(*Behavior), nil
+	}
+	spec := gates.Get(kind)
+	if f != logic.TFaultNone && spec.Transistor(transistor) == nil {
+		return nil, fmt.Errorf("core: gate %v has no transistor %q", kind, transistor)
+	}
+	var faults map[string]logic.TFault
+	if f != logic.TFaultNone {
+		faults = map[string]logic.TFault{transistor: f}
+	}
+	b := &Behavior{Kind: kind, Transistor: transistor, Fault: f}
+	n := 1 << spec.NIn
+	for v := 0; v < n; v++ {
+		bits := spec.InputVector(v)
+		in := make([]logic.V, spec.NIn)
+		for i, bit := range bits {
+			in[i] = logic.FromBool(bit)
+		}
+		res := logic.EvalSwitch(spec, in, faults, nil)
+		b.Rows = append(b.Rows, RowBehavior{
+			Out:      res.Out,
+			Strength: res.OutStrength,
+			Leak:     res.Leak,
+			Floating: res.OutStrength == logic.SCharge,
+		})
+	}
+	behaviorCache.Store(key, b)
+	return b, nil
+}
+
+// FunctionPreserved reports whether the faulty gate still computes its
+// Boolean function on every driven vector (floating vectors excluded) —
+// the paper's fault-masking condition for channel breaks in DP gates.
+func (b *Behavior) FunctionPreserved() bool {
+	for v, r := range b.Rows {
+		if r.Floating {
+			return false
+		}
+		if r.Out != GoodOut(b.Kind, v) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"cpsinw/internal/logic"
+)
+
+// BridgeKind selects the electrical resolution of a two-net bridge
+// (Table I, step 5: "bridge among interconnects").
+type BridgeKind int
+
+const (
+	// BridgeWiredAND: both nets read the AND of their driven values — the
+	// resolution when the 0-driver wins (the stronger electron branch of
+	// this technology, consistent with the switch-level contention policy).
+	BridgeWiredAND BridgeKind = iota
+	// BridgeWiredOR: the 1-driver wins.
+	BridgeWiredOR
+	// BridgeADominates: net A's driven value overrides net B.
+	BridgeADominates
+	// BridgeBDominates: net B's driven value overrides net A.
+	BridgeBDominates
+)
+
+// String names the bridge kind.
+func (k BridgeKind) String() string {
+	switch k {
+	case BridgeWiredAND:
+		return "wired-AND"
+	case BridgeWiredOR:
+		return "wired-OR"
+	case BridgeADominates:
+		return "A-dom"
+	case BridgeBDominates:
+		return "B-dom"
+	}
+	return "invalid"
+}
+
+// Resolve computes the bridged values of the two nets from their driven
+// values. X inputs stay X conservatively.
+func (k BridgeKind) Resolve(a, b logic.V) (na, nb logic.V) {
+	and := func(x, y logic.V) logic.V {
+		switch {
+		case x == logic.L0 || y == logic.L0:
+			return logic.L0
+		case x == logic.L1 && y == logic.L1:
+			return logic.L1
+		}
+		return logic.LX
+	}
+	or := func(x, y logic.V) logic.V {
+		switch {
+		case x == logic.L1 || y == logic.L1:
+			return logic.L1
+		case x == logic.L0 && y == logic.L0:
+			return logic.L0
+		}
+		return logic.LX
+	}
+	switch k {
+	case BridgeWiredAND:
+		v := and(a, b)
+		return v, v
+	case BridgeWiredOR:
+		v := or(a, b)
+		return v, v
+	case BridgeADominates:
+		return a, a
+	case BridgeBDominates:
+		return b, b
+	}
+	return a, b
+}
+
+// Bridge is a two-net bridging fault instance.
+type Bridge struct {
+	Kind BridgeKind
+	A, B string // bridged nets
+}
+
+// String renders the bridge identifier.
+func (b Bridge) String() string {
+	return fmt.Sprintf("bridge(%s,%s)/%s", b.A, b.B, b.Kind)
+}
+
+// NeighborBridges enumerates realistic bridge candidates: pairs of nets
+// whose drivers are adjacent in topological order (a layout-neighbour
+// approximation, as inductive fault analysis would extract from a real
+// layout). Each pair is emitted as wired-AND and wired-OR.
+func NeighborBridges(c *logic.Circuit, window int) []Bridge {
+	if window < 1 {
+		window = 1
+	}
+	order := c.Levelized()
+	var out []Bridge
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j <= i+window && j < len(order); j++ {
+			a := c.Gates[order[i]].Output
+			b := c.Gates[order[j]].Output
+			out = append(out,
+				Bridge{Kind: BridgeWiredAND, A: a, B: b},
+				Bridge{Kind: BridgeWiredOR, A: a, B: b},
+			)
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package core
+
+// ProcessStep is one step of the TIG-SiNWFET fabrication flow (paper
+// Table I), with the defects it can introduce and the fault models that
+// cover them.
+type ProcessStep struct {
+	Index   int
+	Name    string
+	Outcome string
+	Defects []string
+	Models  []FaultKind
+}
+
+// FabricationProcess returns the paper's Table I: the five process steps,
+// their outcomes, the physical defects each can introduce, and the fault
+// models of this package that cover them.
+func FabricationProcess() []ProcessStep {
+	return []ProcessStep{
+		{
+			Index:   1,
+			Name:    "HSQ-based nanowire patterning",
+			Outcome: "Initial pattern of nanowires",
+			Defects: []string{"Nanowire break"},
+			Models:  []FaultKind{FaultChannelBreak},
+		},
+		{
+			Index:   2,
+			Name:    "Bosch process",
+			Outcome: "Nanowire formation",
+			Defects: []string{"Nanowire break"},
+			Models:  []FaultKind{FaultChannelBreak},
+		},
+		{
+			Index:   3,
+			Name:    "Oxidation process",
+			Outcome: "Dielectric formation",
+			Defects: []string{"Gate oxide short"},
+			Models:  []FaultKind{FaultGOSPGS, FaultGOSCG, FaultGOSPGD},
+		},
+		{
+			Index:   4,
+			Name:    "Polysilicon deposition",
+			Outcome: "Polarity and control gates",
+			Defects: []string{"Bridge between two or more terminals"},
+			Models:  []FaultKind{FaultStuckAtN, FaultStuckAtP, FaultStuckOn},
+		},
+		{
+			Index:   5,
+			Name:    "Metal layer(s) deposition",
+			Outcome: "Interconnections",
+			Defects: []string{"Bridge among interconnects", "Floating gates"},
+			Models:  []FaultKind{FaultSA0, FaultSA1, FaultPGOpenS, FaultPGOpenD},
+		},
+	}
+}

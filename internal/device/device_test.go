@@ -1,0 +1,330 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsMatchTableII(t *testing.T) {
+	p := DefaultParams()
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"LCG", p.LCG, 22},
+		{"LPGS", p.LPGS, 22},
+		{"LPGD", p.LPGD, 22},
+		{"LSpacer", p.LSpacer, 18},
+		{"TOx", p.TOx, 5.1},
+		{"RNW", p.RNW, 7.5},
+		{"NChannel", p.NChannel, 1e15},
+		{"PhiB", p.PhiB, 0.41},
+		{"VDD", p.VDD, 1.2},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if got, want := p.TotalLength(), 22.0*3+18*2; got != want {
+		t.Errorf("TotalLength = %v, want %v", got, want)
+	}
+}
+
+func TestConductionRule(t *testing.T) {
+	// The paper: conduction iff CG=PGS=PGD=1 (n) or =0 (p); blocked when
+	// CG xor (PGS and PGD) = 1.
+	for _, cg := range []bool{false, true} {
+		for _, pgs := range []bool{false, true} {
+			for _, pgd := range []bool{false, true} {
+				want := (cg && pgs && pgd) || (!cg && !pgs && !pgd)
+				if got := Conducts(cg, pgs, pgd); got != want {
+					t.Errorf("Conducts(%v,%v,%v) = %v, want %v", cg, pgs, pgd, got, want)
+				}
+				// The XOR blocking rule must agree whenever the PGs match.
+				if pgs == pgd {
+					off := OffByXorRule(cg, pgs, pgd)
+					if off == Conducts(cg, pgs, pgd) {
+						t.Errorf("xor rule disagrees with conduction at %v,%v,%v", cg, pgs, pgd)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNTypeOnOffRatio(t *testing.T) {
+	m := Default()
+	on := m.IDSat()
+	off := m.OffCurrent()
+	if on <= 0 {
+		t.Fatalf("IDSat = %v, want > 0", on)
+	}
+	if ratio := on / off; ratio < 1e4 {
+		t.Errorf("on/off ratio = %.3g, want >= 1e4 (on=%.3g off=%.3g)", ratio, on, off)
+	}
+}
+
+func TestPTypeConduction(t *testing.T) {
+	m := Default()
+	v := m.P.VDD
+	// p-type configuration: all gates low, source at VDD, drain low.
+	// Current flows from the high terminal to the low one (positive into
+	// the high-to-low direction: here VD < VS so ID < 0).
+	i := m.ID(Bias{VCG: 0, VPGS: 0, VPGD: 0, VD: 0, VS: v})
+	if i >= 0 {
+		t.Fatalf("p-type current = %v, want < 0 (conventional current out of drain)", i)
+	}
+	if math.Abs(i) < 1e-7 {
+		t.Errorf("p-type |ID| = %v, want >= 0.1 uA", math.Abs(i))
+	}
+}
+
+func TestPolarityBlocking(t *testing.T) {
+	m := Default()
+	v := m.P.VDD
+	on := m.IDSat()
+	// Matched polarity gates with an opposing control gate: hard blocking
+	// (these are the off states of logic gates, whose PGs are paired).
+	blocked := []Bias{
+		{VCG: v, VPGS: 0, VPGD: 0, VD: v},
+		{VCG: 0, VPGS: v, VPGD: v, VD: v},
+	}
+	for _, b := range blocked {
+		i := math.Abs(m.ID(b))
+		if i > on/1e3 {
+			t.Errorf("bias %+v conducts %.3g A, want < %.3g", b, i, on/1e3)
+		}
+	}
+	// Mixed polarity gates excite the ambipolar (band-to-band) path: a
+	// measurable leak, but still orders of magnitude below the on-current.
+	mixed := []Bias{
+		{VCG: v, VPGS: 0, VPGD: v, VD: v},
+		{VCG: v, VPGS: v, VPGD: 0, VD: v},
+	}
+	for _, b := range mixed {
+		i := math.Abs(m.ID(b))
+		if i > on/25 {
+			t.Errorf("mixed bias %+v conducts %.3g A, want < %.3g", b, i, on/25)
+		}
+	}
+	if amb := m.AmbipolarLeak(); amb <= m.OffCurrent() {
+		t.Errorf("ambipolar leak (%.3g) should exceed the hard-blocked floor (%.3g)", amb, m.OffCurrent())
+	}
+}
+
+func TestIDZeroAtZeroVDS(t *testing.T) {
+	m := Default()
+	v := m.P.VDD
+	for _, vg := range []float64{0, 0.3, 0.6, v} {
+		i := m.ID(Bias{VCG: vg, VPGS: v, VPGD: v, VD: 0.7, VS: 0.7})
+		if math.Abs(i) > 1e-12 {
+			t.Errorf("ID at VDS=0, VCG=%v: %v, want ~0", vg, i)
+		}
+	}
+}
+
+func TestIDAntisymmetryProperty(t *testing.T) {
+	// Swapping drain and source must flip the sign of the current
+	// (device geometry is symmetric in our model).
+	m := Default()
+	f := func(vcg, vpgs, vpgd, vd, vs uint8) bool {
+		b := Bias{
+			VCG:  1.2 * float64(vcg%13) / 12,
+			VPGS: 1.2 * float64(vpgs%13) / 12,
+			VPGD: 1.2 * float64(vpgd%13) / 12,
+			VD:   1.2 * float64(vd%13) / 12,
+			VS:   1.2 * float64(vs%13) / 12,
+		}
+		fwd := m.ID(b)
+		sw := b
+		sw.VD, sw.VS = b.VS, b.VD
+		// For the swap to be a pure mirror the polarity gates must also
+		// swap (they are tied to physical junctions).
+		sw.VPGS, sw.VPGD = b.VPGD, b.VPGS
+		rev := m.ID(sw)
+		sum := math.Abs(fwd + rev)
+		scale := math.Max(math.Abs(fwd), math.Abs(rev))
+		return sum <= 1e-9+1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIDMonotonicInVCGProperty(t *testing.T) {
+	// With the device n-configured and in saturation, ID must be
+	// non-decreasing in VCG.
+	m := Default()
+	v := m.P.VDD
+	f := func(a, b uint8) bool {
+		v1 := v * float64(a%100) / 99
+		v2 := v * float64(b%100) / 99
+		if v1 > v2 {
+			v1, v2 = v2, v1
+		}
+		i1 := m.ID(Bias{VCG: v1, VPGS: v, VPGD: v, VD: v})
+		i2 := m.ID(Bias{VCG: v2, VPGS: v, VPGD: v, VD: v})
+		return i2 >= i1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGOSAtPGSShiftsVthBy170mV(t *testing.T) {
+	m := Default()
+	faulty := m.WithDefects(Defects{GOS: GOSAtPGS})
+	dv := faulty.VThN(0) - m.VThN(0)
+	if dv < 0.12 || dv > 0.22 {
+		t.Errorf("GOS@PGS VTh shift = %.0f mV, want ~170 mV (120..220)", dv*1000)
+	}
+}
+
+func TestGOSDriveOrdering(t *testing.T) {
+	// Paper Fig. 3: PGS GOS reduces ID(SAT) most, CG moderately, PGD
+	// slightly *increases* it.
+	m := Default()
+	ff := m.IDSat()
+	pgs := m.WithDefects(Defects{GOS: GOSAtPGS}).IDSat()
+	cg := m.WithDefects(Defects{GOS: GOSAtCG}).IDSat()
+	pgd := m.WithDefects(Defects{GOS: GOSAtPGD}).IDSat()
+	if !(pgs < cg && cg < ff) {
+		t.Errorf("ID(SAT) ordering want PGS < CG < FF, got pgs=%.3g cg=%.3g ff=%.3g", pgs, cg, ff)
+	}
+	if pgd <= ff {
+		t.Errorf("GOS@PGD should slightly increase ID(SAT): pgd=%.3g ff=%.3g", pgd, ff)
+	}
+	if pgd > 1.3*ff {
+		t.Errorf("GOS@PGD increase too large: pgd=%.3g ff=%.3g", pgd, ff)
+	}
+}
+
+func TestGOSNegativeIDAtLowVD(t *testing.T) {
+	// Paper Fig. 3: with a GOS, the gate injects into the channel and the
+	// drain current goes negative when the drain is biased low while the
+	// defective gate is high.
+	m := Default()
+	v := m.P.VDD
+	for _, loc := range []GOSLocation{GOSAtPGS, GOSAtCG, GOSAtPGD} {
+		faulty := m.WithDefects(Defects{GOS: loc})
+		i := faulty.ID(Bias{VCG: v, VPGS: v, VPGD: v, VD: 0.0})
+		if i >= 0 {
+			t.Errorf("GOS@%v: ID at VD=0 = %.3g, want negative", loc, i)
+		}
+	}
+}
+
+func TestGOSNoVthShiftAtPGD(t *testing.T) {
+	m := Default()
+	faulty := m.WithDefects(Defects{GOS: GOSAtPGD})
+	dv := math.Abs(faulty.VThN(0) - m.VThN(0))
+	if dv > 0.03 {
+		t.Errorf("GOS@PGD VTh shift = %.0f mV, want ~0", dv*1000)
+	}
+}
+
+func TestChannelBreakCollapsesCurrent(t *testing.T) {
+	m := Default()
+	full := m.WithDefects(Defects{BreakSeverity: 1})
+	if r := full.IDSat() / m.IDSat(); r > 1e-6 {
+		t.Errorf("full break residual ratio = %.3g, want <= 1e-6", r)
+	}
+	partial := m.WithDefects(Defects{BreakSeverity: 0.1})
+	r := partial.IDSat() / m.IDSat()
+	if r <= 1e-3 || r >= 1 {
+		t.Errorf("partial break ratio = %.3g, want in (1e-3, 1)", r)
+	}
+}
+
+func TestBreakFactorMonotoneProperty(t *testing.T) {
+	m := Default()
+	f := func(a, b uint8) bool {
+		s1 := float64(a%101) / 100
+		s2 := float64(b%101) / 100
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		i1 := m.WithDefects(Defects{BreakSeverity: s1}).IDSat()
+		i2 := m.WithDefects(Defects{BreakSeverity: s2}).IDSat()
+		return i2 <= i1+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransferCurveShape(t *testing.T) {
+	m := Default()
+	v := m.P.VDD
+	pts := m.TransferCurve(0, v, 61, v, v, v)
+	if len(pts) != 61 {
+		t.Fatalf("len = %d, want 61", len(pts))
+	}
+	if pts[0].I > pts[len(pts)-1].I/100 {
+		t.Errorf("transfer curve should span >= 2 decades: I(0)=%.3g I(VDD)=%.3g", pts[0].I, pts[len(pts)-1].I)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].I < pts[i-1].I-1e-12 {
+			t.Errorf("transfer curve not monotone at %d: %v < %v", i, pts[i].I, pts[i-1].I)
+		}
+	}
+}
+
+func TestGateCurrentsOnlyWithGOS(t *testing.T) {
+	m := Default()
+	v := m.P.VDD
+	icg, ipgs, ipgd := m.GateCurrents(Bias{VCG: v, VPGS: v, VPGD: v, VD: v})
+	if icg != 0 || ipgs != 0 || ipgd != 0 {
+		t.Errorf("defect-free gate currents = %v %v %v, want 0", icg, ipgs, ipgd)
+	}
+	f := m.WithDefects(Defects{GOS: GOSAtCG})
+	icg, _, _ = f.GateCurrents(Bias{VCG: v, VPGS: v, VPGD: v, VD: 0, VS: 0})
+	if icg <= 0 {
+		t.Errorf("GOS@CG gate current = %v, want > 0 (injecting)", icg)
+	}
+}
+
+func TestEffectOfGOSScaling(t *testing.T) {
+	small := EffectOfGOS(GOSAtPGS, 1)
+	ref := EffectOfGOS(GOSAtPGS, 2)
+	big := EffectOfGOS(GOSAtPGS, 4)
+	if !(small.DVth < ref.DVth && ref.DVth < big.DVth) {
+		t.Errorf("DVth should grow with size: %v %v %v", small.DVth, ref.DVth, big.DVth)
+	}
+	if !(small.DriveFactor > ref.DriveFactor && ref.DriveFactor > big.DriveFactor) {
+		t.Errorf("DriveFactor should fall with size: %v %v %v", small.DriveFactor, ref.DriveFactor, big.DriveFactor)
+	}
+	if e := EffectOfGOS(GOSNone, 2); e.DriveFactor != 1 || e.DVth != 0 {
+		t.Errorf("GOSNone effect should be identity, got %+v", e)
+	}
+}
+
+func TestDefectsDefective(t *testing.T) {
+	if (Defects{}).Defective() {
+		t.Error("zero Defects reported defective")
+	}
+	for _, d := range []Defects{
+		{GOS: GOSAtCG},
+		{BreakSeverity: 0.5},
+		{FloatPGS: true},
+		{FloatPGD: true},
+	} {
+		if !d.Defective() {
+			t.Errorf("%+v not reported defective", d)
+		}
+	}
+}
+
+func TestGOSLocationString(t *testing.T) {
+	want := map[GOSLocation]string{
+		GOSNone: "none", GOSAtPGS: "PGS", GOSAtCG: "CG", GOSAtPGD: "PGD", GOSLocation(99): "invalid",
+	}
+	for loc, s := range want {
+		if loc.String() != s {
+			t.Errorf("String(%d) = %q, want %q", int(loc), loc.String(), s)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package device
+
+// Double-Gate (DG) SiNWFET support. The paper (section III-A) notes that
+// its fault-modeling methodology transfers directly to other controllable-
+// polarity devices such as the DG-SiNWFET, which exposes a single polarity
+// gate controlling both Schottky junctions. Electrically a DG device is a
+// TIG device with PGS and PGD tied together; these helpers make that
+// explicit so DG-style circuits and fault models can reuse the whole
+// stack.
+
+// IDDG returns the drain current of the device operated double-gate
+// style: one polarity gate voltage drives both junction gates.
+func (m *Model) IDDG(vcg, vpg, vd, vs float64) float64 {
+	return m.ID(Bias{VCG: vcg, VPGS: vpg, VPGD: vpg, VD: vd, VS: vs})
+}
+
+// ConductsDG evaluates the DG conduction rule for logic levels: the
+// device conducts n-type when CG = PG = 1 and p-type when CG = PG = 0 —
+// the TIG rule with the polarity gates merged.
+func ConductsDG(cg, pg bool) bool {
+	return Conducts(cg, pg, pg)
+}
+
+// DGTransferCurve sweeps VCG with the merged polarity gate held at vpg.
+func (m *Model) DGTransferCurve(lo, hi float64, n int, vpg, vd float64) []IVPoint {
+	return m.TransferCurve(lo, hi, n, vpg, vpg, vd)
+}

@@ -1,0 +1,121 @@
+package device
+
+// IVPoint is a single point of a transfer or output characteristic.
+type IVPoint struct {
+	V float64 // swept voltage (V)
+	I float64 // drain current (A)
+}
+
+// TransferCurve sweeps VCG from lo to hi in n points at the given drain
+// bias with the polarity gates held at vpgs/vpgd and the source grounded,
+// returning the ID-VCG transfer characteristic (the curves of Figure 3).
+func (m *Model) TransferCurve(lo, hi float64, n int, vpgs, vpgd, vd float64) []IVPoint {
+	if n < 2 {
+		n = 2
+	}
+	pts := make([]IVPoint, n)
+	for i := range pts {
+		v := lo + (hi-lo)*float64(i)/float64(n-1)
+		pts[i] = IVPoint{V: v, I: m.ID(Bias{VCG: v, VPGS: vpgs, VPGD: vpgd, VD: vd})}
+	}
+	return pts
+}
+
+// OutputCurve sweeps VD from lo to hi in n points at fixed gate biases,
+// returning the ID-VD output characteristic.
+func (m *Model) OutputCurve(lo, hi float64, n int, vcg, vpgs, vpgd float64) []IVPoint {
+	if n < 2 {
+		n = 2
+	}
+	pts := make([]IVPoint, n)
+	for i := range pts {
+		v := lo + (hi-lo)*float64(i)/float64(n-1)
+		pts[i] = IVPoint{V: v, I: m.ID(Bias{VCG: vcg, VPGS: vpgs, VPGD: vpgd, VD: v})}
+	}
+	return pts
+}
+
+// IDSat returns the n-type saturation current: all gates and the drain at
+// VDD, source grounded.
+func (m *Model) IDSat() float64 {
+	v := m.P.VDD
+	return m.ID(Bias{VCG: v, VPGS: v, VPGD: v, VD: v})
+}
+
+// VThN extracts the n-type threshold voltage with the constant-current
+// method: the VCG at which ID crosses iCrit with the device biased in
+// saturation. When iCrit <= 0, 1% of the device's own saturation current
+// is used, which makes the extraction insensitive to pure drive loss and
+// isolates the electrostatic threshold shift (as the paper's TCAD
+// extraction does). The curve is monotonic in VCG, so a bisection is exact.
+func (m *Model) VThN(iCrit float64) float64 {
+	v := m.P.VDD
+	if iCrit <= 0 {
+		iCrit = 0.01 * m.IDSat()
+	}
+	// Reference the VCG=0 floor so that defect injection currents (a GOS
+	// feeds the channel ohmically regardless of VCG) do not contaminate
+	// the extraction of the channel turn-on.
+	base := m.ID(Bias{VCG: 0, VPGS: v, VPGD: v, VD: v})
+	lo, hi := 0.0, v
+	at := func(vcg float64) float64 {
+		return m.ID(Bias{VCG: vcg, VPGS: v, VPGD: v, VD: v}) - base - iCrit
+	}
+	if at(lo) > 0 {
+		return lo
+	}
+	if at(hi) < 0 {
+		return hi
+	}
+	for i := 0; i < 60; i++ {
+		mid := 0.5 * (lo + hi)
+		if at(mid) > 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// OffCurrent returns the worst-case off-state leakage magnitude across the
+// blocking configurations with matched polarity gates — the states that
+// occur in logic gates, whose polarity gates are driven pairwise
+// (drain at VDD).
+func (m *Model) OffCurrent() float64 {
+	v := m.P.VDD
+	worst := 0.0
+	for _, g := range [][3]float64{
+		{0, v, v}, {v, 0, 0},
+	} {
+		i := m.ID(Bias{VCG: g[0], VPGS: g[1], VPGD: g[2], VD: v})
+		if a := abs(i); a > worst {
+			worst = a
+		}
+	}
+	return worst
+}
+
+// AmbipolarLeak returns the worst leakage across the mixed polarity-gate
+// configurations (one PG electron-transparent, the other hole-
+// transparent), the band-to-band path excited by polarity-gate defects.
+func (m *Model) AmbipolarLeak() float64 {
+	v := m.P.VDD
+	worst := 0.0
+	for _, g := range [][3]float64{
+		{v, 0, v}, {v, v, 0}, {0, 0, v}, {0, v, 0},
+	} {
+		i := m.ID(Bias{VCG: g[0], VPGS: g[1], VPGD: g[2], VD: v})
+		if a := abs(i); a > worst {
+			worst = a
+		}
+	}
+	return worst
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

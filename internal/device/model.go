@@ -1,0 +1,259 @@
+package device
+
+import "math"
+
+// Model is an instantiated TIG-SiNWFET compact model: geometry, electrical
+// calibration and (optionally) injected defects. Model values are immutable
+// after construction and safe for concurrent use.
+type Model struct {
+	P Params
+	C Calib
+	D Defects
+
+	gos GOSEffect // resolved defect response (identity when no GOS)
+}
+
+// New returns a defect-free model with the given parameters and calibration.
+func New(p Params, c Calib) *Model {
+	return &Model{P: p, C: c, gos: GOSEffect{DriveFactor: 1, DensityFactor: 1}}
+}
+
+// Default returns the paper's reference device: Table II geometry with the
+// reproduction calibration.
+func Default() *Model {
+	return New(DefaultParams(), DefaultCalib())
+}
+
+// WithDefects returns a copy of the model with the given defects injected.
+func (m *Model) WithDefects(d Defects) *Model {
+	n := *m
+	n.D = d
+	size := d.GOSSize
+	if d.GOS != GOSNone && size == 0 {
+		size = 2 // reference GOS size (nm)
+	}
+	n.gos = EffectOfGOS(d.GOS, size)
+	return &n
+}
+
+// thermal voltage kT/q at the model temperature.
+func (m *Model) vt() float64 { return 8.617333262e-5 * m.P.Temperature }
+
+// ekv is the EKV interpolation ln^2(1+exp(x/2)): exponential for x << 0
+// (subthreshold) and ~x^2/4 for x >> 0 (strong inversion drive).
+func ekv(x float64) float64 {
+	if x > 60 {
+		// ln(1+e^(x/2)) -> x/2 for large x; avoids overflow.
+		return x * x / 4
+	}
+	l := math.Log1p(math.Exp(x / 2))
+	return l * l
+}
+
+// sigmoid is the logistic function with overflow guards.
+func sigmoid(x float64) float64 {
+	if x > 40 {
+		return 1
+	}
+	if x < -40 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-x))
+}
+
+// smoothmin returns a smooth approximation of min(a,b) with softness eps.
+func smoothmin(a, b, eps float64) float64 {
+	return 0.5 * (a + b - math.Sqrt((a-b)*(a-b)+eps*eps))
+}
+
+// smoothmax returns a smooth approximation of max(a,b) with softness eps.
+func smoothmax(a, b, eps float64) float64 {
+	return 0.5 * (a + b + math.Sqrt((a-b)*(a-b)+eps*eps))
+}
+
+// Bias holds the four independent terminal voltages of the device (the
+// source completes the set; all voltages are absolute node voltages).
+type Bias struct {
+	VCG  float64 // control gate
+	VPGS float64 // source-side polarity gate
+	VPGD float64 // drain-side polarity gate
+	VD   float64 // drain
+	VS   float64 // source
+}
+
+const softV = 0.02 // smoothing voltage for terminal symmetry (V)
+
+// ID returns the drain current (A) flowing into the drain terminal for the
+// given bias. Positive current flows drain -> source. Both carrier
+// branches (electron and hole) are evaluated; polarity selection emerges
+// from the barrier transmissions rather than from an explicit mode switch,
+// exactly like in the physical ambipolar device.
+func (m *Model) ID(b Bias) float64 {
+	in := m.branchN(b)
+	ip := m.branchP(b)
+	mix := m.branchMix(b)
+	leak := m.C.GMin * (b.VD - b.VS)
+	gosI := m.gosInjection(b)
+	breakF := m.breakFactor()
+	return (in+ip+mix)*breakF + leak + gosI
+}
+
+// breakFactor collapses the channel conductance as the nanowire break
+// severity approaches 1. The exponential form keeps partial breaks as
+// drive degradation (delay faults) and full breaks as stuck-opens.
+func (m *Model) breakFactor() float64 {
+	s := m.D.BreakSeverity
+	if s <= 0 {
+		return 1
+	}
+	if s >= 1 {
+		return 1e-9 // residual tunnelling floor, electrically open
+	}
+	return math.Exp(-20.7 * s) // ~1e-9 at s=1
+}
+
+// branchN computes the electron branch. Electrons are injected at the
+// lower-potential terminal; both Schottky barriers must be thinned
+// (PG voltages high relative to the adjacent terminal) and the CG barrier
+// lowered (VCG high relative to the electron source).
+func (m *Model) branchN(b Bias) float64 {
+	c := m.C
+	vsm := smoothmin(b.VD, b.VS, softV) // electron source potential
+	vdm := smoothmax(b.VD, b.VS, softV)
+	vth := c.VtnCG + m.gos.DVth
+	drive := ekv((b.VCG - vsm - vth) / c.NCG)
+	// Source-side barrier referenced to the electron source, drain-side to
+	// the electron drain. For VDS >= 0 these are the physical PGS/PGD
+	// junctions; for VDS < 0 the roles swap, handled by the smooth min/max.
+	tS := sigmoid((b.VPGS - vsm - c.VtPG) / c.SPG)
+	tD := math.Pow(sigmoid((b.VPGD-vdm+c.VSat-c.VtPG)/c.SPGD), c.WPGD)
+	if b.VD < b.VS { // swapped roles: PGD faces the electron source
+		tS = sigmoid((b.VPGD - vsm - c.VtPG) / c.SPG)
+		tD = math.Pow(sigmoid((b.VPGS-vdm+c.VSat-c.VtPG)/c.SPGD), c.WPGD)
+	}
+	vds := b.VD - b.VS
+	f := math.Tanh(vds/c.VSat) * (1 + c.Lambda*math.Abs(vds))
+	amb := c.IAmb * math.Tanh(vds/c.VSat)
+	return c.In0*m.gos.DriveFactor*drive*tS*tD*f + amb
+}
+
+// branchP computes the hole branch, the mirror image of branchN: holes are
+// injected at the higher-potential terminal, the barriers thin when the
+// polarity gates are low relative to the adjacent terminals, and the CG
+// must be low relative to the hole source.
+func (m *Model) branchP(b Bias) float64 {
+	c := m.C
+	vdm := smoothmax(b.VD, b.VS, softV) // hole source potential
+	vsm := smoothmin(b.VD, b.VS, softV)
+	vth := c.VtpCG + m.gos.DVth // GOS hole injection also weakens the p branch
+	drive := ekv((vdm - b.VCG - vth) / c.NCG)
+	tS := sigmoid((vdm - b.VPGD - c.VtPG) / c.SPG)
+	tD := math.Pow(sigmoid((vsm-b.VPGS+c.VSat-c.VtPG)/c.SPGD), c.WPGD)
+	if b.VD < b.VS { // swapped: PGS faces the hole source
+		tS = sigmoid((vdm - b.VPGS - c.VtPG) / c.SPG)
+		tD = math.Pow(sigmoid((vsm-b.VPGD+c.VSat-c.VtPG)/c.SPGD), c.WPGD)
+	}
+	vds := b.VD - b.VS
+	f := math.Tanh(vds/c.VSat) * (1 + c.Lambda*math.Abs(vds))
+	amb := c.IAmb * math.Tanh(vds/c.VSat)
+	return c.Ip0*m.gos.DriveFactor*drive*tS*tD*f + amb
+}
+
+// branchMix models the mixed-carrier (band-to-band / recombination) leak:
+// electrons inject at the low terminal when its adjacent polarity gate is
+// biased high while holes inject at the high terminal when its adjacent
+// polarity gate is biased low. This ambipolar path is negligible at the
+// nominal polarity biases but dominates the static leakage when a
+// polarity gate floats to an intermediate Vcut or bridges to the wrong
+// rail (paper section V-A).
+func (m *Model) branchMix(b Bias) float64 {
+	c := m.C
+	if c.IMix0 <= 0 {
+		return 0
+	}
+	vsm := smoothmin(b.VD, b.VS, softV)
+	vdm := smoothmax(b.VD, b.VS, softV)
+	pgLow, pgHigh := b.VPGS, b.VPGD // PG adjacent to the low / high terminal
+	if b.VD < b.VS {
+		pgLow, pgHigh = b.VPGD, b.VPGS
+	}
+	tn := sigmoid((pgLow - vsm - c.VtPG) / c.SPG)  // electron entry at the low side
+	tp := sigmoid((vdm - pgHigh - c.VtPG) / c.SPG) // hole entry at the high side
+	vds := b.VD - b.VS
+	return c.IMix0 * tn * tp * math.Tanh(vds/c.VSat)
+}
+
+// gosInjection models the ohmic path a gate-oxide short opens between the
+// defective gate and the channel. Current injected from the gate splits
+// toward source and drain; the drain share appears as the paper's
+// "negative ID" when the drain is biased low while the defective gate is
+// high.
+func (m *Model) gosInjection(b Bias) float64 {
+	if m.D.GOS == GOSNone || m.gos.GGate == 0 {
+		return 0
+	}
+	var vg float64
+	var toDrain float64 // fraction of the injected current exiting at drain
+	switch m.D.GOS {
+	case GOSAtPGS:
+		vg, toDrain = b.VPGS, 0.25 // near the source: mostly exits at source
+	case GOSAtCG:
+		vg, toDrain = b.VCG, 0.5
+	case GOSAtPGD:
+		vg, toDrain = b.VPGD, 0.75 // near the drain
+	}
+	// Current flowing out of the drain terminal is negative drain current.
+	return -m.gos.GGate * toDrain * (vg - b.VD)
+}
+
+// GateCurrents returns the currents (A) flowing *into* the CG, PGS and PGD
+// terminals. For a defect-free device the gates are capacitive only and
+// the DC gate currents are zero; a gate-oxide short adds the ohmic
+// injection path at the defective gate.
+func (m *Model) GateCurrents(b Bias) (icg, ipgs, ipgd float64) {
+	if m.D.GOS == GOSNone || m.gos.GGate == 0 {
+		return 0, 0, 0
+	}
+	var vg float64
+	switch m.D.GOS {
+	case GOSAtPGS:
+		vg = b.VPGS
+	case GOSAtCG:
+		vg = b.VCG
+	case GOSAtPGD:
+		vg = b.VPGD
+	}
+	// The short injects toward both terminals; use the average channel
+	// potential as the far node.
+	vch := 0.5 * (b.VD + b.VS)
+	ig := m.gos.GGate * (vg - vch)
+	switch m.D.GOS {
+	case GOSAtPGS:
+		return 0, ig, 0
+	case GOSAtCG:
+		return ig, 0, 0
+	case GOSAtPGD:
+		return 0, 0, ig
+	}
+	return 0, 0, 0
+}
+
+// Conducts reports whether the device conducts for the given *logic*
+// levels on its three gates, per the paper's conduction rule:
+// n-type conduction iff CG=PGS=PGD=1, p-type iff CG=PGS=PGD=0,
+// off when CG xor (PGS and PGD) = 1.
+func Conducts(cg, pgs, pgd bool) bool {
+	if cg && pgs && pgd {
+		return true // n-type
+	}
+	if !cg && !pgs && !pgd {
+		return true // p-type
+	}
+	return false
+}
+
+// OffByXorRule evaluates the paper's blocking condition
+// CG xor (PGS and PGD) for logic levels.
+func OffByXorRule(cg, pgs, pgd bool) bool {
+	return cg != (pgs && pgd)
+}

@@ -1,0 +1,229 @@
+// Package device implements a compact analog model of the
+// Three-Independent-Gate Silicon NanoWire FET (TIG-SiNWFET), the
+// controllable-polarity device studied by Ghasemzadeh Mohammadi,
+// Gaillardon and De Micheli (DATE 2015).
+//
+// The device has three gates along the channel: a Polarity Gate at the
+// source junction (PGS), a Control Gate (CG) in the middle and a Polarity
+// Gate at the drain junction (PGD). The polarity gates modulate the
+// thickness of the Schottky barriers at the NiSi source/drain contacts and
+// thereby select the carrier type (electrons when biased high, holes when
+// biased low); the control gate switches the channel like a conventional
+// MOSFET gate. The device conducts n-type when CG = PGS = PGD = '1',
+// p-type when CG = PGS = PGD = '0', and is off when CG xor (PGS and PGD).
+//
+// The model is a smooth, Newton-friendly analytic approximation calibrated
+// against the qualitative targets reported in the paper (Figures 3-5):
+// EKV-style channel conduction multiplied by sigmoid Schottky barrier
+// transmissions, one per polarity gate, with a reduced drain-side exponent
+// that captures the quasi-ballistic transport under PGD. Manufacturing
+// defects (gate-oxide shorts, channel breaks, floating polarity gates) are
+// injected through the Defects struct.
+package device
+
+// Geometry and physical parameters of the TIG-SiNWFET, following Table II
+// of the paper. Lengths are in nanometres unless noted.
+type Params struct {
+	LCG         float64 // control gate length (nm)
+	LPGS        float64 // source-side polarity gate length (nm)
+	LPGD        float64 // drain-side polarity gate length (nm)
+	LSpacer     float64 // spacer length LCP between gates (nm)
+	TOx         float64 // gate oxide thickness (nm)
+	RNW         float64 // nanowire radius (nm)
+	NChannel    float64 // channel doping concentration (cm^-3)
+	PhiB        float64 // Schottky barrier height (eV)
+	VDD         float64 // nominal supply voltage (V)
+	Temperature float64 // lattice temperature (K)
+}
+
+// DefaultParams returns the Table II parameter set of the paper:
+// LCG = LPGS = LPGD = 22 nm, LCP = 18 nm, TOx = 5.1 nm, RNW = 7.5 nm,
+// channel doping 1e15 cm^-3, Schottky barrier 0.41 eV, VDD = 1.2 V.
+func DefaultParams() Params {
+	return Params{
+		LCG:         22,
+		LPGS:        22,
+		LPGD:        22,
+		LSpacer:     18,
+		TOx:         5.1,
+		RNW:         7.5,
+		NChannel:    1e15,
+		PhiB:        0.41,
+		VDD:         1.2,
+		Temperature: 300,
+	}
+}
+
+// TotalLength returns the source-to-drain extent of the gated region in nm:
+// three gates and the two spacers separating them.
+func (p Params) TotalLength() float64 {
+	return p.LPGS + p.LSpacer + p.LCG + p.LSpacer + p.LPGD
+}
+
+// Electrical calibration of the compact model. The calibration constants
+// are fitted so that circuit-level experiments reproduce the qualitative
+// shapes of the paper's Figures 3 and 5 (see DESIGN.md section 4).
+type Calib struct {
+	In0 float64 // electron branch prefactor (A)
+	Ip0 float64 // hole branch prefactor (A)
+
+	VtnCG float64 // control-gate threshold for the electron branch (V)
+	VtpCG float64 // control-gate threshold magnitude for the hole branch (V)
+	NCG   float64 // subthreshold slope factor of the CG barrier
+
+	VtPG float64 // polarity-gate barrier-thinning threshold (V)
+	SPG  float64 // source-side polarity-gate transmission slope (V)
+	SPGD float64 // drain-side slope: softer control (quasi-ballistic region)
+	WPGD float64 // exponent weight of the drain-side PG (quasi-ballistic, <1)
+
+	VSat   float64 // drain saturation voltage scale (V)
+	Lambda float64 // channel length modulation (1/V)
+	GMin   float64 // parasitic ohmic leak floor (S)
+	IAmb   float64 // ambipolar off-state leakage floor prefactor (A)
+	IMix0  float64 // mixed-carrier (band-to-band) leak prefactor (A): flows when
+	// the source barrier is electron-transparent while the drain barrier is
+	// hole-transparent — the leakage mechanism excited by polarity-gate
+	// opens and bridges (paper Figure 5)
+
+	CGate float64 // per-gate capacitance to channel (F)
+	CPar  float64 // drain/source parasitic capacitance (F)
+	RAcc  float64 // source/drain access resistance (Ohm)
+}
+
+// DefaultCalib returns the calibration used throughout the reproduction.
+// The absolute current level (~5 uA on-current) matches the scale implied
+// by Figure 3; thresholds are chosen so the logic gates operate correctly
+// at VDD = 1.2 V with the switching point near VDD/2.
+func DefaultCalib() Calib {
+	return Calib{
+		In0:    3.1e-7,
+		Ip0:    1.55e-7, // hole branch weaker: electrons win rail fights
+		VtnCG:  0.42,
+		VtpCG:  0.42,
+		NCG:    0.072, // ~ 2.8 kT/q: SS ~ 165 mV/dec through Schottky channel
+		VtPG:   0.45,
+		SPG:    0.045, // steep WKB-like injection barrier (>10 decades over VDD)
+		SPGD:   0.18,  // drain-side extraction barrier: weakly controlled
+		WPGD:   0.55,  // drain PG matters less for carrier control
+		VSat:   0.35,
+		Lambda: 0.06,
+		GMin:   1e-12,
+		IAmb:   4e-12,
+		IMix0:  2e-9,
+		CGate:  9e-18, // aF-scale GAA gate capacitance
+		CPar:   6e-18,
+		RAcc:   9.5e3,
+	}
+}
+
+// GOSLocation identifies which gate dielectric carries a gate-oxide short.
+type GOSLocation int
+
+const (
+	GOSNone GOSLocation = iota
+	GOSAtPGS
+	GOSAtCG
+	GOSAtPGD
+)
+
+// String returns the paper's name for the location.
+func (l GOSLocation) String() string {
+	switch l {
+	case GOSNone:
+		return "none"
+	case GOSAtPGS:
+		return "PGS"
+	case GOSAtCG:
+		return "CG"
+	case GOSAtPGD:
+		return "PGD"
+	}
+	return "invalid"
+}
+
+// GOSEffect captures how a gate-oxide short at a given location perturbs
+// the device characteristics. The three locations behave differently
+// because of their position along the channel (paper section IV-B):
+//
+//   - GOS at PGS sits next to the electron source: injected holes are
+//     pulled in by the high electron density, collapsing the local carrier
+//     density (x~109 reduction) and shifting VTh by +170 mV.
+//   - GOS at CG injects in the channel middle: moderate density loss and a
+//     smaller VTh shift.
+//   - GOS at PGD sits in the quasi-ballistic drain region: the field
+//     enhancement slightly increases ID and leaves VTh untouched.
+type GOSEffect struct {
+	DriveFactor   float64 // multiplies the branch prefactor
+	DVth          float64 // added to the CG threshold (V)
+	GGate         float64 // gate-to-channel ohmic injection conductance (S)
+	DensityFactor float64 // average channel electron density multiplier
+}
+
+// gosEffects is the calibrated per-location defect response for a
+// unit-size (2 nm) gate-oxide short.
+var gosEffects = map[GOSLocation]GOSEffect{
+	GOSAtPGS: {DriveFactor: 0.46, DVth: 0.215, GGate: 2.4e-7, DensityFactor: 1.426e17 / 1.558e19},
+	GOSAtCG:  {DriveFactor: 0.68, DVth: 0.034, GGate: 1.6e-7, DensityFactor: 1.763e18 / 1.558e19},
+	GOSAtPGD: {DriveFactor: 1.08, DVth: 0.0, GGate: 0.9e-7, DensityFactor: 1.316e18 / 1.558e19},
+}
+
+// EffectOfGOS returns the calibrated defect response for a GOS of the given
+// size (nm) at the given location. Effects scale with size: DriveFactor and
+// DensityFactor move away from 1 and GGate grows proportionally. Size 2 nm
+// is the reference used in the paper's TCAD experiments.
+func EffectOfGOS(loc GOSLocation, sizeNM float64) GOSEffect {
+	e, ok := gosEffects[loc]
+	if !ok {
+		return GOSEffect{DriveFactor: 1, DensityFactor: 1}
+	}
+	if sizeNM <= 0 {
+		return GOSEffect{DriveFactor: 1, DensityFactor: 1}
+	}
+	s := sizeNM / 2.0 // relative to the 2 nm reference
+	scaled := GOSEffect{
+		DriveFactor:   1 + (e.DriveFactor-1)*s,
+		DVth:          e.DVth * s,
+		GGate:         e.GGate * s,
+		DensityFactor: 1 + (e.DensityFactor-1)*clamp01(s),
+	}
+	if scaled.DriveFactor < 0.02 {
+		scaled.DriveFactor = 0.02
+	}
+	if scaled.DensityFactor < 1e-4 {
+		scaled.DensityFactor = 1e-4
+	}
+	return scaled
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Defects describes the manufacturing defects injected into one device
+// instance. The zero value is a defect-free device.
+type Defects struct {
+	GOS     GOSLocation // gate-oxide short location (GOSNone for none)
+	GOSSize float64     // GOS size in nm (0 means the 2 nm reference when GOS set)
+
+	// BreakSeverity in [0,1]: 0 = intact channel, 1 = full nanowire break
+	// (stuck-open). Intermediate values model partial breaks that only
+	// degrade the driving current.
+	BreakSeverity float64
+
+	// FloatPGS / FloatPGD detach the respective polarity gate from its
+	// net; the floating node voltage (the paper's Vcut) is supplied by
+	// the circuit simulator through an auxiliary source.
+	FloatPGS bool
+	FloatPGD bool
+}
+
+// Defective reports whether any defect is present.
+func (d Defects) Defective() bool {
+	return d.GOS != GOSNone || d.BreakSeverity > 0 || d.FloatPGS || d.FloatPGD
+}

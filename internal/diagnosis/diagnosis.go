@@ -1,0 +1,114 @@
+// Package diagnosis implements fault-dictionary diagnosis for CP
+// circuits: every fault of the universe is simulated against the tester
+// program once, its failure signature (the set of failing steps) is
+// recorded, and an observed signature from a failing device is matched
+// back to candidate defects. This closes the paper's inductive-fault-
+// analysis loop: from fabrication defects to fault models to tests and
+// back to locating the physical defect.
+package diagnosis
+
+import (
+	"fmt"
+	"sort"
+
+	"cpsinw/internal/atpg"
+	"cpsinw/internal/core"
+	"cpsinw/internal/logic"
+)
+
+// Entry is one dictionary record.
+type Entry struct {
+	Fault     core.Fault
+	Signature atpg.Signature
+}
+
+// Dictionary maps failure signatures to fault candidates.
+type Dictionary struct {
+	Program *atpg.Program
+	Entries []Entry
+}
+
+// Build simulates every fault against the program and records its
+// signature. Faults with empty signatures (undetected by the program)
+// are kept — they represent test escapes and are reported by Escapes.
+func Build(c *logic.Circuit, program *atpg.Program, faults []core.Fault) *Dictionary {
+	d := &Dictionary{Program: program}
+	for _, f := range faults {
+		f := f
+		sig := atpg.ExecuteAll(program, &f)
+		d.Entries = append(d.Entries, Entry{Fault: f, Signature: sig})
+	}
+	return d
+}
+
+// Escapes lists the faults the program does not detect at all.
+func (d *Dictionary) Escapes() []core.Fault {
+	var out []core.Fault
+	for _, e := range d.Entries {
+		if len(e.Signature) == 0 {
+			out = append(out, e.Fault)
+		}
+	}
+	return out
+}
+
+// Candidate is one diagnosis result with its match quality.
+type Candidate struct {
+	Fault core.Fault
+	Score float64 // Jaccard similarity to the observed signature
+}
+
+// Diagnose matches an observed failure signature against the dictionary:
+// exact matches first (score 1), otherwise the best-scoring candidates.
+// topK bounds the list (0 selects 5).
+func (d *Dictionary) Diagnose(observed atpg.Signature, topK int) []Candidate {
+	if topK <= 0 {
+		topK = 5
+	}
+	var out []Candidate
+	for _, e := range d.Entries {
+		if len(e.Signature) == 0 {
+			continue
+		}
+		s := e.Signature.Jaccard(observed)
+		if s > 0 {
+			out = append(out, Candidate{Fault: e.Fault, Score: s})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	if len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}
+
+// Resolution summarises how well the dictionary distinguishes faults.
+type Resolution struct {
+	Faults              int // detected faults in the dictionary
+	Classes             int // distinct signatures
+	UniquelyDiagnosable int // faults alone in their class
+}
+
+// Resolve computes the diagnostic resolution.
+func (d *Dictionary) Resolve() Resolution {
+	classes := map[string][]int{}
+	detected := 0
+	for i, e := range d.Entries {
+		if len(e.Signature) == 0 {
+			continue
+		}
+		detected++
+		classes[sigKey(e.Signature)] = append(classes[sigKey(e.Signature)], i)
+	}
+	r := Resolution{Faults: detected, Classes: len(classes)}
+	for _, members := range classes {
+		if len(members) == 1 {
+			r.UniquelyDiagnosable++
+		}
+	}
+	return r
+}
+
+func sigKey(s atpg.Signature) string {
+	return fmt.Sprint([]int(s))
+}

@@ -1,0 +1,142 @@
+package diagnosis
+
+import (
+	"testing"
+
+	"cpsinw/internal/atpg"
+	"cpsinw/internal/bench"
+	"cpsinw/internal/core"
+	"cpsinw/internal/logic"
+)
+
+func buildDict(t *testing.T, c *logic.Circuit) (*Dictionary, []core.Fault) {
+	t.Helper()
+	universe := core.Universe(c, core.UniverseOptions{
+		LineStuckAt: true, ChannelBreak: true, Polarity: true,
+	})
+	res := atpg.Generate(c, universe, atpg.Options{})
+	program := atpg.BuildProgram(c, res)
+	return Build(c, program, universe), universe
+}
+
+func TestDictionarySelfDiagnosis(t *testing.T) {
+	// Diagnosing the signature of each fault must rank that fault at
+	// score 1 (an exact class match) among the candidates.
+	c := bench.FullAdderCP()
+	d, _ := buildDict(t, c)
+	for _, e := range d.Entries {
+		if len(e.Signature) == 0 {
+			continue
+		}
+		cands := d.Diagnose(e.Signature, 50)
+		found := false
+		for _, cand := range cands {
+			if cand.Fault.String() == e.Fault.String() {
+				if cand.Score != 1 {
+					t.Errorf("%v: self score %.2f, want 1", e.Fault, cand.Score)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v: not among its own candidates", e.Fault)
+		}
+	}
+}
+
+func TestDictionaryGoldenSignatureEmpty(t *testing.T) {
+	c := bench.FullAdderCP()
+	d, _ := buildDict(t, c)
+	if sig := atpg.ExecuteAll(d.Program, nil); len(sig) != 0 {
+		t.Errorf("golden device has failure signature %v", sig)
+	}
+}
+
+func TestDictionaryEscapesMatchUntestable(t *testing.T) {
+	// On the full adder every targeted fault is covered; escapes should
+	// be empty or limited to faults the campaign reported untestable.
+	c := bench.FullAdderCP()
+	universe := core.Universe(c, core.UniverseOptions{
+		LineStuckAt: true, ChannelBreak: true, Polarity: true,
+	})
+	res := atpg.Generate(c, universe, atpg.Options{})
+	program := atpg.BuildProgram(c, res)
+	d := Build(c, program, universe)
+	untestable := map[string]bool{}
+	for _, f := range res.Untestable {
+		untestable[f.String()] = true
+	}
+	for _, esc := range d.Escapes() {
+		if !untestable[esc.String()] {
+			t.Errorf("covered fault %v escapes the program", esc)
+		}
+	}
+}
+
+func TestDiagnosticResolution(t *testing.T) {
+	c := bench.RippleCarryAdder(4)
+	d, _ := buildDict(t, c)
+	r := d.Resolve()
+	if r.Faults == 0 || r.Classes == 0 {
+		t.Fatalf("empty resolution: %+v", r)
+	}
+	if r.Classes > r.Faults {
+		t.Errorf("more classes than faults: %+v", r)
+	}
+	// A full tester program distinguishes a healthy share of the faults.
+	if frac := float64(r.UniquelyDiagnosable) / float64(r.Faults); frac < 0.2 {
+		t.Errorf("unique diagnosis rate %.2f too low (%+v)", frac, r)
+	}
+}
+
+func TestSignatureOps(t *testing.T) {
+	a := atpg.Signature{1, 3, 5}
+	b := atpg.Signature{1, 3, 5}
+	if !a.Equal(b) {
+		t.Error("Equal broken")
+	}
+	if a.Equal(atpg.Signature{1, 3}) {
+		t.Error("length mismatch accepted")
+	}
+	if s := a.Jaccard(atpg.Signature{1, 3, 7}); s < 0.49 || s > 0.51 {
+		t.Errorf("Jaccard = %v, want 0.5", s)
+	}
+	if s := a.Jaccard(atpg.Signature{}); s != 0 {
+		t.Errorf("Jaccard vs empty = %v", s)
+	}
+	if s := (atpg.Signature{}).Jaccard(atpg.Signature{}); s != 1 {
+		t.Errorf("empty-empty = %v", s)
+	}
+}
+
+func TestDiagnoseNearMiss(t *testing.T) {
+	// A signature with one extra failing step still finds the true fault
+	// with a high score.
+	c := bench.FullAdderCP()
+	d, _ := buildDict(t, c)
+	var target Entry
+	for _, e := range d.Entries {
+		if len(e.Signature) >= 2 {
+			target = e
+			break
+		}
+	}
+	if len(target.Signature) == 0 {
+		t.Skip("no multi-step signature available")
+	}
+	noisy := append(atpg.Signature{}, target.Signature...)
+	noisy = append(noisy, len(d.Program.Steps)) // an impossible extra step index
+	cands := d.Diagnose(noisy, 5)
+	if len(cands) == 0 {
+		t.Fatal("no candidates for a noisy signature")
+	}
+	found := false
+	for _, cand := range cands {
+		if cand.Fault.String() == target.Fault.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("true fault %v not among top candidates", target.Fault)
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cpsinw/internal/bench"
+	"cpsinw/internal/logic"
+)
+
+func TestBridgeCampaignDefaults(t *testing.T) {
+	r, err := BridgeCampaign(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Bridges == 0 {
+			t.Errorf("%s: no bridges enumerated", row.Circuit)
+		}
+		if row.Detected > row.Bridges {
+			t.Errorf("%s: detected %d > total %d", row.Circuit, row.Detected, row.Bridges)
+		}
+		// Stuck-at vectors provide substantial but usually incomplete
+		// accidental bridge coverage.
+		if row.Detected == 0 {
+			t.Errorf("%s: stuck-at set detected no bridges at all", row.Circuit)
+		}
+	}
+	if !strings.Contains(r.Report(), "Neighbour bridges") {
+		t.Error("report incomplete")
+	}
+}
+
+func TestBridgeCampaignCustomCircuit(t *testing.T) {
+	r, err := BridgeCampaign(map[string]*logic.Circuit{"c17": bench.C17()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0].Circuit != "c17" {
+		t.Fatalf("rows: %+v", r.Rows)
+	}
+	// c17's exhaustive-quality stuck-at set catches all neighbour bridges.
+	if r.Rows[0].Detected != r.Rows[0].Bridges {
+		t.Errorf("c17 bridge coverage %d/%d", r.Rows[0].Detected, r.Rows[0].Bridges)
+	}
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cpsinw/internal/atpg"
+	"cpsinw/internal/bench"
+	"cpsinw/internal/circuit"
+	"cpsinw/internal/core"
+	"cpsinw/internal/device"
+	"cpsinw/internal/faultsim"
+	"cpsinw/internal/gates"
+	"cpsinw/internal/logic"
+	"cpsinw/internal/report"
+	"cpsinw/internal/spice"
+)
+
+// CampaignRow compares the classical stuck-at test flow against the
+// extended CP flow on one benchmark.
+type CampaignRow struct {
+	Circuit string
+	Stats   logic.Stats
+
+	// Extended fault universe size (stuck-at + polarity + channel break).
+	Faults int
+
+	// ClassicalCoveragePct: coverage of the extended universe achieved by
+	// the classical stuck-at pattern set (voltage observation only) —
+	// the paper's "current fault models are insufficient" measurement.
+	ClassicalCoveragePct float64
+	ClassicalVectors     int
+
+	// ExtendedCoveragePct: coverage with the full CP flow (polarity ATPG
+	// with IDDQ, two-pattern stuck-open, DP channel-break procedure).
+	ExtendedCoveragePct float64
+	ExtendedVectors     int
+}
+
+// CampaignResult is the ATPG evaluation across the benchmark suite.
+type CampaignResult struct {
+	Rows []CampaignRow
+}
+
+// ATPGCampaign runs both flows over the given circuits (the standard
+// suite when nil).
+func ATPGCampaign(circuits map[string]*logic.Circuit) (*CampaignResult, error) {
+	if circuits == nil {
+		circuits = bench.Suite()
+	}
+	var names []string
+	for name := range circuits {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	res := &CampaignResult{}
+	for _, name := range names {
+		c := circuits[name]
+		row := CampaignRow{Circuit: name, Stats: c.Statistics()}
+
+		universe := core.Universe(c, core.UniverseOptions{
+			LineStuckAt: true, ChannelBreak: true, Polarity: true,
+		})
+		row.Faults = len(universe)
+
+		// --- Classical flow: stuck-at ATPG, voltage observation only. ---
+		var saFaults []core.Fault
+		for _, f := range universe {
+			if f.Kind.IsLineFault() {
+				saFaults = append(saFaults, f)
+			}
+		}
+		var saPatterns []faultsim.Pattern
+		for _, f := range saFaults {
+			if pat, ok := atpg.GenerateStuckAt(c, f, atpg.Options{}); ok {
+				saPatterns = append(saPatterns, pat)
+			}
+		}
+		saPatterns = atpg.CompactPatterns(c, saFaults, saPatterns)
+		row.ClassicalVectors = len(saPatterns)
+
+		sim := faultsim.New(c)
+		detected := 0
+		saCov := faultsim.Summarise(sim.RunStuckAt(saFaults, saPatterns))
+		detected += saCov.Detected
+		// The classical patterns may accidentally catch some transistor
+		// faults through output observation; credit them fairly.
+		var trFaults []core.Fault
+		for _, f := range universe {
+			if !f.Kind.IsLineFault() {
+				trFaults = append(trFaults, f)
+			}
+		}
+		trDet, err := sim.RunTransistor(trFaults, saPatterns, false)
+		if err != nil {
+			return nil, err
+		}
+		detected += faultsim.Summarise(trDet).Detected
+		row.ClassicalCoveragePct = 100 * float64(detected) / float64(len(universe))
+
+		// --- Extended CP flow. ---
+		gen := atpg.Generate(c, universe, atpg.Options{})
+		covered := gen.StuckAtCovered + gen.PolarityCovered + gen.CBSPCovered + gen.CBDPCovered
+		row.ExtendedCoveragePct = 100 * float64(covered) / float64(len(universe))
+		row.ExtendedVectors = gen.Set.TotalVectors()
+
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Report renders the campaign comparison.
+func (r *CampaignResult) Report() string {
+	t := report.Table{
+		Title: "ATPG campaign: classical stuck-at flow vs extended CP fault model",
+		Headers: []string{"Circuit", "Gates", "DP", "Faults",
+			"Classical cov [%]", "Classical vec", "Extended cov [%]", "Extended vec"},
+	}
+	for _, row := range r.Rows {
+		t.Add(row.Circuit, row.Stats.Gates, row.Stats.DPGates, row.Faults,
+			fmt.Sprintf("%.1f", row.ClassicalCoveragePct), row.ClassicalVectors,
+			fmt.Sprintf("%.1f", row.ExtendedCoveragePct), row.ExtendedVectors)
+	}
+	return t.String()
+}
+
+// AblationRow is one Vcut sample of the A2 study: the PGD-open delay
+// ratio (vs the Vcut=0 reference) under the default (quasi-ballistic,
+// softly-controlled drain barrier) and the ablated (sharply-controlled,
+// symmetric) calibration. A NaN ratio marks a non-functional point.
+type AblationRow struct {
+	Vcut      float64
+	AsymRatio float64
+	SymRatio  float64
+}
+
+// AblationResult studies the quasi-ballistic drain-side softening
+// (DESIGN.md A2). With the softening, the INV pull-up degrades gracefully
+// under a PGD open (the paper's 7x delay rise across a usable Vcut
+// window); with a sharply-controlled drain barrier the device cuts off
+// almost immediately, collapsing the functional window.
+type AblationResult struct {
+	Rows []AblationRow
+	// AsymWindow / SymWindow: largest functional Vcut for PGD-open.
+	AsymWindow, SymWindow float64
+}
+
+// AblationPGD sweeps Vcut on the floated PGD of the INV pull-up under
+// both calibrations.
+func AblationPGD(points int) (*AblationResult, error) {
+	if points < 3 {
+		points = 6
+	}
+	symmetric := device.DefaultCalib()
+	symmetric.SPGD = symmetric.SPG
+	symmetric.WPGD = 1.0
+
+	asymM := device.New(device.DefaultParams(), device.DefaultCalib())
+	symM := device.New(device.DefaultParams(), symmetric)
+
+	ref := map[string]float64{}
+	for name, m := range map[string]*device.Model{"asym": asymM, "sym": symM} {
+		d, ok, err := invT1Delay(m, gates.PGDTerminal, 0)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("ablation: %s reference not functional", name)
+		}
+		ref[name] = d
+	}
+
+	res := &AblationResult{}
+	for i := 0; i < points; i++ {
+		vcut := 0.6 * float64(i) / float64(points-1)
+		row := AblationRow{Vcut: vcut, AsymRatio: math.NaN(), SymRatio: math.NaN()}
+		if d, ok, err := invT1Delay(asymM, gates.PGDTerminal, vcut); err != nil {
+			return nil, err
+		} else if ok {
+			row.AsymRatio = d / ref["asym"]
+			res.AsymWindow = vcut
+		}
+		if d, ok, err := invT1Delay(symM, gates.PGDTerminal, vcut); err != nil {
+			return nil, err
+		} else if ok {
+			row.SymRatio = d / ref["sym"]
+			res.SymWindow = vcut
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// invT1Delay measures the INV low-to-high output delay with the pull-up
+// transistor's selected polarity gate floated at vcut, under the given
+// device model. ok is false when the output no longer switches (the SOF
+// regime).
+func invT1Delay(m *device.Model, term gates.PGTerminal, vcut float64) (float64, bool, error) {
+	vdd := m.P.VDD
+	pulse := circuit.Pulse{
+		V0: 0, V1: vdd,
+		Delay: 100e-12, Rise: 10e-12, Fall: 10e-12,
+		Width: 600e-12, Period: 1.4e-9,
+	}
+	n, err := gates.BuildAnalog(gates.Get(gates.INV), gates.BuildOptions{
+		Model:  m,
+		Inputs: []circuit.Waveform{pulse},
+		Floats: []gates.FloatPG{{Transistor: "t1", Terminal: term, Vcut: vcut}},
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	eng, err := spice.NewEngine(n, spice.Options{})
+	if err != nil {
+		return 0, false, err
+	}
+	wf, err := eng.Tran(2e-12, 1.4e-9, []string{gates.InputNode(0), gates.NodeOut})
+	if err != nil {
+		return 0, false, err
+	}
+	d, derr := spice.PropDelay(wf, gates.InputNode(0), gates.NodeOut, vdd, false, true, 500e-12)
+	if derr != nil {
+		return 0, false, nil // no crossing: outside the functional window
+	}
+	return d, true, nil
+}
+
+// Report renders the ablation table.
+func (r *AblationResult) Report() string {
+	t := report.Table{
+		Title:   "Ablation A2: PGD quasi-ballistic softening (INV t1, PGD-open delay ratio vs Vcut)",
+		Headers: []string{"Vcut [V]", "soft drain barrier (default)", "sharp drain barrier (ablated)"},
+	}
+	fmtRatio := func(x float64) string {
+		if math.IsNaN(x) {
+			return "not functional"
+		}
+		return fmt.Sprintf("%.2f", x)
+	}
+	for _, row := range r.Rows {
+		t.Add(fmt.Sprintf("%.2f", row.Vcut), fmtRatio(row.AsymRatio), fmtRatio(row.SymRatio))
+	}
+	t.Add("window", fmt.Sprintf("%.2f V", r.AsymWindow), fmt.Sprintf("%.2f V", r.SymWindow))
+	return t.String()
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"cpsinw/internal/atpg"
+	"cpsinw/internal/bench"
+	"cpsinw/internal/report"
+	"cpsinw/internal/timing"
+)
+
+// DelayFaultRow records the circuit-level consequence of one partial
+// nanowire break: the analog delay degradation of the affected cell, the
+// resulting critical-path delay, and whether at-speed testing at the
+// nominal clock would catch it.
+type DelayFaultRow struct {
+	Severity    float64
+	CellFactor  float64 // analog delay multiplier of the broken cell
+	Tmax        float64 // circuit critical delay with the defect (s)
+	Violation   bool    // exceeds the at-speed clock (10% guard band)
+	Transitions int     // transition tests covering the affected output
+}
+
+// DelayFaultResult is the paper's delay-fault story lifted to circuit
+// level: sub-critical breaks that survive stuck-open testing still show
+// up as at-speed timing failures.
+type DelayFaultResult struct {
+	Gate   string // the injected cell
+	TmaxFF float64
+	Clock  float64 // at-speed test clock (nominal Tmax + 10%)
+	Rows   []DelayFaultRow
+}
+
+// DelayFault sweeps partial-break severities on a carry cell of the
+// 4-bit CP ripple-carry adder. The cell delay factor comes from the
+// analog BreakSeverity measurement; the circuit impact from static
+// timing analysis; the at-speed detectability from the 10%-guard-band
+// clock; and the vector support from the transition-fault ATPG.
+func DelayFault(points int) (*DelayFaultResult, error) {
+	if points < 3 {
+		points = 5
+	}
+	c := bench.RippleCarryAdder(4)
+	const victim = "fa0_c" // first carry cell: on the critical chain
+
+	// Analog severity -> delay factor curve.
+	sweep, err := BreakSeverity(points)
+	if err != nil {
+		return nil, err
+	}
+
+	base, err := timing.Analyse(c, timing.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res := &DelayFaultResult{
+		Gate:   victim,
+		TmaxFF: base.Tmax,
+		Clock:  base.Tmax * 1.1,
+	}
+
+	// Transition tests covering the victim's output.
+	tests, _, _, err := timing.TransitionCampaign(c, atpg.Options{})
+	if err != nil {
+		return nil, err
+	}
+	victimOut := ""
+	for _, g := range c.Gates {
+		if g.Name == victim {
+			victimOut = g.Output
+		}
+	}
+	coveringTests := 0
+	for _, t := range tests {
+		if t.Fault.Net == victimOut {
+			coveringTests++
+		}
+	}
+
+	for _, p := range sweep.Points {
+		factor := p.DelayRatio
+		if !p.Functional || math.IsInf(factor, 1) {
+			// Stuck-open regime: not a delay fault any more.
+			res.Rows = append(res.Rows, DelayFaultRow{
+				Severity: p.Severity, CellFactor: math.Inf(1),
+				Tmax: math.Inf(1), Violation: true, Transitions: coveringTests,
+			})
+			continue
+		}
+		a, err := timing.Analyse(c, timing.Options{
+			DelayFactor: map[string]float64{victim: factor},
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, DelayFaultRow{
+			Severity:    p.Severity,
+			CellFactor:  factor,
+			Tmax:        a.Tmax,
+			Violation:   a.Tmax > res.Clock,
+			Transitions: coveringTests,
+		})
+	}
+	return res, nil
+}
+
+// Report renders the sweep.
+func (r *DelayFaultResult) Report() string {
+	t := report.Table{
+		Title: fmt.Sprintf("Extension: partial break on %s vs at-speed test (Tmax=%s, clock=%s)",
+			r.Gate, report.FormatSI(r.TmaxFF), report.FormatSI(r.Clock)),
+		Headers: []string{"severity", "cell delay x", "circuit Tmax", "at-speed fail", "transition tests"},
+	}
+	for _, row := range r.Rows {
+		cf := "stuck-open"
+		tm := "-"
+		if !math.IsInf(row.CellFactor, 1) {
+			cf = fmt.Sprintf("%.2f", row.CellFactor)
+			tm = report.FormatSI(row.Tmax)
+		}
+		t.Add(fmt.Sprintf("%.2f", row.Severity), cf, tm, row.Violation, row.Transitions)
+	}
+	return t.String()
+}

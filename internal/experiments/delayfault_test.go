@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDelayFaultSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog delay-fault sweep in -short mode")
+	}
+	r, err := DelayFault(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TmaxFF <= 0 || r.Clock <= r.TmaxFF {
+		t.Fatalf("timing baseline broken: Tmax=%.3g clock=%.3g", r.TmaxFF, r.Clock)
+	}
+	// The sweep must show all three regimes: benign (no violation),
+	// at-speed-detectable delay fault, and stuck-open.
+	benign, violating, stuckOpen := 0, 0, 0
+	for _, row := range r.Rows {
+		switch {
+		case math.IsInf(row.CellFactor, 1):
+			stuckOpen++
+		case row.Violation:
+			violating++
+		default:
+			benign++
+		}
+		if row.Transitions == 0 {
+			t.Error("no transition tests cover the victim output")
+		}
+	}
+	if benign == 0 {
+		t.Error("no benign region: even tiny breaks violate")
+	}
+	if violating == 0 {
+		t.Error("no at-speed-detectable delay-fault region")
+	}
+	if stuckOpen == 0 {
+		t.Error("no stuck-open region at full severity")
+	}
+	// Tmax is monotone in severity within the functional regime.
+	last := 0.0
+	for _, row := range r.Rows {
+		if math.IsInf(row.Tmax, 1) {
+			break
+		}
+		if row.Tmax < last-1e-15 {
+			t.Errorf("Tmax not monotone at severity %.2f", row.Severity)
+		}
+		last = row.Tmax
+	}
+	if !strings.Contains(r.Report(), "at-speed fail") {
+		t.Error("report incomplete")
+	}
+}

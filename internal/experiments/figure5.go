@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cpsinw/internal/circuit"
+	"cpsinw/internal/device"
+	"cpsinw/internal/gates"
+	"cpsinw/internal/iddq"
+	"cpsinw/internal/report"
+	"cpsinw/internal/spice"
+)
+
+// Figure5Point is one Vcut sample of one open-polarity-gate curve.
+type Figure5Point struct {
+	Vcut       float64
+	Leakage    float64 // worst static supply current over all input states (A)
+	Delay      float64 // relevant propagation delay (s); NaN outside the functional window
+	Functional bool    // gate still switches (inside the paper's (VLo, VHi))
+}
+
+// Figure5Curve is the sweep for one floated polarity-gate terminal.
+type Figure5Curve struct {
+	Terminal gates.PGTerminal
+	Points   []Figure5Point
+}
+
+// MaxFunctionalDelay returns the largest delay inside the functional
+// window, and whether any functional point exists.
+func (c *Figure5Curve) MaxFunctionalDelay() (float64, bool) {
+	worst, any := 0.0, false
+	for _, p := range c.Points {
+		if p.Functional && !math.IsNaN(p.Delay) {
+			any = true
+			if p.Delay > worst {
+				worst = p.Delay
+			}
+		}
+	}
+	return worst, any
+}
+
+// LeakSpan returns min and max leakage across the sweep.
+func (c *Figure5Curve) LeakSpan() (lo, hi float64) {
+	lo, hi = math.Inf(1), 0
+	for _, p := range c.Points {
+		if p.Leakage < lo {
+			lo = p.Leakage
+		}
+		if p.Leakage > hi {
+			hi = p.Leakage
+		}
+	}
+	return lo, hi
+}
+
+// Figure5Panel is one subplot of Figure 5: a gate and the transistor
+// whose polarity gate is open.
+type Figure5Panel struct {
+	Gate       gates.Kind
+	Transistor string // "t1" (pull-up) or "t3" (pull-down)
+
+	NominalDelay   float64 // defect-free delay of the measured transition (s)
+	NominalLeakage float64 // defect-free worst static current (A)
+	Curves         []Figure5Curve
+}
+
+// Curve returns the sweep for one terminal.
+func (p *Figure5Panel) Curve(t gates.PGTerminal) *Figure5Curve {
+	for i := range p.Curves {
+		if p.Curves[i].Terminal == t {
+			return &p.Curves[i]
+		}
+	}
+	return nil
+}
+
+// Figure5Result reproduces Figure 5a-f.
+type Figure5Result struct {
+	Panels []Figure5Panel
+}
+
+// Panel returns the subplot for a gate/transistor.
+func (r *Figure5Result) Panel(k gates.Kind, tr string) *Figure5Panel {
+	for i := range r.Panels {
+		if r.Panels[i].Gate == k && r.Panels[i].Transistor == tr {
+			return &r.Panels[i]
+		}
+	}
+	return nil
+}
+
+// Figure5Options sizes the sweep.
+type Figure5Options struct {
+	Points int     // samples per curve (default 9)
+	TStep  float64 // transient step (default 2 ps)
+	TStop  float64 // transient window (default 1.4 ns)
+}
+
+func (o Figure5Options) withDefaults() Figure5Options {
+	if o.Points < 3 {
+		o.Points = 9
+	}
+	if o.TStep <= 0 {
+		o.TStep = 2e-12
+	}
+	if o.TStop <= 0 {
+		o.TStop = 1.4e-9
+	}
+	return o
+}
+
+// Figure5 runs the full open-polarity-gate study: for each of INV, NAND2
+// and XOR2, and for the pull-up (t1) and pull-down (t3) transistors, the
+// floating polarity-gate voltage Vcut is swept while static leakage and
+// the relevant propagation delay are measured with the analog simulator.
+func Figure5(opt Figure5Options) (*Figure5Result, error) {
+	opt = opt.withDefaults()
+	res := &Figure5Result{}
+	for _, kind := range []gates.Kind{gates.INV, gates.NAND2, gates.XOR2} {
+		for _, tr := range []string{"t1", "t3"} {
+			panel, err := figure5Panel(kind, tr, opt)
+			if err != nil {
+				return nil, fmt.Errorf("figure5 %v/%s: %w", kind, tr, err)
+			}
+			res.Panels = append(res.Panels, *panel)
+		}
+	}
+	return res, nil
+}
+
+// vcutWindow returns the sweep range for a panel: pull-up PGs sit at GND
+// nominally (sweep upward), pull-down PGs at VDD (sweep downward). The
+// DP XOR2 stays functional over the full rail span thanks to its
+// redundant pass structure, so its window covers the whole supply.
+func vcutWindow(kind gates.Kind, tr string, vdd float64) (lo, hi float64) {
+	if kind == gates.XOR2 {
+		return 0, vdd
+	}
+	if tr == "t1" {
+		return 0, 0.75 * vdd
+	}
+	return 0.25 * vdd, vdd
+}
+
+func figure5Panel(kind gates.Kind, tr string, opt Figure5Options) (*Figure5Panel, error) {
+	m := device.Default()
+	vdd := m.P.VDD
+	panel := &Figure5Panel{Gate: kind, Transistor: tr}
+
+	nomLeak, nomDelay, _, err := figure5Measure(kind, tr, nil, opt)
+	if err != nil {
+		return nil, err
+	}
+	panel.NominalLeakage = nomLeak
+	panel.NominalDelay = nomDelay
+
+	lo, hi := vcutWindow(kind, tr, vdd)
+	for _, term := range []gates.PGTerminal{gates.PGSTerminal, gates.PGDTerminal} {
+		curve := Figure5Curve{Terminal: term}
+		for i := 0; i < opt.Points; i++ {
+			vcut := lo + (hi-lo)*float64(i)/float64(opt.Points-1)
+			float := &gates.FloatPG{Transistor: tr, Terminal: term, Vcut: vcut}
+			leak, delay, functional, err := figure5Measure(kind, tr, float, opt)
+			if err != nil {
+				return nil, err
+			}
+			curve.Points = append(curve.Points, Figure5Point{
+				Vcut: vcut, Leakage: leak, Delay: delay, Functional: functional,
+			})
+		}
+		panel.Curves = append(panel.Curves, curve)
+	}
+	return panel, nil
+}
+
+// figure5Measure runs the leakage and delay measurement for one
+// configuration. tr selects the measured transition: the pull-up
+// transistor drives the low-to-high output edge, the pull-down the
+// high-to-low edge.
+func figure5Measure(kind gates.Kind, tr string, float *gates.FloatPG, opt Figure5Options) (leak, delay float64, functional bool, err error) {
+	spec := gates.Get(kind)
+	m := device.Default()
+	vdd := m.P.VDD
+
+	var floats []gates.FloatPG
+	if float != nil {
+		floats = append(floats, *float)
+	}
+
+	// --- Static leakage over all input states. ---
+	staticIn := make([]circuit.Waveform, spec.NIn)
+	var sourceNames []string
+	for i := range staticIn {
+		staticIn[i] = circuit.DC(0)
+		sourceNames = append(sourceNames, fmt.Sprintf("VIN%d", i))
+	}
+	n, err := gates.BuildAnalog(spec, gates.BuildOptions{Inputs: staticIn, Floats: floats})
+	if err != nil {
+		return 0, 0, false, err
+	}
+	ms, err := iddq.MeasureStates(n, sourceNames, vdd)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	leak = iddq.Worst(ms).Current
+
+	// --- Delay of the relevant transition. ---
+	pulse := circuit.Pulse{
+		V0: 0, V1: vdd,
+		Delay: 100e-12, Rise: 10e-12, Fall: 10e-12,
+		Width: 600e-12, Period: opt.TStop,
+	}
+	waves := make([]circuit.Waveform, spec.NIn)
+	waves[0] = pulse
+	for i := 1; i < spec.NIn; i++ {
+		waves[i] = circuit.DC(vdd) // side inputs at 1: INV n/a, NAND/XOR sensitised
+	}
+	n, err = gates.BuildAnalog(spec, gates.BuildOptions{Inputs: waves, Floats: floats})
+	if err != nil {
+		return 0, 0, false, err
+	}
+	eng, err := spice.NewEngine(n, spice.Options{})
+	if err != nil {
+		return 0, 0, false, err
+	}
+	wf, err := eng.Tran(opt.TStep, opt.TStop, []string{gates.InputNode(0), gates.NodeOut})
+	if err != nil {
+		return 0, 0, false, err
+	}
+
+	in := gates.InputNode(0)
+	out := gates.NodeOut
+	// Output falls when the input rises (out = NOT a with side inputs at
+	// 1 for all three gates), and rises back on the input's falling edge.
+	dHL, errHL := spice.PropDelay(wf, in, out, vdd, true, false, 0)
+	dLH, errLH := spice.PropDelay(wf, in, out, vdd, false, true, 500e-12)
+	functional = errHL == nil && errLH == nil
+
+	if tr == "t1" {
+		delay = dLH
+		if errLH != nil {
+			delay = math.NaN()
+		}
+	} else {
+		delay = dHL
+		if errHL != nil {
+			delay = math.NaN()
+		}
+	}
+	return leak, delay, functional, nil
+}
+
+// Report renders the six panels.
+func (r *Figure5Result) Report() string {
+	var b strings.Builder
+	for i := range r.Panels {
+		p := &r.Panels[i]
+		t := report.Table{
+			Title: fmt.Sprintf("Figure 5: %v transistor %s (nominal delay %s, leakage %s)",
+				p.Gate, p.Transistor, report.FormatSI(p.NominalDelay), report.FormatSI(p.NominalLeakage)),
+			Headers: []string{"Vcut [V]", "PG", "Leakage [A]", "Delay [s]", "Functional"},
+		}
+		for _, c := range p.Curves {
+			for _, pt := range c.Points {
+				d := "-"
+				if !math.IsNaN(pt.Delay) {
+					d = report.FormatSI(pt.Delay)
+				}
+				t.Add(fmt.Sprintf("%.2f", pt.Vcut), c.Terminal.String(),
+					pt.Leakage, d, pt.Functional)
+			}
+		}
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}

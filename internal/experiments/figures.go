@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cpsinw/internal/device"
+	"cpsinw/internal/report"
+	"cpsinw/internal/tcad"
+)
+
+// Figure3Variant is one curve of Figure 3: an n-type device, fault-free
+// or with a GOS at one gate.
+type Figure3Variant struct {
+	Label    string
+	GOS      device.GOSLocation
+	Transfer []device.IVPoint // ID-VCG at saturation (Figure 3 curves)
+	Output   []device.IVPoint // ID-VD at full gate drive (negative-ID region)
+	IDSat    float64
+	VthShift float64 // vs fault-free (V)
+	MinID    float64 // most negative drain current on the output curve
+}
+
+// Figure3Result reproduces Figure 3a-c: the behaviour of defective n-type
+// TIG-SiNWFETs in the presence of a GOS, from the compact model (the
+// synthetic-TCAD cross-check lives in Figure3TCAD).
+type Figure3Result struct {
+	Variants []Figure3Variant // fault-free first
+}
+
+// Figure3 sweeps the four device variants with n transfer-curve points.
+func Figure3(points int) *Figure3Result {
+	if points < 8 {
+		points = 8
+	}
+	m := device.Default()
+	vdd := m.P.VDD
+	res := &Figure3Result{}
+	ffVth := m.VThN(0)
+	for _, v := range []struct {
+		label string
+		loc   device.GOSLocation
+	}{
+		{"fault-free", device.GOSNone},
+		{"GOS on PGS", device.GOSAtPGS},
+		{"GOS on CG", device.GOSAtCG},
+		{"GOS on PGD", device.GOSAtPGD},
+	} {
+		dev := m
+		if v.loc != device.GOSNone {
+			dev = m.WithDefects(device.Defects{GOS: v.loc})
+		}
+		variant := Figure3Variant{
+			Label:    v.label,
+			GOS:      v.loc,
+			Transfer: dev.TransferCurve(0, vdd, points, vdd, vdd, vdd),
+			Output:   dev.OutputCurve(0, vdd, points, vdd, vdd, vdd),
+			IDSat:    dev.IDSat(),
+			VthShift: dev.VThN(0) - ffVth,
+		}
+		for _, p := range variant.Output {
+			if p.I < variant.MinID {
+				variant.MinID = p.I
+			}
+		}
+		res.Variants = append(res.Variants, variant)
+	}
+	return res
+}
+
+// Variant returns the named curve set.
+func (r *Figure3Result) Variant(loc device.GOSLocation) *Figure3Variant {
+	for i := range r.Variants {
+		if r.Variants[i].GOS == loc {
+			return &r.Variants[i]
+		}
+	}
+	return nil
+}
+
+// Report renders summary statistics plus the CSV curves.
+func (r *Figure3Result) Report() string {
+	var b strings.Builder
+	t := report.Table{
+		Title:   "Figure 3: n-type TIG-SiNWFET with gate-oxide shorts (compact model)",
+		Headers: []string{"Variant", "ID(SAT) [A]", "ID(SAT)/FF", "dVth [mV]", "min ID [A]"},
+	}
+	ff := r.Variant(device.GOSNone).IDSat
+	for _, v := range r.Variants {
+		t.Add(v.Label, v.IDSat, fmt.Sprintf("%.2f", v.IDSat/ff),
+			fmt.Sprintf("%.0f", v.VthShift*1000), v.MinID)
+	}
+	b.WriteString(t.String())
+	for _, v := range r.Variants {
+		s := report.Series{
+			Title:   "ID-VCG " + v.Label,
+			Columns: []string{"VCG", "ID"},
+		}
+		for _, p := range v.Transfer {
+			s.X = append(s.X, p.V)
+			s.Y = appendCol(s.Y, 0, p.I)
+		}
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+func appendCol(y [][]float64, col int, v float64) [][]float64 {
+	for len(y) <= col {
+		y = append(y, nil)
+	}
+	y[col] = append(y[col], v)
+	return y
+}
+
+// Figure3TCAD cross-validates the compact-model orderings with the
+// synthetic TCAD solver: ID(SAT) per variant.
+func Figure3TCAD() map[device.GOSLocation]float64 {
+	p := device.DefaultParams()
+	bias := tcad.SaturationBias(p)
+	out := map[device.GOSLocation]float64{}
+	for _, loc := range []device.GOSLocation{device.GOSNone, device.GOSAtPGS, device.GOSAtCG, device.GOSAtPGD} {
+		d := device.Defects{}
+		if loc != device.GOSNone {
+			d.GOS = loc
+		}
+		out[loc] = tcad.NewSolver(p, d).Solve(bias).ID
+	}
+	return out
+}
+
+// Figure4Case is one electron-density extraction of Figure 4.
+type Figure4Case struct {
+	Label   string
+	GOS     device.GOSLocation
+	Mean    float64 // channel-average electron density (cm^-3)
+	Profile *tcad.DensityProfile
+}
+
+// Figure4Result reproduces Figure 4: the electron-density distribution of
+// an n-type TIG-SiNWFET with and without GOS.
+type Figure4Result struct {
+	Cases []Figure4Case
+}
+
+// PaperDensity records the paper's reported values for comparison.
+var PaperDensity = map[device.GOSLocation]float64{
+	device.GOSNone:  1.558e19,
+	device.GOSAtCG:  1.763e18,
+	device.GOSAtPGD: 1.316e18,
+	device.GOSAtPGS: 1.426e17,
+}
+
+// Figure4 runs the density extraction at the saturation bias.
+func Figure4() *Figure4Result {
+	p := device.DefaultParams()
+	bias := tcad.SaturationBias(p)
+	res := &Figure4Result{}
+	for _, v := range []struct {
+		label string
+		loc   device.GOSLocation
+	}{
+		{"Fault-free channel", device.GOSNone},
+		{"GOS on CG", device.GOSAtCG},
+		{"GOS on PGD", device.GOSAtPGD},
+		{"GOS on PGS", device.GOSAtPGS},
+	} {
+		d := device.Defects{}
+		if v.loc != device.GOSNone {
+			d.GOS = v.loc
+		}
+		prof := tcad.ElectronDensity(p, d, bias)
+		res.Cases = append(res.Cases, Figure4Case{
+			Label: v.label, GOS: v.loc, Mean: prof.Mean, Profile: prof,
+		})
+	}
+	return res
+}
+
+// Case returns the extraction for one location.
+func (r *Figure4Result) Case(loc device.GOSLocation) *Figure4Case {
+	for i := range r.Cases {
+		if r.Cases[i].GOS == loc {
+			return &r.Cases[i]
+		}
+	}
+	return nil
+}
+
+// Report renders the density comparison against the paper's numbers.
+func (r *Figure4Result) Report() string {
+	t := report.Table{
+		Title:   "Figure 4: electron density of an n-type TIG-SiNWFET with/without GOS",
+		Headers: []string{"Case", "e density (ours) [cm^-3]", "e density (paper) [cm^-3]", "ratio vs FF (ours)", "ratio vs FF (paper)"},
+	}
+	ff := r.Case(device.GOSNone).Mean
+	ffPaper := PaperDensity[device.GOSNone]
+	for _, c := range r.Cases {
+		t.Add(c.Label,
+			fmt.Sprintf("%.3e", c.Mean),
+			fmt.Sprintf("%.3e", PaperDensity[c.GOS]),
+			fmt.Sprintf("%.4f", c.Mean/ff),
+			fmt.Sprintf("%.4f", PaperDensity[c.GOS]/ffPaper))
+	}
+	return t.String()
+}

@@ -1,0 +1,299 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"cpsinw/internal/circuit"
+	"cpsinw/internal/device"
+	"cpsinw/internal/gates"
+	"cpsinw/internal/iddq"
+	"cpsinw/internal/report"
+	"cpsinw/internal/spice"
+)
+
+// GOSDetectRow is the gate-level signature of one gate-oxide short: the
+// paper's conclusion states that "the gate oxide short and floats on the
+// polarity gates are detectable by analyzing the performance parameters
+// like delay and leakage" — this experiment quantifies that for every
+// GOS location on every transistor of a gate.
+type GOSDetectRow struct {
+	Gate       gates.Kind
+	Transistor string
+	Location   device.GOSLocation
+
+	DelayRatio float64 // worst transition delay, faulty / nominal
+	LeakRatio  float64 // worst static current, faulty / nominal
+	FunctionOK bool
+	ByDelay    bool // delay shift beyond the threshold (20%)
+	ByIDDQ     bool // leak shift beyond the threshold (3x)
+	Detectable bool
+}
+
+// GOSDetectResult is the campaign over a set of gates.
+type GOSDetectResult struct {
+	Rows []GOSDetectRow
+}
+
+// GOSDetect measures the delay/leakage signature of every GOS fault in
+// the given gates (INV and XOR2 by default).
+func GOSDetect(kinds []gates.Kind) (*GOSDetectResult, error) {
+	if len(kinds) == 0 {
+		kinds = []gates.Kind{gates.INV, gates.XOR2}
+	}
+	res := &GOSDetectResult{}
+	for _, kind := range kinds {
+		spec := gates.Get(kind)
+		nomDelay, nomLeak, _, err := gateProfile(kind, nil)
+		if err != nil {
+			return nil, fmt.Errorf("gosdetect %v nominal: %w", kind, err)
+		}
+		for _, tr := range spec.Transistors {
+			for _, loc := range []device.GOSLocation{device.GOSAtPGS, device.GOSAtCG, device.GOSAtPGD} {
+				delay, leak, fnOK, err := gateProfile(kind, map[string]device.Defects{
+					tr.Name: {GOS: loc},
+				})
+				if err != nil {
+					return nil, fmt.Errorf("gosdetect %v/%s/%v: %w", kind, tr.Name, loc, err)
+				}
+				row := GOSDetectRow{
+					Gate:       kind,
+					Transistor: tr.Name,
+					Location:   loc,
+					DelayRatio: delay / nomDelay,
+					LeakRatio:  leak / nomLeak,
+					FunctionOK: fnOK,
+				}
+				row.ByDelay = math.Abs(row.DelayRatio-1) > 0.20
+				row.ByIDDQ = row.LeakRatio > 3 || row.LeakRatio < 1.0/3
+				row.Detectable = row.ByDelay || row.ByIDDQ || !fnOK
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	return res, nil
+}
+
+// DetectablePct returns the fraction of GOS faults with a usable
+// signature.
+func (r *GOSDetectResult) DetectablePct() float64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	n := 0
+	for _, row := range r.Rows {
+		if row.Detectable {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(r.Rows))
+}
+
+// Report renders the campaign table.
+func (r *GOSDetectResult) Report() string {
+	t := report.Table{
+		Title:   "Extension: gate-level GOS detectability by delay and leakage",
+		Headers: []string{"Gate", "Transistor", "GOS", "delay ratio", "leak ratio", "function", "verdict"},
+	}
+	for _, row := range r.Rows {
+		verdict := "undetected"
+		switch {
+		case !row.FunctionOK:
+			verdict = "functional failure"
+		case row.ByDelay && row.ByIDDQ:
+			verdict = "delay + IDDQ"
+		case row.ByDelay:
+			verdict = "delay"
+		case row.ByIDDQ:
+			verdict = "IDDQ"
+		}
+		t.Add(row.Gate.String(), row.Transistor, row.Location.String(),
+			fmt.Sprintf("%.2f", row.DelayRatio), fmt.Sprintf("%.2f", row.LeakRatio),
+			row.FunctionOK, verdict)
+	}
+	return t.String()
+}
+
+// gateProfile measures a gate's worst transition delay, worst static
+// leak, and functional correctness under the injected defects, using the
+// side-inputs-at-1 sensitisation shared with Figure 5.
+func gateProfile(kind gates.Kind, defects map[string]device.Defects) (worstDelay, worstLeak float64, functionOK bool, err error) {
+	spec := gates.Get(kind)
+	m := device.Default()
+	vdd := m.P.VDD
+
+	// Leak across all states.
+	var sourceNames []string
+	for i := 0; i < spec.NIn; i++ {
+		sourceNames = append(sourceNames, fmt.Sprintf("VIN%d", i))
+	}
+	n, err := gates.BuildAnalog(spec, gates.BuildOptions{Defects: defects})
+	if err != nil {
+		return 0, 0, false, err
+	}
+	ms, err := iddq.MeasureStates(n, sourceNames, vdd)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	worstLeak = iddq.Worst(ms).Current
+
+	// Function across all states.
+	functionOK = true
+	for v := 0; v < 1<<spec.NIn; v++ {
+		waves := make([]circuit.Waveform, spec.NIn)
+		for i := range waves {
+			if v>>uint(i)&1 == 1 {
+				waves[i] = circuit.DC(vdd)
+			} else {
+				waves[i] = circuit.DC(0)
+			}
+		}
+		nl, err := gates.BuildAnalog(spec, gates.BuildOptions{Inputs: waves, Defects: defects})
+		if err != nil {
+			return 0, 0, false, err
+		}
+		eng, err := spice.NewEngine(nl, spice.Options{})
+		if err != nil {
+			return 0, 0, false, err
+		}
+		sol, err := eng.DC(0)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		level := sol.V(gates.NodeOut)
+		want := spec.Eval(spec.InputVector(v))
+		if want && level < 0.55*vdd || !want && level > 0.45*vdd {
+			functionOK = false
+		}
+	}
+
+	// Worst transition delay with input 0 pulsing, side inputs at 1.
+	pulse := circuit.Pulse{V0: 0, V1: vdd, Delay: 100e-12, Rise: 10e-12, Fall: 10e-12, Width: 600e-12, Period: 1.4e-9}
+	waves := make([]circuit.Waveform, spec.NIn)
+	waves[0] = pulse
+	for i := 1; i < spec.NIn; i++ {
+		waves[i] = circuit.DC(vdd)
+	}
+	nt, err := gates.BuildAnalog(spec, gates.BuildOptions{Inputs: waves, Defects: defects})
+	if err != nil {
+		return 0, 0, false, err
+	}
+	eng, err := spice.NewEngine(nt, spice.Options{})
+	if err != nil {
+		return 0, 0, false, err
+	}
+	wf, err := eng.Tran(2e-12, 1.4e-9, []string{gates.InputNode(0), gates.NodeOut})
+	if err != nil {
+		return 0, 0, false, err
+	}
+	dHL, errHL := spice.PropDelay(wf, gates.InputNode(0), gates.NodeOut, vdd, true, false, 0)
+	dLH, errLH := spice.PropDelay(wf, gates.InputNode(0), gates.NodeOut, vdd, false, true, 500e-12)
+	if errHL != nil || errLH != nil {
+		functionOK = false
+		worstDelay = math.Inf(1)
+		return worstDelay, worstLeak, functionOK, nil
+	}
+	worstDelay = math.Max(dHL, dLH)
+	return worstDelay, worstLeak, functionOK, nil
+}
+
+// BreakSeverityPoint is one sample of the partial-break study.
+type BreakSeverityPoint struct {
+	Severity   float64
+	DelayRatio float64 // inverter tpHL faulty/nominal; +Inf when non-switching
+	Functional bool
+}
+
+// BreakSeverityResult maps break severity to its fault class: small
+// severities are pure delay faults, large ones collapse into stuck-open
+// behaviour (paper section IV-A: the defect "can drastically limit the
+// driving current of the device or lead to SOF").
+type BreakSeverityResult struct {
+	Points []BreakSeverityPoint
+	// DelayFaultMax: largest severity that still switches (delay-fault
+	// regime); SOFMin: smallest observed severity behaving as stuck-open.
+	DelayFaultMax, SOFMin float64
+}
+
+// BreakSeverity sweeps the pull-down break severity of an inverter.
+func BreakSeverity(points int) (*BreakSeverityResult, error) {
+	if points < 4 {
+		points = 8
+	}
+	m := device.Default()
+	vdd := m.P.VDD
+	pulse := circuit.Pulse{V0: 0, V1: vdd, Delay: 100e-12, Rise: 10e-12, Fall: 10e-12, Width: 600e-12, Period: 1.4e-9}
+
+	measure := func(severity float64) (float64, bool, error) {
+		defects := map[string]device.Defects{}
+		if severity > 0 {
+			defects["t3"] = device.Defects{BreakSeverity: severity}
+		}
+		n, err := gates.BuildAnalog(gates.Get(gates.INV), gates.BuildOptions{
+			Inputs:  []circuit.Waveform{pulse},
+			Defects: defects,
+		})
+		if err != nil {
+			return 0, false, err
+		}
+		eng, err := spice.NewEngine(n, spice.Options{})
+		if err != nil {
+			return 0, false, err
+		}
+		wf, err := eng.Tran(2e-12, 1.4e-9, []string{gates.InputNode(0), gates.NodeOut})
+		if err != nil {
+			return 0, false, err
+		}
+		d, derr := spice.PropDelay(wf, gates.InputNode(0), gates.NodeOut, vdd, true, false, 0)
+		if derr != nil {
+			return math.Inf(1), false, nil
+		}
+		return d, true, nil
+	}
+
+	nominal, ok, err := measure(0)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("breakseverity: nominal inverter does not switch")
+	}
+
+	res := &BreakSeverityResult{SOFMin: math.NaN()}
+	// Geometric spacing: the conductance collapse is exponential in the
+	// severity, so the delay-fault regime lives at small severities.
+	const sevLo = 0.005
+	for i := 0; i < points; i++ {
+		sev := sevLo * math.Pow(1/sevLo, float64(i)/float64(points-1))
+		d, functional, err := measure(sev)
+		if err != nil {
+			return nil, err
+		}
+		pt := BreakSeverityPoint{Severity: sev, Functional: functional, DelayRatio: d / nominal}
+		if functional {
+			res.DelayFaultMax = sev
+		} else if math.IsNaN(res.SOFMin) {
+			res.SOFMin = sev
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Report renders the severity table.
+func (r *BreakSeverityResult) Report() string {
+	t := report.Table{
+		Title:   "Extension: partial nanowire break — delay fault vs stuck-open regimes (INV t3)",
+		Headers: []string{"severity", "delay ratio", "regime"},
+	}
+	for _, p := range r.Points {
+		regime := "delay fault"
+		ratio := fmt.Sprintf("%.2f", p.DelayRatio)
+		if !p.Functional {
+			regime = "stuck-open"
+			ratio = "-"
+		}
+		t.Add(fmt.Sprintf("%.2f", p.Severity), ratio, regime)
+	}
+	return t.String()
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cpsinw/internal/device"
+	"cpsinw/internal/gates"
+)
+
+func TestGOSDetectInverter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog GOS campaign in -short mode")
+	}
+	r, err := GOSDetect([]gates.Kind{gates.INV})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 transistors x 3 locations.
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(r.Rows))
+	}
+	// The paper's conclusion: GOS faults are detectable by performance
+	// analysis. Every INV GOS must show a usable signature.
+	if pct := r.DetectablePct(); pct < 100 {
+		t.Errorf("detectable = %.0f%%, want 100%% on the inverter:\n%s", pct, r.Report())
+	}
+	// GOS at PGS/CG reduce drive: the delay must grow on the affected
+	// transistor; GOS at PGD increases drive slightly.
+	for _, row := range r.Rows {
+		if row.Location == device.GOSAtPGS && row.DelayRatio < 1.0 {
+			t.Errorf("%s/%s GOS@PGS: delay ratio %.2f, want >= 1", row.Gate, row.Transistor, row.DelayRatio)
+		}
+	}
+	if !strings.Contains(r.Report(), "verdict") {
+		t.Error("report incomplete")
+	}
+}
+
+func TestBreakSeverityRegimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog severity sweep in -short mode")
+	}
+	r, err := BreakSeverity(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 8 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Both regimes must appear: small severities switch (delay fault),
+	// severity 1 is stuck-open.
+	if r.DelayFaultMax <= 0 {
+		t.Error("no delay-fault regime observed")
+	}
+	if math.IsNaN(r.SOFMin) {
+		t.Error("no stuck-open regime observed")
+	}
+	if !(r.DelayFaultMax < r.SOFMin) || r.SOFMin > 1 {
+		t.Errorf("regime boundary inverted: delay<=%.2f sof>=%.2f", r.DelayFaultMax, r.SOFMin)
+	}
+	// Delay grows monotonically with severity inside the functional regime.
+	last := 0.0
+	for _, p := range r.Points {
+		if !p.Functional {
+			break
+		}
+		if p.DelayRatio < last-0.05 {
+			t.Errorf("delay ratio not monotone at severity %.2f", p.Severity)
+		}
+		last = p.DelayRatio
+	}
+	// Severity 1 (full break) must be in the SOF regime.
+	if lastPt := r.Points[len(r.Points)-1]; lastPt.Functional {
+		t.Error("full break still switching")
+	}
+}

@@ -1,0 +1,325 @@
+// Package faultsim provides the fault simulation engines of the
+// reproduction: 64-way parallel-pattern simulation for classical line
+// stuck-at faults, serial ternary simulation with behaviour-table
+// injection for the CP transistor faults (channel break, stuck-on and the
+// paper's stuck-at n-type / p-type polarity faults), IDDQ observability,
+// and sequence-aware two-pattern simulation for stuck-open testing.
+package faultsim
+
+import (
+	"fmt"
+
+	"cpsinw/internal/core"
+	"cpsinw/internal/gates"
+	"cpsinw/internal/logic"
+)
+
+// Pattern assigns a logic value to every primary input (missing inputs
+// default to X in ternary simulation, 0 in packed simulation).
+type Pattern map[string]logic.V
+
+// DetectMethod records how a fault was caught.
+type DetectMethod string
+
+const (
+	ByNone       DetectMethod = ""
+	ByOutput     DetectMethod = "output"
+	ByIDDQ       DetectMethod = "iddq"
+	ByTwoPattern DetectMethod = "two-pattern"
+)
+
+// Detection is the outcome for one fault.
+type Detection struct {
+	Fault   core.Fault
+	Method  DetectMethod
+	Pattern int // index of the (first) detecting pattern or pair
+}
+
+// Detected reports whether the fault was caught by any method.
+func (d Detection) Detected() bool { return d.Method != ByNone }
+
+// Simulator runs fault campaigns on one circuit.
+type Simulator struct {
+	C *logic.Circuit
+
+	gateIdx map[string]int // instance name -> index
+}
+
+// New builds a simulator for the circuit.
+func New(c *logic.Circuit) *Simulator {
+	s := &Simulator{C: c, gateIdx: map[string]int{}}
+	for i, g := range c.Gates {
+		s.gateIdx[g.Name] = i
+	}
+	return s
+}
+
+// packPatterns converts up to 64 patterns into packed words.
+func (s *Simulator) packPatterns(patterns []Pattern) logic.PackedAssign {
+	assign := logic.PackedAssign{}
+	for k, p := range patterns {
+		for _, pi := range s.C.Inputs {
+			if v, ok := p[pi]; ok && v == logic.L1 {
+				assign[pi] |= 1 << uint(k)
+			}
+		}
+	}
+	return assign
+}
+
+// RunStuckAt fault-simulates line stuck-at faults against the pattern set
+// using 64-way parallel-pattern packed simulation. Non-line faults in the
+// list are returned undetected.
+func (s *Simulator) RunStuckAt(faults []core.Fault, patterns []Pattern) []Detection {
+	out := make([]Detection, len(faults))
+	for i, f := range faults {
+		out[i] = Detection{Fault: f, Pattern: -1}
+	}
+	for base := 0; base < len(patterns); base += 64 {
+		chunk := patterns[base:min(base+64, len(patterns))]
+		assign := s.packPatterns(chunk)
+		valid := ^uint64(0)
+		if len(chunk) < 64 {
+			valid = (1 << uint(len(chunk))) - 1
+		}
+		good := s.C.EvalPackedHooked(assign, logic.PackedHooks{})
+		for i := range out {
+			if out[i].Detected() || !out[i].Fault.Kind.IsLineFault() {
+				continue
+			}
+			f := out[i].Fault
+			force := uint64(0)
+			if f.Kind == core.FaultSA1 {
+				force = ^uint64(0)
+			}
+			var hooks logic.PackedHooks
+			if f.Pin >= 0 {
+				hooks.Pin = func(gi, pin int, w uint64) uint64 {
+					if gi == f.GateIdx && pin == f.Pin {
+						return force
+					}
+					return w
+				}
+			} else {
+				hooks.Stem = func(net string, w uint64) uint64 {
+					if net == f.Net {
+						return force
+					}
+					return w
+				}
+			}
+			faulty := s.C.EvalPackedHooked(assign, hooks)
+			var diff uint64
+			for _, po := range s.C.Outputs {
+				diff |= (good[po] ^ faulty[po]) & valid
+			}
+			if diff != 0 {
+				out[i].Method = ByOutput
+				out[i].Pattern = base + trailingZeros(diff)
+			}
+		}
+	}
+	return out
+}
+
+func trailingZeros(w uint64) int {
+	for i := 0; i < 64; i++ {
+		if w>>uint(i)&1 == 1 {
+			return i
+		}
+	}
+	return 64
+}
+
+// transistorHooks builds the ternary gate-override hook for a transistor
+// fault plus a leak observer; floating rows evaluate to X (single-pattern
+// semantics: the retained charge is unknown).
+func (s *Simulator) transistorHooks(f core.Fault, leak *bool) (logic.TernaryHooks, error) {
+	tf, ok := f.Kind.TFault()
+	if !ok {
+		return logic.TernaryHooks{}, fmt.Errorf("faultsim: %v has no switch-level model", f.Kind)
+	}
+	gi, ok := s.gateIdx[f.Gate]
+	if !ok {
+		return logic.TernaryHooks{}, fmt.Errorf("faultsim: unknown gate %q", f.Gate)
+	}
+	kind := s.C.Gates[gi].Kind
+	beh, err := core.GateBehavior(kind, f.Transistor, tf)
+	if err != nil {
+		return logic.TernaryHooks{}, err
+	}
+	return logic.TernaryHooks{
+		Gate: func(idx int, in []logic.V) (logic.V, bool) {
+			if idx != gi {
+				return logic.LX, false
+			}
+			vec := 0
+			for i, v := range in {
+				b, def := v.Bool()
+				if !def {
+					return logic.LX, true // X at a faulty gate input: give up precision
+				}
+				if b {
+					vec |= 1 << uint(i)
+				}
+			}
+			row := beh.Rows[vec]
+			if row.Leak && leak != nil {
+				*leak = true
+			}
+			if row.Floating {
+				return logic.LX, true
+			}
+			return row.Out, true
+		},
+	}, nil
+}
+
+// RunTransistor fault-simulates transistor faults serially over the
+// pattern set. Output differences at POs detect by voltage; when useIDDQ
+// is set, a leak signature detects by quiescent-current measurement
+// (the paper's IDDQ observability for pull-up polarity faults).
+// RunTransistorParallel spreads the same work over a goroutine pool.
+func (s *Simulator) RunTransistor(faults []core.Fault, patterns []Pattern, useIDDQ bool) ([]Detection, error) {
+	out := make([]Detection, len(faults))
+	goods := make([]map[string]logic.V, len(patterns))
+	for k, p := range patterns {
+		goods[k] = s.C.Eval(map[string]logic.V(p))
+	}
+	for i, f := range faults {
+		d, err := s.simulateTransistorFault(f, patterns, goods, useIDDQ)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// outputsDiffer reports a definite PO mismatch (X never counts).
+func (s *Simulator) outputsDiffer(good, faulty map[string]logic.V) bool {
+	for _, po := range s.C.Outputs {
+		g, gok := good[po].Bool()
+		f, fok := faulty[po].Bool()
+		if gok && fok && g != f {
+			return true
+		}
+	}
+	return false
+}
+
+// RunTwoPattern simulates pattern pairs against channel-break faults with
+// charge retention at the faulty gate: the first pattern initialises the
+// gate output, the second exposes a floating output retaining the stale
+// value. Detection requires a definite PO difference under the second
+// pattern.
+func (s *Simulator) RunTwoPattern(faults []core.Fault, pairs [][2]Pattern) ([]Detection, error) {
+	out := make([]Detection, len(faults))
+	for i, f := range faults {
+		out[i] = Detection{Fault: f, Pattern: -1}
+		tf, ok := f.Kind.TFault()
+		if !ok || tf != logic.TFaultOpen {
+			continue
+		}
+		gi, ok := s.gateIdx[f.Gate]
+		if !ok {
+			return nil, fmt.Errorf("faultsim: unknown gate %q", f.Gate)
+		}
+		spec := gates.Get(s.C.Gates[gi].Kind)
+		for k, pair := range pairs {
+			if s.twoPatternDetects(spec, gi, f, pair) {
+				out[i].Method = ByTwoPattern
+				out[i].Pattern = k
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// twoPatternDetects runs one init/test pair against one channel break.
+func (s *Simulator) twoPatternDetects(spec *gates.Spec, gi int, f core.Fault, pair [2]Pattern) bool {
+	faults := map[string]logic.TFault{f.Transistor: logic.TFaultOpen}
+	var prev map[string]logic.V
+
+	evalFaulty := func(p Pattern) map[string]logic.V {
+		hooks := logic.TernaryHooks{
+			Gate: func(idx int, in []logic.V) (logic.V, bool) {
+				if idx != gi {
+					return logic.LX, false
+				}
+				res := logic.EvalSwitch(spec, in, faults, prev)
+				prev = res.Nodes
+				return res.Out, true
+			},
+		}
+		return s.C.EvalHooked(map[string]logic.V(p), hooks)
+	}
+
+	evalFaulty(pair[0]) // initialisation pattern
+	faulty := evalFaulty(pair[1])
+	good := s.C.Eval(map[string]logic.V(pair[1]))
+	return s.outputsDiffer(good, faulty)
+}
+
+// Coverage summarises a detection list.
+type Coverage struct {
+	Total      int
+	Detected   int
+	ByOutput   int
+	ByIDDQ     int
+	ByTwoPat   int
+	Undetected []core.Fault
+}
+
+// Summarise builds coverage statistics.
+func Summarise(ds []Detection) Coverage {
+	var c Coverage
+	for _, d := range ds {
+		c.Total++
+		switch d.Method {
+		case ByOutput:
+			c.Detected++
+			c.ByOutput++
+		case ByIDDQ:
+			c.Detected++
+			c.ByIDDQ++
+		case ByTwoPattern:
+			c.Detected++
+			c.ByTwoPat++
+		default:
+			c.Undetected = append(c.Undetected, d.Fault)
+		}
+	}
+	return c
+}
+
+// Percent returns the fault coverage in percent.
+func (c Coverage) Percent() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return 100 * float64(c.Detected) / float64(c.Total)
+}
+
+// ExhaustivePatterns enumerates all 2^n input patterns of a circuit
+// (intended for small circuits; callers should bound n).
+func ExhaustivePatterns(c *logic.Circuit) []Pattern {
+	n := len(c.Inputs)
+	out := make([]Pattern, 0, 1<<uint(n))
+	for v := 0; v < 1<<uint(n); v++ {
+		p := Pattern{}
+		for i, pi := range c.Inputs {
+			p[pi] = logic.FromBool(v>>uint(i)&1 == 1)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

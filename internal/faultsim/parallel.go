@@ -1,0 +1,92 @@
+package faultsim
+
+import (
+	"runtime"
+	"sync"
+
+	"cpsinw/internal/core"
+	"cpsinw/internal/logic"
+)
+
+// simulateTransistorFault runs one transistor fault against the pattern
+// set, given the precomputed good-circuit responses. The hooks are built
+// fresh per call, so concurrent invocations are independent.
+func (s *Simulator) simulateTransistorFault(f core.Fault, patterns []Pattern, goods []map[string]logic.V, useIDDQ bool) (Detection, error) {
+	d := Detection{Fault: f, Pattern: -1}
+	if f.Kind.IsLineFault() {
+		return d, nil
+	}
+	if _, ok := f.Kind.TFault(); !ok {
+		return d, nil // analog-only faults are out of scope here
+	}
+	for k, p := range patterns {
+		leak := false
+		hooks, err := s.transistorHooks(f, &leak)
+		if err != nil {
+			return d, err
+		}
+		faulty := s.C.EvalHooked(map[string]logic.V(p), hooks)
+		if useIDDQ && leak {
+			d.Method = ByIDDQ
+			d.Pattern = k
+			return d, nil
+		}
+		if s.outputsDiffer(goods[k], faulty) {
+			d.Method = ByOutput
+			d.Pattern = k
+			return d, nil
+		}
+	}
+	return d, nil
+}
+
+// RunTransistorParallel is RunTransistor with the per-fault work spread
+// over a goroutine pool: each fault needs its own hooked evaluation, so
+// the fault axis is embarrassingly parallel, and the good-circuit
+// responses are computed once and shared read-only.
+func (s *Simulator) RunTransistorParallel(faults []core.Fault, patterns []Pattern, useIDDQ bool, workers int) ([]Detection, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(faults) < 2 {
+		return s.RunTransistor(faults, patterns, useIDDQ)
+	}
+
+	goods := make([]map[string]logic.V, len(patterns))
+	for k, p := range patterns {
+		goods[k] = s.C.Eval(map[string]logic.V(p))
+	}
+
+	out := make([]Detection, len(faults))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				d, err := s.simulateTransistorFault(faults[i], patterns, goods, useIDDQ)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[i] = d
+			}
+		}()
+	}
+	for i := range faults {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

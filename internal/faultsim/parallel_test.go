@@ -1,0 +1,74 @@
+package faultsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"cpsinw/internal/bench"
+	"cpsinw/internal/core"
+	"cpsinw/internal/logic"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	c := bench.RippleCarryAdder(4)
+	sim := New(c)
+	faults := core.Universe(c, core.UniverseOptions{ChannelBreak: true, Polarity: true, StuckOn: true})
+	pats := randomTestPatterns(c, 48)
+
+	serial, err := sim.RunTransistor(faults, pats, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := sim.RunTransistorParallel(faults, pats, true, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("length mismatch %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Method != parallel[i].Method || serial[i].Pattern != parallel[i].Pattern {
+			t.Errorf("fault %v: serial %v@%d vs parallel %v@%d",
+				serial[i].Fault, serial[i].Method, serial[i].Pattern,
+				parallel[i].Method, parallel[i].Pattern)
+		}
+	}
+}
+
+func TestParallelSingleWorkerFallsBack(t *testing.T) {
+	c := bench.FullAdderCP()
+	sim := New(c)
+	faults := core.Universe(c, core.UniverseOptions{Polarity: true})
+	ds, err := sim.RunTransistorParallel(faults, ExhaustivePatterns(c), true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov := Summarise(ds); cov.Detected == 0 {
+		t.Error("single-worker run detected nothing")
+	}
+}
+
+func TestParallelPropagatesErrors(t *testing.T) {
+	c := bench.FullAdderCP()
+	sim := New(c)
+	bad := []core.Fault{
+		{Kind: core.FaultChannelBreak, Gate: "nonexistent", Transistor: "t1"},
+		{Kind: core.FaultChannelBreak, Gate: "nonexistent", Transistor: "t2"},
+	}
+	if _, err := sim.RunTransistorParallel(bad, ExhaustivePatterns(c), true, 4); err == nil {
+		t.Error("unknown gate accepted")
+	}
+}
+
+func randomTestPatterns(c *logic.Circuit, n int) []Pattern {
+	rng := rand.New(rand.NewSource(7))
+	out := make([]Pattern, n)
+	for k := range out {
+		p := Pattern{}
+		for _, pi := range c.Inputs {
+			p[pi] = logic.FromBool(rng.Intn(2) == 1)
+		}
+		out[k] = p
+	}
+	return out
+}

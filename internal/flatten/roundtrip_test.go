@@ -1,0 +1,65 @@
+package flatten
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cpsinw/internal/circuit"
+	"cpsinw/internal/device"
+	"cpsinw/internal/spice"
+)
+
+// TestFlattenedNetlistRoundTrip writes the flattened full adder in the
+// SPICE-like text format, parses it back, and checks that the re-parsed
+// circuit produces the same DC solution — an integration test of the
+// writer, the parser and the simulator on a non-trivial netlist.
+func TestFlattenedNetlistRoundTrip(t *testing.T) {
+	c := fullAdder(t)
+	vdd := device.DefaultParams().VDD
+	n, err := Build(c, Options{Inputs: map[string]circuit.Waveform{
+		"a": circuit.DC(vdd), "b": circuit.DC(0), "cin": circuit.DC(vdd),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	text := n.String()
+	if !strings.Contains(text, ".end") {
+		t.Fatal("netlist text incomplete")
+	}
+	var p circuit.Parser
+	back, err := p.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("re-parse failed: %v", err)
+	}
+	if len(back.Transistors) != len(n.Transistors) ||
+		len(back.Capacitors) != len(n.Capacitors) ||
+		len(back.Sources) != len(n.Sources) {
+		t.Fatalf("element counts differ after round trip")
+	}
+
+	solve := func(net *circuit.Netlist) (sum, cout float64) {
+		e, err := spice.NewEngine(net, spice.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := e.DC(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol.V("n_sum"), sol.V("n_cout")
+	}
+	s1, c1 := solve(n)
+	s2, c2 := solve(back)
+	if math.Abs(s1-s2) > 1e-6 || math.Abs(c1-c2) > 1e-6 {
+		t.Errorf("DC solutions differ after round trip: sum %.6g vs %.6g, cout %.6g vs %.6g", s1, s2, c1, c2)
+	}
+	// a=1, b=0, cin=1: sum=0, cout=1.
+	if s1 > 0.45*vdd {
+		t.Errorf("sum = %.3f V, want logic 0", s1)
+	}
+	if c1 < 0.55*vdd {
+		t.Errorf("cout = %.3f V, want logic 1", c1)
+	}
+}

@@ -1,0 +1,222 @@
+package gates
+
+import (
+	"fmt"
+
+	"cpsinw/internal/circuit"
+	"cpsinw/internal/device"
+)
+
+// PGTerminal selects one of the two polarity gates of a transistor.
+type PGTerminal int
+
+const (
+	PGSTerminal PGTerminal = iota
+	PGDTerminal
+)
+
+// String names the terminal as in the paper's figures.
+func (p PGTerminal) String() string {
+	if p == PGSTerminal {
+		return "PGS"
+	}
+	return "PGD"
+}
+
+// FloatPG describes an open polarity-gate defect for the analog builder:
+// the selected terminal of the named transistor is detached from its net
+// and driven at Vcut (the paper's floating-node voltage sweep, Figure 5).
+type FloatPG struct {
+	Transistor string
+	Terminal   PGTerminal
+	Vcut       float64
+}
+
+// PGBridge describes the polarity-bridge defect of the paper's section
+// V-B at the analog level: both polarity terminals of the named
+// transistor are shorted to a supply rail. ToVdd true models stuck-at
+// n-type (PGs bridged to VDD); false models stuck-at p-type (to GND).
+type PGBridge struct {
+	Transistor string
+	ToVdd      bool
+}
+
+// BuildOptions configures BuildAnalog.
+type BuildOptions struct {
+	// Model is the base device model (device.Default() when nil).
+	Model *device.Model
+	// Load is the output load capacitance (F). Zero selects an FO4-style
+	// default derived from the model's gate capacitance.
+	Load float64
+	// Inputs drives each gate input; missing entries default to DC 0.
+	// Complemented literals required by DP gates are generated as ideal
+	// complementary sources, as the paper's test setup assumes.
+	Inputs []circuit.Waveform
+	// Defects injects device defects per transistor name.
+	Defects map[string]device.Defects
+	// Floats lists open polarity-gate injections.
+	Floats []FloatPG
+	// Bridges lists polarity-bridge injections (stuck-at n/p-type).
+	Bridges []PGBridge
+}
+
+// Node names used by the builder.
+const (
+	NodeOut = "out"
+	NodeVdd = "vdd"
+)
+
+// InputNode returns the node name of input i ("a", "b", ...).
+func InputNode(i int) string { return string(rune('a' + i)) }
+
+// InputNodeN returns the node name of the complemented input i.
+func InputNodeN(i int) string { return InputNode(i) + "_n" }
+
+// Complement returns the logical complement of a waveform with respect to
+// vdd (DC, Pulse and PWL are supported).
+func Complement(w circuit.Waveform, vdd float64) circuit.Waveform {
+	switch v := w.(type) {
+	case circuit.DC:
+		return circuit.DC(vdd - float64(v))
+	case circuit.Pulse:
+		return circuit.Pulse{
+			V0: vdd - v.V0, V1: vdd - v.V1,
+			Delay: v.Delay, Rise: v.Rise, Fall: v.Fall, Width: v.Width, Period: v.Period,
+		}
+	case circuit.PWL:
+		out := circuit.PWL{T: append([]float64(nil), v.T...), V: make([]float64, len(v.V))}
+		for i, x := range v.V {
+			out.V[i] = vdd - x
+		}
+		return out
+	default:
+		return circuit.DC(vdd)
+	}
+}
+
+// BuildAnalog lowers a gate spec to a transistor-level netlist ready for
+// the spice engine: ideal input sources (with complements where needed),
+// a VDD source, the transistor network, parasitic terminal capacitances
+// and the output load.
+func BuildAnalog(spec *Spec, opt BuildOptions) (*circuit.Netlist, error) {
+	model := opt.Model
+	if model == nil {
+		model = device.Default()
+	}
+	vdd := model.P.VDD
+
+	n := &circuit.Netlist{Title: spec.Name()}
+	n.AddV("VDD", NodeVdd, circuit.Ground, circuit.DC(vdd))
+
+	neededN := make([]bool, spec.NIn) // complemented literal used
+	for _, t := range spec.Transistors {
+		for _, s := range []Sig{t.D, t.CG, t.PGS, t.PGD, t.S} {
+			if s.K == SigInN {
+				neededN[s.In] = true
+			}
+		}
+	}
+	for i := 0; i < spec.NIn; i++ {
+		var w circuit.Waveform = circuit.DC(0)
+		if i < len(opt.Inputs) && opt.Inputs[i] != nil {
+			w = opt.Inputs[i]
+		}
+		n.AddV(fmt.Sprintf("VIN%d", i), InputNode(i), circuit.Ground, w)
+		if neededN[i] {
+			n.AddV(fmt.Sprintf("VIN%dN", i), InputNodeN(i), circuit.Ground, Complement(w, vdd))
+		}
+	}
+
+	floats := map[string]map[PGTerminal]float64{}
+	for _, f := range opt.Floats {
+		if spec.Transistor(f.Transistor) == nil {
+			return nil, fmt.Errorf("gates: float on unknown transistor %q", f.Transistor)
+		}
+		if floats[f.Transistor] == nil {
+			floats[f.Transistor] = map[PGTerminal]float64{}
+		}
+		floats[f.Transistor][f.Terminal] = f.Vcut
+	}
+	bridges := map[string]bool{} // transistor -> ToVdd
+	bridged := map[string]bool{}
+	for _, b := range opt.Bridges {
+		if spec.Transistor(b.Transistor) == nil {
+			return nil, fmt.Errorf("gates: bridge on unknown transistor %q", b.Transistor)
+		}
+		bridges[b.Transistor] = b.ToVdd
+		bridged[b.Transistor] = true
+	}
+
+	nodeOf := func(s Sig) string {
+		switch s.K {
+		case SigGnd:
+			return circuit.Ground
+		case SigVdd:
+			return NodeVdd
+		case SigIn:
+			return InputNode(s.In)
+		case SigInN:
+			return InputNodeN(s.In)
+		case SigOut:
+			return NodeOut
+		case SigInternal:
+			return "x_" + s.Node
+		}
+		return circuit.Ground
+	}
+
+	for _, t := range spec.Transistors {
+		m := model
+		if d, ok := opt.Defects[t.Name]; ok && d.Defective() {
+			m = model.WithDefects(d)
+		}
+		pgs := nodeOf(t.PGS)
+		pgd := nodeOf(t.PGD)
+		if bridged[t.Name] {
+			rail := circuit.Ground
+			if bridges[t.Name] {
+				rail = NodeVdd
+			}
+			pgs, pgd = rail, rail
+		}
+		if fv, ok := floats[t.Name]; ok {
+			if v, ok := fv[PGSTerminal]; ok {
+				pgs = t.Name + "_pgs_cut"
+				n.AddV("VCUT_"+t.Name+"_PGS", pgs, circuit.Ground, circuit.DC(v))
+			}
+			if v, ok := fv[PGDTerminal]; ok {
+				pgd = t.Name + "_pgd_cut"
+				n.AddV("VCUT_"+t.Name+"_PGD", pgd, circuit.Ground, circuit.DC(v))
+			}
+		}
+		tr := n.AddM("M"+t.Name, nodeOf(t.D), nodeOf(t.CG), pgs, pgd, nodeOf(t.S), m)
+		// Terminal parasitics from the model calibration: gate-channel
+		// split between D and S, plus junction parasitics.
+		cg := m.C.CGate
+		cp := m.C.CPar
+		half := cg / 2
+		addCap := func(label, a, b string, f float64) {
+			if f <= 0 || a == b {
+				return
+			}
+			n.AddC(fmt.Sprintf("C%s_%s", t.Name, label), a, b, f)
+		}
+		addCap("cgd", nodeOf(t.CG), tr.D, half)
+		addCap("cgs", nodeOf(t.CG), tr.S, half)
+		addCap("pgsd", pgs, tr.D, half/2)
+		addCap("pgss", pgs, tr.S, half/2)
+		addCap("pgdd", pgd, tr.D, half/2)
+		addCap("pgds", pgd, tr.S, half/2)
+		addCap("cdb", tr.D, circuit.Ground, cp)
+		addCap("csb", tr.S, circuit.Ground, cp)
+	}
+
+	load := opt.Load
+	if load <= 0 {
+		// FO4: four inverter input loads (CG plus both PG caps per fanout
+		// device pair).
+		load = 4 * 3 * model.C.CGate
+	}
+	n.AddC("CLOAD", NodeOut, circuit.Ground, load)
+	return n, nil
+}

@@ -1,0 +1,29 @@
+package gates
+
+// Double-Gate compatibility. A gate topology is DG-compatible when every
+// transistor drives both polarity gates from the same signal: such gates
+// drop onto the two-gate DG-SiNWFET without modification, and the paper's
+// fault models (stuck-at n/p-type, channel break, the section V-C test
+// procedure) carry over verbatim — the generality claim of section III-A.
+
+// DGCompatible reports whether every transistor of the spec ties PGS and
+// PGD to the same signal.
+func DGCompatible(s *Spec) bool {
+	for _, tr := range s.Transistors {
+		if tr.PGS != tr.PGD {
+			return false
+		}
+	}
+	return true
+}
+
+// DGKinds lists the library gates that map directly onto DG-SiNWFETs.
+func DGKinds() []Kind {
+	var out []Kind
+	for _, k := range Kinds() {
+		if DGCompatible(Get(k)) {
+			out = append(out, k)
+		}
+	}
+	return out
+}

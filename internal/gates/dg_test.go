@@ -1,0 +1,61 @@
+package gates
+
+import (
+	"testing"
+
+	"cpsinw/internal/device"
+)
+
+func TestDGCompatibility(t *testing.T) {
+	// Every gate with pairwise-driven polarity gates is DG-compatible:
+	// all SP gates and the XOR2. XOR3 and MAJ need three independent
+	// gates (they exploit PGS != PGD) and are TIG-only — exactly the
+	// compactness the TIG device buys (paper section III-A).
+	wantDG := map[Kind]bool{
+		INV: true, BUF: true, NAND2: true, NAND3: true,
+		NOR2: true, NOR3: true, XOR2: true,
+		XOR3: false, MAJ3: false,
+	}
+	for k, want := range wantDG {
+		if got := DGCompatible(Get(k)); got != want {
+			t.Errorf("DGCompatible(%v) = %v, want %v", k, got, want)
+		}
+	}
+	kinds := DGKinds()
+	if len(kinds) != 7 {
+		t.Errorf("DGKinds = %v, want 7 entries", kinds)
+	}
+}
+
+func TestDGConductionRule(t *testing.T) {
+	for _, cg := range []bool{false, true} {
+		for _, pg := range []bool{false, true} {
+			want := cg == pg
+			if got := device.ConductsDG(cg, pg); got != want {
+				t.Errorf("ConductsDG(%v,%v) = %v, want %v", cg, pg, got, want)
+			}
+		}
+	}
+}
+
+func TestDGDeviceMatchesTIGWithTiedPGs(t *testing.T) {
+	m := device.Default()
+	v := m.P.VDD
+	for _, vpg := range []float64{0, 0.4, 0.8, v} {
+		for _, vcg := range []float64{0, 0.6, v} {
+			tied := m.ID(device.Bias{VCG: vcg, VPGS: vpg, VPGD: vpg, VD: v})
+			dg := m.IDDG(vcg, vpg, v, 0)
+			if tied != dg {
+				t.Fatalf("IDDG diverges from tied-PG TIG at vcg=%v vpg=%v", vcg, vpg)
+			}
+		}
+	}
+	// The DG transfer curve is the tied-PG transfer curve.
+	a := m.DGTransferCurve(0, v, 11, v, v)
+	b := m.TransferCurve(0, v, 11, v, v, v)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("DG transfer curve differs from tied-PG TIG curve")
+		}
+	}
+}

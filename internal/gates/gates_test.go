@@ -1,0 +1,293 @@
+package gates
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"cpsinw/internal/circuit"
+	"cpsinw/internal/device"
+	"cpsinw/internal/spice"
+)
+
+func TestKindString(t *testing.T) {
+	if INV.String() != "INV" || MAJ3.String() != "MAJ3" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind formatting wrong")
+	}
+}
+
+func TestLibraryComplete(t *testing.T) {
+	if len(Kinds()) != 9 {
+		t.Fatalf("library has %d kinds, want 9", len(Kinds()))
+	}
+	for _, k := range Kinds() {
+		s := Get(k)
+		if s.Kind != k {
+			t.Errorf("%v: kind mismatch", k)
+		}
+		if s.NIn < 1 || s.NIn > 3 {
+			t.Errorf("%v: NIn = %d", k, s.NIn)
+		}
+		if len(s.Transistors) == 0 {
+			t.Errorf("%v: no transistors", k)
+		}
+		if s.Eval == nil {
+			t.Errorf("%v: no Eval", k)
+		}
+	}
+}
+
+func TestClassSplitMatchesPaper(t *testing.T) {
+	// Paper Figure 2: INV, NAND, NOR are SP; XOR2, XOR3, MAJ are DP.
+	sp := []Kind{INV, BUF, NAND2, NAND3, NOR2, NOR3}
+	dp := []Kind{XOR2, XOR3, MAJ3}
+	for _, k := range sp {
+		if Get(k).Class != StaticPolarity {
+			t.Errorf("%v should be SP", k)
+		}
+	}
+	for _, k := range dp {
+		if Get(k).Class != DynamicPolarity {
+			t.Errorf("%v should be DP", k)
+		}
+	}
+	if StaticPolarity.String() != "SP" || DynamicPolarity.String() != "DP" {
+		t.Error("class names wrong")
+	}
+}
+
+func TestSPGatesHaveRailPGs(t *testing.T) {
+	// SP definition (paper III-C): pull-up PGs at '0', pull-down at '1'.
+	for _, k := range []Kind{INV, BUF, NAND2, NAND3, NOR2, NOR3} {
+		s := Get(k)
+		for _, tr := range s.Transistors {
+			wantK := SigGnd
+			if tr.Net == NetPullDown {
+				wantK = SigVdd
+			}
+			if tr.PGS.K != wantK || tr.PGD.K != wantK {
+				t.Errorf("%v/%s: PGs not tied to the correct rail", k, tr.Name)
+			}
+		}
+	}
+}
+
+func TestDPGatesHaveSignalPGs(t *testing.T) {
+	for _, k := range []Kind{XOR2, XOR3, MAJ3} {
+		s := Get(k)
+		for _, tr := range s.Transistors {
+			for _, pg := range []Sig{tr.PGS, tr.PGD} {
+				if pg.K != SigIn && pg.K != SigInN {
+					t.Errorf("%v/%s: PG not driven by an input signal", k, tr.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestTruthTables(t *testing.T) {
+	want := map[Kind][]bool{
+		INV:   {true, false},
+		BUF:   {false, true},
+		NAND2: {true, true, true, false},
+		NOR2:  {true, false, false, false},
+		XOR2:  {false, true, true, false},
+		XOR3:  {false, true, true, false, true, false, false, true},
+		MAJ3:  {false, false, false, true, false, true, true, true},
+	}
+	for k, tt := range want {
+		got := Get(k).TruthTable()
+		for v := range tt {
+			if got[v] != tt[v] {
+				t.Errorf("%v truth table at %d: got %v want %v", k, v, got[v], tt[v])
+			}
+		}
+	}
+}
+
+// levelsOf runs a DC analog simulation of the gate for every input vector
+// and returns the measured output voltages.
+func levelsOf(t *testing.T, k Kind) []float64 {
+	t.Helper()
+	spec := Get(k)
+	m := device.Default()
+	out := make([]float64, 1<<spec.NIn)
+	for v := 0; v < 1<<spec.NIn; v++ {
+		in := spec.InputVector(v)
+		waves := make([]circuit.Waveform, spec.NIn)
+		for i := range in {
+			if in[i] {
+				waves[i] = circuit.DC(m.P.VDD)
+			} else {
+				waves[i] = circuit.DC(0)
+			}
+		}
+		n, err := BuildAnalog(spec, BuildOptions{Inputs: waves})
+		if err != nil {
+			t.Fatalf("%v: build: %v", k, err)
+		}
+		e, err := spice.NewEngine(n, spice.Options{})
+		if err != nil {
+			t.Fatalf("%v: engine: %v", k, err)
+		}
+		sol, err := e.DC(0)
+		if err != nil {
+			t.Fatalf("%v vector %d: DC: %v", k, v, err)
+		}
+		out[v] = sol.V(NodeOut)
+	}
+	return out
+}
+
+func TestAnalogTruthTablesAllGates(t *testing.T) {
+	// Every library gate must realise its Boolean function electrically:
+	// logic 1 above 55% VDD, logic 0 below 45% VDD (DP pass outputs are
+	// level-degraded but must stay on the right side of the switching
+	// threshold).
+	m := device.Default()
+	vdd := m.P.VDD
+	for _, k := range Kinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			spec := Get(k)
+			tt := spec.TruthTable()
+			levels := levelsOf(t, k)
+			for v := range tt {
+				if tt[v] && levels[v] < 0.55*vdd {
+					t.Errorf("vector %0*b: out=%.3f V, want logic 1 (> %.2f)", spec.NIn, v, levels[v], 0.55*vdd)
+				}
+				if !tt[v] && levels[v] > 0.45*vdd {
+					t.Errorf("vector %0*b: out=%.3f V, want logic 0 (< %.2f)", spec.NIn, v, levels[v], 0.45*vdd)
+				}
+			}
+		})
+	}
+}
+
+func TestXOR2RedundantDrivers(t *testing.T) {
+	// Paper section V-C: in the DP XOR2 every input combination is served
+	// by redundant conducting transistors, which masks channel breaks.
+	// Verify that for each vector at least two transistors conduct
+	// (by the logic-level conduction rule) and agree on the driven value.
+	spec := Get(XOR2)
+	for v := 0; v < 4; v++ {
+		in := spec.InputVector(v)
+		conducting := 0
+		for _, tr := range spec.Transistors {
+			cg, _ := tr.CG.Level(in)
+			pgs, _ := tr.PGS.Level(in)
+			pgd, _ := tr.PGD.Level(in)
+			if device.Conducts(cg, pgs, pgd) {
+				conducting++
+			}
+		}
+		if conducting < 2 {
+			t.Errorf("vector %02b: only %d conducting transistors, want >= 2", v, conducting)
+		}
+	}
+}
+
+func TestXOR3MAJSingleDriverPerVector(t *testing.T) {
+	// The rail-free pass gates have exactly one conducting device per
+	// input vector, passing the correct value.
+	for _, k := range []Kind{XOR3, MAJ3} {
+		spec := Get(k)
+		for v := 0; v < 1<<spec.NIn; v++ {
+			in := spec.InputVector(v)
+			conducting := 0
+			for _, tr := range spec.Transistors {
+				cg, _ := tr.CG.Level(in)
+				pgs, _ := tr.PGS.Level(in)
+				pgd, _ := tr.PGD.Level(in)
+				if !device.Conducts(cg, pgs, pgd) {
+					continue
+				}
+				conducting++
+				dv, ok := tr.D.Level(in)
+				if !ok {
+					t.Errorf("%v/%s: drain is not a driven literal", k, tr.Name)
+					continue
+				}
+				if dv != spec.Eval(in) {
+					t.Errorf("%v vector %0*b: %s passes %v, function wants %v", k, spec.NIn, v, tr.Name, dv, spec.Eval(in))
+				}
+			}
+			if conducting != 1 {
+				t.Errorf("%v vector %0*b: %d conducting devices, want exactly 1", k, spec.NIn, v, conducting)
+			}
+		}
+	}
+}
+
+func TestComplementWaveforms(t *testing.T) {
+	vdd := 1.2
+	if v := Complement(circuit.DC(0.3), vdd).At(0); math.Abs(v-0.9) > 1e-12 {
+		t.Errorf("DC complement = %v", v)
+	}
+	p := Complement(circuit.Pulse{V0: 0, V1: 1.2, Delay: 1e-10, Rise: 1e-11, Fall: 1e-11, Width: 1e-10}, vdd)
+	if v := p.At(0); math.Abs(v-1.2) > 1e-12 {
+		t.Errorf("pulse complement at rest = %v, want 1.2", v)
+	}
+	w := Complement(circuit.PWL{T: []float64{0, 1}, V: []float64{0, 1.2}}, vdd)
+	if v := w.At(1); math.Abs(v) > 1e-12 {
+		t.Errorf("pwl complement end = %v, want 0", v)
+	}
+}
+
+func TestBuildAnalogFloatPG(t *testing.T) {
+	spec := Get(INV)
+	n, err := BuildAnalog(spec, BuildOptions{
+		Inputs: []circuit.Waveform{circuit.DC(0)},
+		Floats: []FloatPG{{Transistor: "t1", Terminal: PGDTerminal, Vcut: 0.4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.SourceByName("VCUT_t1_PGD") == nil {
+		t.Fatal("Vcut source missing")
+	}
+	m := n.TransistorByName("Mt1")
+	if m.PGD != "t1_pgd_cut" {
+		t.Errorf("PGD not rewired: %q", m.PGD)
+	}
+	if m.PGS != circuit.Ground {
+		t.Errorf("PGS should stay at ground: %q", m.PGS)
+	}
+	if _, err := BuildAnalog(spec, BuildOptions{Floats: []FloatPG{{Transistor: "zz"}}}); err == nil {
+		t.Error("unknown transistor float accepted")
+	}
+}
+
+func TestBuildAnalogDefectInjection(t *testing.T) {
+	spec := Get(NAND2)
+	n, err := BuildAnalog(spec, BuildOptions{
+		Defects: map[string]device.Defects{"t3": {BreakSeverity: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := n.TransistorByName("Mt3").CompactModel().D; d.BreakSeverity != 1 {
+		t.Errorf("defect not injected: %+v", d)
+	}
+	if d := n.TransistorByName("Mt1").CompactModel().D; d.Defective() {
+		t.Errorf("defect leaked to healthy transistor: %+v", d)
+	}
+}
+
+func TestInputNodeNames(t *testing.T) {
+	if InputNode(0) != "a" || InputNode(2) != "c" || InputNodeN(1) != "b_n" {
+		t.Error("input node naming broken")
+	}
+	if PGSTerminal.String() != "PGS" || PGDTerminal.String() != "PGD" {
+		t.Error("terminal names broken")
+	}
+}
+
+func ExampleGet() {
+	spec := Get(XOR2)
+	fmt.Println(spec.Name(), spec.Class, len(spec.Transistors))
+	// Output: XOR2 DP 4
+}

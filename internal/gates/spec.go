@@ -1,0 +1,310 @@
+// Package gates defines the controllable-polarity logic gate library of
+// the paper: the Static Polarity (SP) gates INV, NAND and NOR, whose
+// polarity gates are tied to the supply rails, and the Dynamic Polarity
+// (DP) gates XOR2, XOR3 and MAJ, whose polarity gates are driven by input
+// signals (paper Figure 2). Each gate is described at the transistor level
+// (for analog simulation and switch-level fault injection) and at the
+// function level (for gate-level simulation and ATPG).
+//
+// The DP topologies are reconstructions validated against every
+// behavioural statement in the paper; see DESIGN.md section 5.
+package gates
+
+import "fmt"
+
+// Kind enumerates the library gates.
+type Kind int
+
+const (
+	INV Kind = iota
+	BUF
+	NAND2
+	NAND3
+	NOR2
+	NOR3
+	XOR2
+	XOR3
+	MAJ3
+)
+
+var kindNames = map[Kind]string{
+	INV: "INV", BUF: "BUF", NAND2: "NAND2", NAND3: "NAND3",
+	NOR2: "NOR2", NOR3: "NOR3", XOR2: "XOR2", XOR3: "XOR3", MAJ3: "MAJ3",
+}
+
+// String returns the conventional gate name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds lists every gate in the library.
+func Kinds() []Kind {
+	return []Kind{INV, BUF, NAND2, NAND3, NOR2, NOR3, XOR2, XOR3, MAJ3}
+}
+
+// Class splits the library into the paper's two categories.
+type Class int
+
+const (
+	StaticPolarity  Class = iota // PGs tied to VDD/GND
+	DynamicPolarity              // PGs driven by input signals
+)
+
+// String names the class as in the paper.
+func (c Class) String() string {
+	if c == StaticPolarity {
+		return "SP"
+	}
+	return "DP"
+}
+
+// Net identifies the sub-network a transistor belongs to.
+type Net int
+
+const (
+	NetPullUp   Net = iota // sources logic 1 toward the output
+	NetPullDown            // sources logic 0 toward the output
+)
+
+// String names the network.
+func (n Net) String() string {
+	if n == NetPullUp {
+		return "pull-up"
+	}
+	return "pull-down"
+}
+
+// SigKind describes what a transistor terminal connects to.
+type SigKind int
+
+const (
+	SigGnd      SigKind = iota // ground rail
+	SigVdd                     // supply rail
+	SigIn                      // input literal
+	SigInN                     // complemented input literal
+	SigOut                     // gate output
+	SigInternal                // named internal node
+)
+
+// Sig is one terminal connection.
+type Sig struct {
+	K    SigKind
+	In   int    // input index for SigIn/SigInN
+	Node string // node name for SigInternal
+}
+
+// Convenience constructors.
+func Gnd() Sig              { return Sig{K: SigGnd} }
+func Vdd() Sig              { return Sig{K: SigVdd} }
+func In(i int) Sig          { return Sig{K: SigIn, In: i} }
+func InN(i int) Sig         { return Sig{K: SigInN, In: i} }
+func Out() Sig              { return Sig{K: SigOut} }
+func Internal(n string) Sig { return Sig{K: SigInternal, Node: n} }
+
+// Level returns the logic level of the signal under the given input
+// vector; ok is false for output/internal signals whose level is not a
+// direct function of the inputs.
+func (s Sig) Level(inputs []bool) (level, ok bool) {
+	switch s.K {
+	case SigGnd:
+		return false, true
+	case SigVdd:
+		return true, true
+	case SigIn:
+		if s.In < len(inputs) {
+			return inputs[s.In], true
+		}
+	case SigInN:
+		if s.In < len(inputs) {
+			return !inputs[s.In], true
+		}
+	}
+	return false, false
+}
+
+// TransistorSpec is one TIG-SiNWFET inside a gate. Terminal order matches
+// the device package: drain, control gate, two polarity gates, source.
+// By convention the source side faces the output for rail-connected
+// devices and the drain side carries the passed signal for DP pass
+// devices.
+type TransistorSpec struct {
+	Name               string
+	D, CG, PGS, PGD, S Sig
+	Net                Net
+}
+
+// Spec is a complete library gate.
+type Spec struct {
+	Kind        Kind
+	NIn         int
+	Class       Class
+	Transistors []TransistorSpec
+	// Eval is the reference Boolean function.
+	Eval func(in []bool) bool
+}
+
+// Name returns the gate name.
+func (s *Spec) Name() string { return s.Kind.String() }
+
+// Transistor returns the named transistor spec, or nil.
+func (s *Spec) Transistor(name string) *TransistorSpec {
+	for i := range s.Transistors {
+		if s.Transistors[i].Name == name {
+			return &s.Transistors[i]
+		}
+	}
+	return nil
+}
+
+// TruthTable evaluates the gate over all 2^NIn input vectors, LSB-first
+// (vector v assigns input i the bit (v>>i)&1).
+func (s *Spec) TruthTable() []bool {
+	n := 1 << s.NIn
+	out := make([]bool, n)
+	in := make([]bool, s.NIn)
+	for v := 0; v < n; v++ {
+		for i := range in {
+			in[i] = (v>>i)&1 == 1
+		}
+		out[v] = s.Eval(in)
+	}
+	return out
+}
+
+// InputVector converts vector index v to the input slice.
+func (s *Spec) InputVector(v int) []bool {
+	in := make([]bool, s.NIn)
+	for i := range in {
+		in[i] = (v>>i)&1 == 1
+	}
+	return in
+}
+
+// Get returns the library spec for the given kind.
+func Get(k Kind) *Spec {
+	s, ok := library[k]
+	if !ok {
+		panic(fmt.Sprintf("gates: unknown kind %v", k))
+	}
+	return s
+}
+
+var library = map[Kind]*Spec{}
+
+func register(s *Spec) { library[s.Kind] = s }
+
+func init() {
+	// --- Static Polarity gates: CMOS-shaped, PGs tied to rails. ---
+	register(&Spec{
+		Kind: INV, NIn: 1, Class: StaticPolarity,
+		Transistors: []TransistorSpec{
+			{Name: "t1", S: Vdd(), CG: In(0), PGS: Gnd(), PGD: Gnd(), D: Out(), Net: NetPullUp},
+			{Name: "t3", D: Out(), CG: In(0), PGS: Vdd(), PGD: Vdd(), S: Gnd(), Net: NetPullDown},
+		},
+		Eval: func(in []bool) bool { return !in[0] },
+	})
+	register(&Spec{
+		Kind: BUF, NIn: 1, Class: StaticPolarity,
+		Transistors: []TransistorSpec{
+			{Name: "t1", S: Vdd(), CG: In(0), PGS: Gnd(), PGD: Gnd(), D: Internal("m"), Net: NetPullUp},
+			{Name: "t2", D: Internal("m"), CG: In(0), PGS: Vdd(), PGD: Vdd(), S: Gnd(), Net: NetPullDown},
+			{Name: "t3", S: Vdd(), CG: Internal("m"), PGS: Gnd(), PGD: Gnd(), D: Out(), Net: NetPullUp},
+			{Name: "t4", D: Out(), CG: Internal("m"), PGS: Vdd(), PGD: Vdd(), S: Gnd(), Net: NetPullDown},
+		},
+		Eval: func(in []bool) bool { return in[0] },
+	})
+	register(&Spec{
+		Kind: NAND2, NIn: 2, Class: StaticPolarity,
+		Transistors: []TransistorSpec{
+			{Name: "t1", S: Vdd(), CG: In(0), PGS: Gnd(), PGD: Gnd(), D: Out(), Net: NetPullUp},
+			{Name: "t2", S: Vdd(), CG: In(1), PGS: Gnd(), PGD: Gnd(), D: Out(), Net: NetPullUp},
+			{Name: "t3", D: Out(), CG: In(0), PGS: Vdd(), PGD: Vdd(), S: Internal("n1"), Net: NetPullDown},
+			{Name: "t4", D: Internal("n1"), CG: In(1), PGS: Vdd(), PGD: Vdd(), S: Gnd(), Net: NetPullDown},
+		},
+		Eval: func(in []bool) bool { return !(in[0] && in[1]) },
+	})
+	register(&Spec{
+		Kind: NAND3, NIn: 3, Class: StaticPolarity,
+		Transistors: []TransistorSpec{
+			{Name: "t1", S: Vdd(), CG: In(0), PGS: Gnd(), PGD: Gnd(), D: Out(), Net: NetPullUp},
+			{Name: "t2", S: Vdd(), CG: In(1), PGS: Gnd(), PGD: Gnd(), D: Out(), Net: NetPullUp},
+			{Name: "t3", S: Vdd(), CG: In(2), PGS: Gnd(), PGD: Gnd(), D: Out(), Net: NetPullUp},
+			{Name: "t4", D: Out(), CG: In(0), PGS: Vdd(), PGD: Vdd(), S: Internal("n1"), Net: NetPullDown},
+			{Name: "t5", D: Internal("n1"), CG: In(1), PGS: Vdd(), PGD: Vdd(), S: Internal("n2"), Net: NetPullDown},
+			{Name: "t6", D: Internal("n2"), CG: In(2), PGS: Vdd(), PGD: Vdd(), S: Gnd(), Net: NetPullDown},
+		},
+		Eval: func(in []bool) bool { return !(in[0] && in[1] && in[2]) },
+	})
+	register(&Spec{
+		Kind: NOR2, NIn: 2, Class: StaticPolarity,
+		Transistors: []TransistorSpec{
+			{Name: "t1", S: Vdd(), CG: In(0), PGS: Gnd(), PGD: Gnd(), D: Internal("p1"), Net: NetPullUp},
+			{Name: "t2", S: Internal("p1"), CG: In(1), PGS: Gnd(), PGD: Gnd(), D: Out(), Net: NetPullUp},
+			{Name: "t3", D: Out(), CG: In(0), PGS: Vdd(), PGD: Vdd(), S: Gnd(), Net: NetPullDown},
+			{Name: "t4", D: Out(), CG: In(1), PGS: Vdd(), PGD: Vdd(), S: Gnd(), Net: NetPullDown},
+		},
+		Eval: func(in []bool) bool { return !(in[0] || in[1]) },
+	})
+	register(&Spec{
+		Kind: NOR3, NIn: 3, Class: StaticPolarity,
+		Transistors: []TransistorSpec{
+			{Name: "t1", S: Vdd(), CG: In(0), PGS: Gnd(), PGD: Gnd(), D: Internal("p1"), Net: NetPullUp},
+			{Name: "t2", S: Internal("p1"), CG: In(1), PGS: Gnd(), PGD: Gnd(), D: Internal("p2"), Net: NetPullUp},
+			{Name: "t3", S: Internal("p2"), CG: In(2), PGS: Gnd(), PGD: Gnd(), D: Out(), Net: NetPullUp},
+			{Name: "t4", D: Out(), CG: In(0), PGS: Vdd(), PGD: Vdd(), S: Gnd(), Net: NetPullDown},
+			{Name: "t5", D: Out(), CG: In(1), PGS: Vdd(), PGD: Vdd(), S: Gnd(), Net: NetPullDown},
+			{Name: "t6", D: Out(), CG: In(2), PGS: Vdd(), PGD: Vdd(), S: Gnd(), Net: NetPullDown},
+		},
+		Eval: func(in []bool) bool { return !(in[0] || in[1] || in[2]) },
+	})
+
+	// --- Dynamic Polarity gates: PGs driven by inputs. ---
+	// XOR2: programmable inverter/buffer; every input combination has one
+	// strong driver and one same-direction redundant (degraded) driver —
+	// the pass-transistor redundancy of the paper's section V-C.
+	register(&Spec{
+		Kind: XOR2, NIn: 2, Class: DynamicPolarity,
+		Transistors: []TransistorSpec{
+			{Name: "t1", S: Vdd(), CG: In(0), PGS: InN(1), PGD: InN(1), D: Out(), Net: NetPullUp},
+			{Name: "t2", S: Vdd(), CG: InN(0), PGS: In(1), PGD: In(1), D: Out(), Net: NetPullUp},
+			{Name: "t3", D: Out(), CG: In(0), PGS: In(1), PGD: In(1), S: Gnd(), Net: NetPullDown},
+			{Name: "t4", D: Out(), CG: InN(0), PGS: InN(1), PGD: InN(1), S: Gnd(), Net: NetPullDown},
+		},
+		Eval: func(in []bool) bool { return in[0] != in[1] },
+	})
+	// XOR3: single-stage pass structure; each device covers one odd and
+	// one even parity minterm, passing its own control-gate literal.
+	register(&Spec{
+		Kind: XOR3, NIn: 3, Class: DynamicPolarity,
+		Transistors: []TransistorSpec{
+			{Name: "t1", D: In(0), CG: In(0), PGS: In(1), PGD: In(2), S: Out(), Net: NetPullUp},
+			{Name: "t2", D: In(0), CG: In(0), PGS: InN(1), PGD: InN(2), S: Out(), Net: NetPullUp},
+			{Name: "t3", D: In(1), CG: In(1), PGS: InN(0), PGD: InN(2), S: Out(), Net: NetPullDown},
+			{Name: "t4", D: In(2), CG: In(2), PGS: InN(0), PGD: InN(1), S: Out(), Net: NetPullDown},
+		},
+		Eval: func(in []bool) bool { return in[0] != in[1] != in[2] },
+	})
+	// MAJ: each device covers a complementary minterm pair {x, !x} whose
+	// majority values are always {0, 1}.
+	register(&Spec{
+		Kind: MAJ3, NIn: 3, Class: DynamicPolarity,
+		Transistors: []TransistorSpec{
+			{Name: "t1", D: In(0), CG: InN(0), PGS: InN(1), PGD: InN(2), S: Out(), Net: NetPullUp},
+			{Name: "t2", D: In(1), CG: InN(0), PGS: InN(1), PGD: In(2), S: Out(), Net: NetPullUp},
+			{Name: "t3", D: In(2), CG: InN(0), PGS: In(1), PGD: InN(2), S: Out(), Net: NetPullDown},
+			{Name: "t4", D: In(1), CG: In(0), PGS: InN(1), PGD: InN(2), S: Out(), Net: NetPullDown},
+		},
+		Eval: func(in []bool) bool {
+			n := 0
+			for _, b := range in[:3] {
+				if b {
+					n++
+				}
+			}
+			return n >= 2
+		},
+	})
+}

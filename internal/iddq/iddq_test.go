@@ -1,0 +1,109 @@
+package iddq
+
+import (
+	"math"
+	"testing"
+
+	"cpsinw/internal/circuit"
+	"cpsinw/internal/device"
+	"cpsinw/internal/gates"
+)
+
+func buildXOR2(t *testing.T, bridges []gates.PGBridge) *circuit.Netlist {
+	t.Helper()
+	n, err := gates.BuildAnalog(gates.Get(gates.XOR2), gates.BuildOptions{Bridges: bridges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestMeasureStatesGolden(t *testing.T) {
+	n := buildXOR2(t, nil)
+	ms, err := MeasureStates(n, []string{"VIN0", "VIN1"}, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 4 {
+		t.Fatalf("states = %d, want 4", len(ms))
+	}
+	for _, m := range ms {
+		if m.Current <= 0 {
+			t.Errorf("state %d: current %.3g, want > 0 (gmin floor at least)", m.Vector, m.Current)
+		}
+		if m.Current > 1e-8 {
+			t.Errorf("state %d: golden current %.3g too high", m.Vector, m.Current)
+		}
+	}
+	// Waveforms restored afterwards.
+	if _, ok := n.SourceByName("VIN0").W.(circuit.DC); !ok {
+		t.Error("input waveform not restored")
+	}
+}
+
+func TestMeasureStatesUnknownSource(t *testing.T) {
+	n := buildXOR2(t, nil)
+	if _, err := MeasureStates(n, []string{"NOPE"}, 1.2); err == nil {
+		t.Error("unknown source accepted")
+	}
+}
+
+func TestBridgeRaisesIDDQ(t *testing.T) {
+	golden, err := MeasureStates(buildXOR2(t, nil), []string{"VIN0", "VIN1"}, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := MeasureStates(buildXOR2(t, []gates.PGBridge{{Transistor: "t1", ToVdd: true}}),
+		[]string{"VIN0", "VIN1"}, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := Classify(golden, faulty, 100)
+	if !cls.Detectable {
+		t.Errorf("stuck-at-n bridge not IDDQ-detectable: %+v", cls)
+	}
+	if cls.Ratio < 100 {
+		t.Errorf("ratio %.3g, want >= 100", cls.Ratio)
+	}
+	// The incriminating vector must be a real measurement.
+	if m, ok := At(faulty, cls.Vector); !ok || math.Abs(m.Current-cls.Measured) > 1e-15 {
+		t.Error("classification vector inconsistent with measurements")
+	}
+}
+
+func TestGoldenSelfClassification(t *testing.T) {
+	golden, err := MeasureStates(buildXOR2(t, nil), []string{"VIN0", "VIN1"}, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := Classify(golden, golden, 10)
+	if cls.Detectable {
+		t.Errorf("golden circuit classified as faulty: %+v", cls)
+	}
+	if math.Abs(cls.Ratio-1) > 1e-9 {
+		t.Errorf("self ratio = %v, want 1", cls.Ratio)
+	}
+}
+
+func TestWorstAndAt(t *testing.T) {
+	ms := []Measurement{{Vector: 0, Current: 1}, {Vector: 1, Current: 5}, {Vector: 2, Current: 3}}
+	if w := Worst(ms); w.Vector != 1 || w.Current != 5 {
+		t.Errorf("Worst = %+v", w)
+	}
+	if _, ok := At(ms, 7); ok {
+		t.Error("At found a missing vector")
+	}
+	if m, ok := At(ms, 2); !ok || m.Current != 3 {
+		t.Errorf("At(2) = %+v, %v", m, ok)
+	}
+}
+
+func TestClassifyDefaultThreshold(t *testing.T) {
+	g := []Measurement{{Vector: 0, Current: 1e-12}}
+	d := []Measurement{{Vector: 0, Current: 1e-10}}
+	cls := Classify(g, d, 0) // default threshold 10
+	if !cls.Detectable || cls.Ratio < 99 {
+		t.Errorf("classification: %+v", cls)
+	}
+	_ = device.DefaultParams() // keep the device import meaningful for build tags
+}

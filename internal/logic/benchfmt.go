@@ -1,0 +1,198 @@
+package logic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cpsinw/internal/gates"
+)
+
+// The .bench-style netlist format (hand-rolled, ISCAS-85 flavoured):
+//
+//	# comment
+//	INPUT(a)
+//	OUTPUT(y)
+//	n1 = NAND(a, b)        # arity inferred: NAND/NOR/AND-less library
+//	n2 = XOR(n1, c)
+//	n3 = MAJ(a, b, c)
+//	y  = NOT(n2)           # NOT and INV are synonyms; BUF/BUFF too
+//
+// Supported functions: NOT/INV, BUF/BUFF, NAND (2-3 in), NOR (2-3 in),
+// XOR (2-3 in), MAJ (3 in).
+
+// ParseBench reads the .bench format into a Circuit.
+func ParseBench(name string, r io.Reader) (*Circuit, error) {
+	var inputs, outputs []string
+	var insts []GateInst
+	sc := bufio.NewScanner(r)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "INPUT(") && strings.HasSuffix(line, ")"):
+			inputs = append(inputs, strings.TrimSpace(line[6:len(line)-1]))
+		case strings.HasPrefix(upper, "OUTPUT(") && strings.HasSuffix(line, ")"):
+			outputs = append(outputs, strings.TrimSpace(line[7:len(line)-1]))
+		default:
+			eq := strings.IndexByte(line, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("bench line %d: expected assignment: %q", ln, line)
+			}
+			out := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			op := strings.IndexByte(rhs, '(')
+			if op < 0 || !strings.HasSuffix(rhs, ")") {
+				return nil, fmt.Errorf("bench line %d: expected FUNC(args): %q", ln, rhs)
+			}
+			fn := strings.ToUpper(strings.TrimSpace(rhs[:op]))
+			var args []string
+			for _, a := range strings.Split(rhs[op+1:len(rhs)-1], ",") {
+				a = strings.TrimSpace(a)
+				if a != "" {
+					args = append(args, a)
+				}
+			}
+			kind, err := kindFor(fn, len(args))
+			if err != nil {
+				return nil, fmt.Errorf("bench line %d: %v", ln, err)
+			}
+			insts = append(insts, GateInst{
+				Name:   fmt.Sprintf("g%d_%s", len(insts), out),
+				Kind:   kind,
+				Fanin:  args,
+				Output: out,
+			})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewCircuit(name, inputs, outputs, insts)
+}
+
+func kindFor(fn string, arity int) (gates.Kind, error) {
+	switch fn {
+	case "NOT", "INV":
+		if arity != 1 {
+			return 0, fmt.Errorf("%s wants 1 argument, got %d", fn, arity)
+		}
+		return gates.INV, nil
+	case "BUF", "BUFF":
+		if arity != 1 {
+			return 0, fmt.Errorf("%s wants 1 argument, got %d", fn, arity)
+		}
+		return gates.BUF, nil
+	case "NAND":
+		switch arity {
+		case 2:
+			return gates.NAND2, nil
+		case 3:
+			return gates.NAND3, nil
+		}
+		return 0, fmt.Errorf("NAND wants 2 or 3 arguments, got %d", arity)
+	case "NOR":
+		switch arity {
+		case 2:
+			return gates.NOR2, nil
+		case 3:
+			return gates.NOR3, nil
+		}
+		return 0, fmt.Errorf("NOR wants 2 or 3 arguments, got %d", arity)
+	case "XOR":
+		switch arity {
+		case 2:
+			return gates.XOR2, nil
+		case 3:
+			return gates.XOR3, nil
+		}
+		return 0, fmt.Errorf("XOR wants 2 or 3 arguments, got %d", arity)
+	case "MAJ":
+		if arity != 3 {
+			return 0, fmt.Errorf("MAJ wants 3 arguments, got %d", arity)
+		}
+		return gates.MAJ3, nil
+	}
+	return 0, fmt.Errorf("unknown function %q", fn)
+}
+
+func benchFn(k gates.Kind) string {
+	switch k {
+	case gates.INV:
+		return "NOT"
+	case gates.BUF:
+		return "BUF"
+	case gates.NAND2, gates.NAND3:
+		return "NAND"
+	case gates.NOR2, gates.NOR3:
+		return "NOR"
+	case gates.XOR2, gates.XOR3:
+		return "XOR"
+	case gates.MAJ3:
+		return "MAJ"
+	}
+	return "?"
+}
+
+// WriteBench emits the circuit in the .bench format; the output parses
+// back into an equivalent circuit.
+func WriteBench(w io.Writer, c *Circuit) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", c.Name)
+	for _, pi := range c.Inputs {
+		fmt.Fprintf(&b, "INPUT(%s)\n", pi)
+	}
+	for _, po := range c.Outputs {
+		fmt.Fprintf(&b, "OUTPUT(%s)\n", po)
+	}
+	for _, g := range c.Gates {
+		fmt.Fprintf(&b, "%s = %s(%s)\n", g.Output, benchFn(g.Kind), strings.Join(g.Fanin, ", "))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Stats summarises a circuit for reports.
+type Stats struct {
+	Inputs, Outputs, Gates int
+	ByKind                 map[gates.Kind]int
+	DPGates                int // dynamic-polarity gate count
+}
+
+// Statistics computes circuit statistics.
+func (c *Circuit) Statistics() Stats {
+	s := Stats{Inputs: len(c.Inputs), Outputs: len(c.Outputs), Gates: len(c.Gates), ByKind: map[gates.Kind]int{}}
+	for _, g := range c.Gates {
+		s.ByKind[g.Kind]++
+		if gates.Get(g.Kind).Class == gates.DynamicPolarity {
+			s.DPGates++
+		}
+	}
+	return s
+}
+
+// String renders the stats compactly, kinds sorted by name.
+func (s Stats) String() string {
+	kinds := make([]gates.Kind, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].String() < kinds[j].String() })
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, s.ByKind[k]))
+	}
+	return fmt.Sprintf("PI=%d PO=%d gates=%d (DP=%d) [%s]",
+		s.Inputs, s.Outputs, s.Gates, s.DPGates, strings.Join(parts, " "))
+}

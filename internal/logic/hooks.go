@@ -1,0 +1,88 @@
+package logic
+
+// TernaryHooks customises Eval for fault injection. Any hook may be nil.
+type TernaryHooks struct {
+	// Stem transforms a net value right after it is produced (primary
+	// input or gate output) — line stem faults.
+	Stem func(net string, v V) V
+	// Pin transforms the value read by one gate input — fanout branch
+	// faults.
+	Pin func(gateIdx, pin int, v V) V
+	// Gate overrides the evaluation of a gate; return ok=false to use the
+	// normal function — transistor-fault behaviour tables.
+	Gate func(gateIdx int, in []V) (V, bool)
+}
+
+// EvalHooked simulates the circuit with injection hooks and returns every
+// net value.
+func (c *Circuit) EvalHooked(assign map[string]V, h TernaryHooks) map[string]V {
+	vals := map[string]V{}
+	stem := func(net string, v V) V {
+		if h.Stem != nil {
+			return h.Stem(net, v)
+		}
+		return v
+	}
+	for _, pi := range c.Inputs {
+		v, ok := assign[pi]
+		if !ok {
+			v = LX
+		}
+		vals[pi] = stem(pi, v)
+	}
+	in := make([]V, 3)
+	for _, gi := range c.levelized {
+		g := &c.Gates[gi]
+		in = in[:len(g.Fanin)]
+		for i, f := range g.Fanin {
+			v := vals[f]
+			if h.Pin != nil {
+				v = h.Pin(gi, i, v)
+			}
+			in[i] = v
+		}
+		var out V
+		var overridden bool
+		if h.Gate != nil {
+			out, overridden = h.Gate(gi, in)
+		}
+		if !overridden {
+			out = evalKind(g.Kind, in)
+		}
+		vals[g.Output] = stem(g.Output, out)
+	}
+	return vals
+}
+
+// PackedHooks customises EvalPacked for 64-way parallel fault injection.
+type PackedHooks struct {
+	Stem func(net string, w uint64) uint64
+	Pin  func(gateIdx, pin int, w uint64) uint64
+}
+
+// EvalPackedHooked simulates 64 binary patterns with line-fault hooks.
+func (c *Circuit) EvalPackedHooked(assign PackedAssign, h PackedHooks) map[string]uint64 {
+	vals := map[string]uint64{}
+	stem := func(net string, w uint64) uint64 {
+		if h.Stem != nil {
+			return h.Stem(net, w)
+		}
+		return w
+	}
+	for _, pi := range c.Inputs {
+		vals[pi] = stem(pi, assign[pi])
+	}
+	var words [3]uint64
+	for _, gi := range c.levelized {
+		g := &c.Gates[gi]
+		for i, f := range g.Fanin {
+			w := vals[f]
+			if h.Pin != nil {
+				w = h.Pin(gi, i, w)
+			}
+			words[i] = w
+		}
+		vals[g.Output] = stem(g.Output, evalPackedWords(g.Kind, words[:len(g.Fanin)]))
+	}
+	return vals
+}

@@ -1,0 +1,150 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cpsinw/internal/gates"
+)
+
+// TestHookedIdentityProperty: EvalHooked with identity hooks must equal
+// Eval on every net for random assignments.
+func TestHookedIdentityProperty(t *testing.T) {
+	c := mustParse(t, fullAdderBench)
+	identity := TernaryHooks{
+		Stem: func(_ string, v V) V { return v },
+		Pin:  func(_, _ int, v V) V { return v },
+	}
+	f := func(a, b, ci uint8) bool {
+		tern := func(x uint8) V {
+			switch x % 3 {
+			case 0:
+				return L0
+			case 1:
+				return L1
+			}
+			return LX
+		}
+		assign := map[string]V{"a": tern(a), "b": tern(b), "cin": tern(ci)}
+		plain := c.Eval(assign)
+		hooked := c.EvalHooked(assign, identity)
+		for net, v := range plain {
+			if hooked[net] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTernaryMonotonicityProperty: refining an X input to a binary value
+// must never change an already-defined net (ternary simulation is
+// monotone in the information order) — the property PODEM's soundness
+// argument rests on.
+func TestTernaryMonotonicityProperty(t *testing.T) {
+	c := mustParse(t, fullAdderBench)
+	f := func(a, b uint8, refined bool) bool {
+		tern := func(x uint8) V {
+			switch x % 3 {
+			case 0:
+				return L0
+			case 1:
+				return L1
+			}
+			return LX
+		}
+		partial := map[string]V{"a": tern(a), "b": tern(b), "cin": LX}
+		full := map[string]V{"a": tern(a), "b": tern(b), "cin": FromBool(refined)}
+		before := c.Eval(partial)
+		after := c.Eval(full)
+		for net, v := range before {
+			if v == LX {
+				continue
+			}
+			if after[net] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSwitchMatchesGateFunctionProperty: the switch-level solver agrees
+// with the Boolean function for every library gate under random binary
+// vectors (randomised version of the exhaustive check).
+func TestSwitchMatchesGateFunctionProperty(t *testing.T) {
+	f := func(kidx uint8, vec uint8) bool {
+		kinds := gates.Kinds()
+		spec := gates.Get(kinds[int(kidx)%len(kinds)])
+		v := int(vec) % (1 << spec.NIn)
+		bits := spec.InputVector(v)
+		in := make([]V, spec.NIn)
+		for i, b := range bits {
+			in[i] = FromBool(b)
+		}
+		res := EvalSwitch(spec, in, nil, nil)
+		return res.Out == FromBool(spec.Eval(bits)) && !res.Leak
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChargeRetentionProperty: with every transistor broken, the gate
+// output retains whatever the previous state held, for any library gate
+// and any vector.
+func TestChargeRetentionProperty(t *testing.T) {
+	f := func(kidx, vec uint8, prevBit bool) bool {
+		kinds := gates.Kinds()
+		spec := gates.Get(kinds[int(kidx)%len(kinds)])
+		faults := map[string]TFault{}
+		for _, tr := range spec.Transistors {
+			faults[tr.Name] = TFaultOpen
+		}
+		v := int(vec) % (1 << spec.NIn)
+		bits := spec.InputVector(v)
+		in := make([]V, spec.NIn)
+		for i, b := range bits {
+			in[i] = FromBool(b)
+		}
+		prev := map[string]V{"out": FromBool(prevBit)}
+		res := EvalSwitch(spec, in, faults, prev)
+		return res.Out == FromBool(prevBit) && res.OutStrength == SCharge
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPackedVsTernaryProperty: packed 64-way simulation agrees with
+// ternary simulation on binary assignments for the full adder.
+func TestPackedVsTernaryProperty(t *testing.T) {
+	c := mustParse(t, fullAdderBench)
+	f := func(wa, wb, wc uint64) bool {
+		packed := c.EvalPacked(PackedAssign{"a": wa, "b": wb, "cin": wc})
+		for p := 0; p < 64; p += 11 {
+			assign := map[string]V{
+				"a":   FromBool(wa>>uint(p)&1 == 1),
+				"b":   FromBool(wb>>uint(p)&1 == 1),
+				"cin": FromBool(wc>>uint(p)&1 == 1),
+			}
+			serial := c.Eval(assign)
+			for _, po := range c.Outputs {
+				want, _ := serial[po].Bool()
+				if packed[po]>>uint(p)&1 == 1 != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

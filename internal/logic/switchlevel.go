@@ -1,0 +1,505 @@
+package logic
+
+import (
+	"cpsinw/internal/gates"
+)
+
+// TFault is a transistor-level fault injected into a switch-level
+// evaluation. TFaultStuckAtN and TFaultStuckAtP are the paper's new fault
+// models: the polarity terminals bridged to VDD respectively GND.
+type TFault int
+
+const (
+	TFaultNone     TFault = iota
+	TFaultOpen            // stuck-open / channel break: never conducts
+	TFaultStuckOn         // always conducts at full strength
+	TFaultStuckAtN        // stuck-at n-type: PGS = PGD = '1'
+	TFaultStuckAtP        // stuck-at p-type: PGS = PGD = '0'
+)
+
+// String names the fault as in the paper.
+func (f TFault) String() string {
+	switch f {
+	case TFaultNone:
+		return "fault-free"
+	case TFaultOpen:
+		return "stuck-open"
+	case TFaultStuckOn:
+		return "stuck-on"
+	case TFaultStuckAtN:
+		return "stuck-at-n-type"
+	case TFaultStuckAtP:
+		return "stuck-at-p-type"
+	}
+	return "invalid"
+}
+
+// conduction mode of one transistor under given gate levels.
+type mode int
+
+const (
+	modeOff mode = iota
+	modeN
+	modeP
+	modeClosed  // stuck-on: ideal closed switch
+	modeUnknown // gate level X: may or may not conduct
+)
+
+// SwitchResult is the outcome of a switch-level gate evaluation.
+type SwitchResult struct {
+	// Out is the resolved output value.
+	Out V
+	// OutStrength is the strength of the winning drive at the output.
+	OutStrength Strength
+	// Contention reports opposing drives of equal strength at a node
+	// (resolved in favour of logic 0 — the electron branch of the device
+	// is the stronger one in this technology).
+	Contention bool
+	// Leak reports a conducting rail-to-rail path (elevated IDDQ).
+	Leak bool
+	// Nodes holds the resolved value of the output and internal nodes.
+	Nodes map[string]V
+}
+
+// EvalSwitch solves the transistor network of one gate at the given input
+// vector. faults optionally injects per-transistor faults, keyed by the
+// transistor name in the spec; prev supplies previous node values for
+// charge retention (two-pattern testing), keyed by node label ("out" for
+// the output, internal node names otherwise).
+func EvalSwitch(spec *gates.Spec, in []V, faults map[string]TFault, prev map[string]V) SwitchResult {
+	s := newSolver(spec, in, faults, prev)
+	return s.run()
+}
+
+const outNode = "out"
+
+type termRef struct {
+	driver bool // rail or input literal
+	value  V    // for drivers
+	node   int  // for internal/out nodes
+}
+
+type solverTransistor struct {
+	name     string
+	d, s     termRef
+	cg       gates.Sig
+	pgs, pgd gates.Sig
+	fault    TFault
+}
+
+type solver struct {
+	spec   *gates.Spec
+	in     []V
+	nodes  []string // index -> node label
+	nodeIx map[string]int
+	trs    []solverTransistor
+	prev   map[string]V
+}
+
+func newSolver(spec *gates.Spec, in []V, faults map[string]TFault, prev map[string]V) *solver {
+	s := &solver{spec: spec, in: in, nodeIx: map[string]int{}, prev: prev}
+	nodeOf := func(label string) int {
+		if i, ok := s.nodeIx[label]; ok {
+			return i
+		}
+		s.nodeIx[label] = len(s.nodes)
+		s.nodes = append(s.nodes, label)
+		return len(s.nodes) - 1
+	}
+	ref := func(sig gates.Sig) termRef {
+		switch sig.K {
+		case gates.SigGnd:
+			return termRef{driver: true, value: L0}
+		case gates.SigVdd:
+			return termRef{driver: true, value: L1}
+		case gates.SigIn:
+			return termRef{driver: true, value: s.inputVal(sig.In, false)}
+		case gates.SigInN:
+			return termRef{driver: true, value: s.inputVal(sig.In, true)}
+		case gates.SigOut:
+			return termRef{node: nodeOf(outNode)}
+		default:
+			return termRef{node: nodeOf(sig.Node)}
+		}
+	}
+	nodeOf(outNode) // ensure the output node exists even if untouched
+	for _, tr := range spec.Transistors {
+		s.trs = append(s.trs, solverTransistor{
+			name:  tr.Name,
+			d:     ref(tr.D),
+			s:     ref(tr.S),
+			cg:    tr.CG,
+			pgs:   tr.PGS,
+			pgd:   tr.PGD,
+			fault: faults[tr.Name],
+		})
+	}
+	return s
+}
+
+func (s *solver) inputVal(i int, neg bool) V {
+	if i >= len(s.in) {
+		return LX
+	}
+	v := s.in[i]
+	if neg {
+		return v.Not()
+	}
+	return v
+}
+
+// sigLevel resolves a gate-terminal signal to a logic value given current
+// node estimates.
+func (s *solver) sigLevel(sig gates.Sig, nodeVals []V) V {
+	switch sig.K {
+	case gates.SigGnd:
+		return L0
+	case gates.SigVdd:
+		return L1
+	case gates.SigIn:
+		return s.inputVal(sig.In, false)
+	case gates.SigInN:
+		return s.inputVal(sig.In, true)
+	case gates.SigOut:
+		return nodeVals[s.nodeIx[outNode]]
+	default:
+		return nodeVals[s.nodeIx[sig.Node]]
+	}
+}
+
+// conductionMode evaluates the paper's conduction rule with the fault
+// overrides applied.
+func (s *solver) conductionMode(tr *solverTransistor, nodeVals []V) mode {
+	switch tr.fault {
+	case TFaultOpen:
+		return modeOff
+	case TFaultStuckOn:
+		return modeClosed
+	}
+	cg := s.sigLevel(tr.cg, nodeVals)
+	pgs := s.sigLevel(tr.pgs, nodeVals)
+	pgd := s.sigLevel(tr.pgd, nodeVals)
+	switch tr.fault {
+	case TFaultStuckAtN:
+		pgs, pgd = L1, L1
+	case TFaultStuckAtP:
+		pgs, pgd = L0, L0
+	}
+	if cg == LX || pgs == LX || pgd == LX {
+		return modeUnknown
+	}
+	if cg == L1 && pgs == L1 && pgd == L1 {
+		return modeN
+	}
+	if cg == L0 && pgs == L0 && pgd == L0 {
+		return modeP
+	}
+	return modeOff
+}
+
+// passStrength is the strength ceiling a conducting device imposes on a
+// passed value: an n-configured device passes 0 at full strength and
+// degrades 1; a p-configured device is the mirror.
+func passStrength(m mode, val V) Strength {
+	switch m {
+	case modeN:
+		if val == L1 {
+			return SWeak
+		}
+		return SStrong
+	case modeP:
+		if val == L0 {
+			return SWeak
+		}
+		return SStrong
+	case modeClosed, modeUnknown:
+		return SStrong
+	}
+	return SNone
+}
+
+type arrivals struct {
+	s [3]Strength // strongest definite arrival per value L0, L1, LX
+	p [3]Strength // strongest possible arrival (conduction uncertain)
+}
+
+func (a *arrivals) improve(v V, s Strength, possible bool) bool {
+	set := &a.s
+	if possible {
+		set = &a.p
+	}
+	if s > set[v] {
+		set[v] = s
+		return true
+	}
+	return false
+}
+
+// resolve returns the node value under the "electron branch wins"
+// contention policy, plus flags. Possible arrivals (devices whose
+// conduction is unknown) can only degrade the result to X — they never
+// establish a definite value, and a possible arrival that agrees with the
+// definite winner changes nothing.
+func (a *arrivals) resolve(prev V) (v V, strength Strength, contention, driven bool) {
+	dmax := SNone
+	for _, s := range a.s {
+		if s > dmax {
+			dmax = s
+		}
+	}
+	pmax := SNone
+	for _, s := range a.p {
+		if s > pmax {
+			pmax = s
+		}
+	}
+	if dmax == SNone {
+		if pmax == SNone {
+			return prev, SCharge, false, false
+		}
+		// Only uncertain drives: the node may be driven or floating.
+		if onlyValue(a.p, prev) {
+			return prev, pmax, false, true
+		}
+		return LX, pmax, false, true
+	}
+	top := []V{}
+	for val, s := range a.s {
+		if s == dmax {
+			top = append(top, V(val))
+		}
+	}
+	var winner V
+	switch {
+	case len(top) == 1:
+		winner = top[0]
+	default:
+		winner = LX // X involved in the tie -> X
+		xInTie := false
+		for _, t := range top {
+			if t == LX {
+				xInTie = true
+			}
+		}
+		if !xInTie {
+			winner = L0 // 0 vs 1: electron branch wins
+		}
+		contention = true
+	}
+	if winner != LX {
+		// A weaker definite opposing arrival is still a fight.
+		if a.s[winner.Not()] >= SWeak {
+			contention = true
+		}
+		// Possible arrivals that could overturn the winner force X.
+		for val, s := range a.p {
+			if V(val) == winner {
+				continue
+			}
+			if s >= dmax {
+				return LX, dmax, contention, true
+			}
+		}
+	}
+	return winner, dmax, contention, true
+}
+
+// onlyValue reports whether every non-SNone entry equals v.
+func onlyValue(set [3]Strength, v V) bool {
+	for val, s := range set {
+		if s > SNone && V(val) != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *solver) run() SwitchResult {
+	nodeVals := make([]V, len(s.nodes))
+	for i, label := range s.nodes {
+		if p, ok := s.prev[label]; ok {
+			nodeVals[i] = p
+		} else {
+			nodeVals[i] = LX
+		}
+	}
+
+	var res SwitchResult
+	// Outer loop: conduction depends on node values (internal gate nets,
+	// e.g. BUF); iterate to a fixpoint.
+	for outer := 0; outer < 2+len(s.nodes); outer++ {
+		modes := make([]mode, len(s.trs))
+		for i := range s.trs {
+			modes[i] = s.conductionMode(&s.trs[i], nodeVals)
+		}
+
+		arr := make([]arrivals, len(s.nodes))
+		// Inner relaxation: propagate drives through conducting devices.
+		for iter := 0; iter < 4*len(s.trs)+4; iter++ {
+			changed := false
+			for i := range s.trs {
+				tr := &s.trs[i]
+				m := modes[i]
+				if m == modeOff {
+					continue
+				}
+				changed = s.propagate(tr.d, tr.s, m, arr, nodeVals) || changed
+				changed = s.propagate(tr.s, tr.d, m, arr, nodeVals) || changed
+			}
+			if !changed {
+				break
+			}
+		}
+
+		newVals := make([]V, len(s.nodes))
+		contention := false
+		for i := range s.nodes {
+			prev := nodeVals[i]
+			if p, ok := s.prev[s.nodes[i]]; ok && arrUndriven(&arr[i]) {
+				prev = p
+			}
+			v, _, cont, _ := arr[i].resolve(prev)
+			newVals[i] = v
+			contention = contention || cont
+		}
+
+		stable := true
+		for i := range nodeVals {
+			if nodeVals[i] != newVals[i] {
+				stable = false
+			}
+		}
+		nodeVals = newVals
+
+		if stable || outer == 1+len(s.nodes) {
+			outIdx := s.nodeIx[outNode]
+			prevOut := LX
+			if p, ok := s.prev[outNode]; ok {
+				prevOut = p
+			}
+			v, strength, cont, driven := arr[outIdx].resolve(prevOut)
+			if !driven {
+				strength = SCharge
+			}
+			res = SwitchResult{
+				Out:         v,
+				OutStrength: strength,
+				Contention:  contention || cont,
+				Leak:        s.leakPath(modes),
+				Nodes:       map[string]V{},
+			}
+			for i, label := range s.nodes {
+				res.Nodes[label] = nodeVals[i]
+			}
+			break
+		}
+	}
+	return res
+}
+
+func arrUndriven(a *arrivals) bool {
+	for _, s := range a.s {
+		if s > SNone {
+			return false
+		}
+	}
+	for _, s := range a.p {
+		if s > SNone {
+			return false
+		}
+	}
+	return true
+}
+
+// propagate pushes the drive on terminal "from" through a conducting
+// device onto terminal "to". Returns whether anything improved.
+// Arrivals through a device with uncertain conduction become "possible".
+func (s *solver) propagate(from, to termRef, m mode, arr []arrivals, nodeVals []V) bool {
+	if to.driver {
+		return false // rails absorb anything
+	}
+	improved := false
+	push := func(v V, st Strength, possible bool) {
+		if st <= SNone {
+			return
+		}
+		ceil := passStrength(m, v)
+		if ceil < st {
+			st = ceil
+		}
+		if m == modeUnknown {
+			possible = true
+		}
+		if st > SNone && arr[to.node].improve(v, st, possible) {
+			improved = true
+		}
+	}
+	if from.driver {
+		push(from.value, SStrong, false)
+		return improved
+	}
+	// Internal node: forward its current arrivals (weakened), which
+	// models series device chains.
+	for val, st := range arr[from.node].s {
+		if st > SNone {
+			push(V(val), st, false)
+		}
+	}
+	for val, st := range arr[from.node].p {
+		if st > SNone {
+			push(V(val), st, true)
+		}
+	}
+	return improved
+}
+
+// leakPath reports whether conducting devices connect a logic-1 driver to
+// a logic-0 driver (a static rail-to-rail path: elevated IDDQ).
+func (s *solver) leakPath(modes []mode) bool {
+	// Union-find over: node indices 0..len(nodes)-1, then two virtual
+	// rails: rail0 = len(nodes), rail1 = len(nodes)+1.
+	n := len(s.nodes)
+	parent := make([]int, n+2)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	rail0, rail1 := n, n+1
+	termIdx := func(t termRef) int {
+		if !t.driver {
+			return t.node
+		}
+		switch t.value {
+		case L0:
+			return rail0
+		case L1:
+			return rail1
+		}
+		return -1
+	}
+	for i := range s.trs {
+		if modes[i] == modeOff || modes[i] == modeUnknown {
+			continue
+		}
+		a := termIdx(s.trs[i].d)
+		b := termIdx(s.trs[i].s)
+		if a < 0 || b < 0 {
+			continue
+		}
+		union(a, b)
+	}
+	return find(rail0) == find(rail1)
+}

@@ -1,0 +1,83 @@
+// Package logic provides the digital abstractions of the reproduction:
+// a switch-level simulator for single CP gates (transistor networks with
+// drive strengths, charge retention and polarity-aware conduction), a
+// gate-level combinational circuit representation with 3-valued and
+// 64-way parallel-pattern simulation, and a hand-rolled parser/writer for
+// a .bench-style netlist format.
+package logic
+
+// V is a ternary logic value.
+type V int
+
+const (
+	L0 V = iota
+	L1
+	LX
+)
+
+// String renders the value as 0, 1 or X.
+func (v V) String() string {
+	switch v {
+	case L0:
+		return "0"
+	case L1:
+		return "1"
+	default:
+		return "X"
+	}
+}
+
+// FromBool converts a bool to a logic value.
+func FromBool(b bool) V {
+	if b {
+		return L1
+	}
+	return L0
+}
+
+// Bool returns the Boolean value and whether it is defined.
+func (v V) Bool() (bool, bool) {
+	switch v {
+	case L0:
+		return false, true
+	case L1:
+		return true, true
+	}
+	return false, false
+}
+
+// Not returns the ternary complement.
+func (v V) Not() V {
+	switch v {
+	case L0:
+		return L1
+	case L1:
+		return L0
+	}
+	return LX
+}
+
+// Strength is the drive strength lattice of the switch-level simulator.
+type Strength int
+
+const (
+	SNone   Strength = iota // undriven
+	SCharge                 // retained charge on a floating node
+	SWeak                   // degraded pass (n passing 1, p passing 0)
+	SStrong                 // full rail drive
+)
+
+// String names the strength.
+func (s Strength) String() string {
+	switch s {
+	case SNone:
+		return "none"
+	case SCharge:
+		return "charge"
+	case SWeak:
+		return "weak"
+	case SStrong:
+		return "strong"
+	}
+	return "invalid"
+}

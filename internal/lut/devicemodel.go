@@ -1,0 +1,64 @@
+package lut
+
+import (
+	"fmt"
+
+	"cpsinw/internal/device"
+)
+
+// Device adapts a characterisation table to the circuit simulator's
+// DeviceModel interface — the reproduction of the paper's simulation
+// flow, where TCAD results feed a Verilog-A lookup-table model that
+// HSPICE then evaluates ("the result of the TCAD simulations ... makes a
+// look-up table model that characterizing the channel conductivity as a
+// function of VCG, VPGS and VPGD", paper section III-D).
+//
+// The table is source-referenced: lookups shift every terminal voltage by
+// -VS, which is exact for the translation-invariant compact model the
+// table samples. Gate currents are zero (the table characterises channel
+// conduction; defect injection paths stay with the compact model).
+type Device struct {
+	T *Table
+}
+
+// FromModel characterises a compact model into a table-backed device.
+// Gate axes span the full source-referenced offset range [-VDD, +VDD]
+// (a p-configured pull-up sees gate-source offsets of -VDD); the VDS axis
+// covers only VDS >= 0 because lookups exploit the device's drain/source
+// antisymmetry. n sets the VDS grid density; gate axes get 2n-1 points.
+func FromModel(m *device.Model, n int) (*Device, error) {
+	if n < 5 {
+		n = 5
+	}
+	vdd := m.P.VDD
+	margin := 0.15 * vdd
+	gateAxis := Axis{Lo: -vdd - margin, Hi: vdd + margin, N: 2*n - 1}
+	dsAxis := Axis{Lo: 0, Hi: vdd + margin, N: n}
+	tbl, err := Build(gateAxis, gateAxis, gateAxis, dsAxis, func(vcg, vpgs, vpgd, vds float64) float64 {
+		return m.ID(device.Bias{VCG: vcg, VPGS: vpgs, VPGD: vpgd, VD: vds})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lut: characterisation failed: %w", err)
+	}
+	tbl.CGate = m.C.CGate
+	tbl.CPar = m.C.CPar
+	tbl.RAcc = m.C.RAcc
+	return &Device{T: tbl}, nil
+}
+
+// ID implements circuit.DeviceModel by source-referenced interpolation.
+// Reverse-biased lookups (VD < VS) use the physical mirror symmetry:
+// swapping drain and source together with the two polarity gates negates
+// the current.
+func (d *Device) ID(b device.Bias) float64 {
+	if b.VD >= b.VS {
+		return d.T.Lookup(b.VCG-b.VS, b.VPGS-b.VS, b.VPGD-b.VS, b.VD-b.VS)
+	}
+	return -d.T.Lookup(b.VCG-b.VD, b.VPGD-b.VD, b.VPGS-b.VD, b.VS-b.VD)
+}
+
+// GateCurrents implements circuit.DeviceModel; the table model carries no
+// gate-injection paths.
+func (d *Device) GateCurrents(device.Bias) (icg, ipgs, ipgd float64) {
+	return 0, 0, 0
+}

@@ -1,0 +1,122 @@
+package lut
+
+import (
+	"math"
+	"testing"
+
+	"cpsinw/internal/circuit"
+	"cpsinw/internal/device"
+	"cpsinw/internal/spice"
+)
+
+func TestFromModelSourceReference(t *testing.T) {
+	m := device.Default()
+	dev, err := FromModel(m, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shifting every terminal by the same offset must not change the
+	// current (translation invariance carried into the table).
+	b := device.Bias{VCG: 1.0, VPGS: 1.1, VPGD: 0.9, VD: 0.8, VS: 0}
+	shift := device.Bias{VCG: 1.0 + 0.2, VPGS: 1.1 + 0.2, VPGD: 0.9 + 0.2, VD: 0.8 + 0.2, VS: 0.2}
+	if d := math.Abs(dev.ID(b) - dev.ID(shift)); d > 1e-15 {
+		t.Errorf("translation invariance broken: %g", d)
+	}
+	// Gate currents are zero by construction.
+	if a, b2, c := dev.GateCurrents(b); a != 0 || b2 != 0 || c != 0 {
+		t.Error("table device must not inject gate current")
+	}
+}
+
+func TestTableDeviceTracksCompactModel(t *testing.T) {
+	m := device.Default()
+	dev, err := FromModel(m, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onRef := m.IDSat()
+	for _, b := range []device.Bias{
+		{VCG: 1.2, VPGS: 1.2, VPGD: 1.2, VD: 1.2},
+		{VCG: 0.6, VPGS: 1.2, VPGD: 1.2, VD: 1.2},
+		{VCG: 0, VPGS: 0, VPGD: 0, VD: 0, VS: 1.2},
+		{VCG: 1.2, VPGS: 1.2, VPGD: 1.2, VD: 0.3},
+	} {
+		want := m.ID(b)
+		got := dev.ID(b)
+		if math.Abs(got-want) > 0.15*onRef {
+			t.Errorf("bias %+v: table %.3g vs model %.3g", b, got, want)
+		}
+	}
+}
+
+// TestTwoStepFlowInverter reproduces the paper's simulation methodology:
+// characterise the device into a table, then run the circuit simulation
+// on the table model, and compare against the direct compact-model run.
+func TestTwoStepFlowInverter(t *testing.T) {
+	m := device.Default()
+	vdd := m.P.VDD
+	table, err := FromModel(m, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	build := func(useTable bool) *circuit.Netlist {
+		n := &circuit.Netlist{Title: "inv"}
+		n.AddV("VDD", "vdd", circuit.Ground, circuit.DC(vdd))
+		n.AddV("VIN", "in", circuit.Ground, circuit.Pulse{
+			V0: 0, V1: vdd, Delay: 200e-12, Rise: 20e-12, Fall: 20e-12,
+			Width: 800e-12, Period: 1600e-12,
+		})
+		var model circuit.DeviceModel = m
+		if useTable {
+			model = table
+		}
+		n.AddM("MPU", "out", "in", circuit.Ground, circuit.Ground, "vdd", model)
+		n.AddM("MPD", "out", "in", "vdd", "vdd", circuit.Ground, model)
+		n.AddC("CL", "out", circuit.Ground, 2e-16)
+		return n
+	}
+
+	measure := func(useTable bool) (tphl, tplh float64) {
+		t.Helper()
+		e, err := spice.NewEngine(build(useTable), spice.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wf, err := e.Tran(1e-12, 1.6e-9, []string{"in", "out"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tphl, err = spice.PropDelay(wf, "in", "out", vdd, true, false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tplh, err = spice.PropDelay(wf, "in", "out", vdd, false, true, 900e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tphl, tplh
+	}
+
+	hlModel, lhModel := measure(false)
+	hlTable, lhTable := measure(true)
+	if rel(hlTable, hlModel) > 0.25 {
+		t.Errorf("tpHL: table %.3g vs model %.3g", hlTable, hlModel)
+	}
+	if rel(lhTable, lhModel) > 0.25 {
+		t.Errorf("tpLH: table %.3g vs model %.3g", lhTable, lhModel)
+	}
+}
+
+func rel(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+func TestFromModelMinimumGrid(t *testing.T) {
+	if _, err := FromModel(device.Default(), 1); err != nil {
+		t.Fatalf("minimum grid rejected: %v", err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package lut implements the table-based compact model of the paper's
+// simulation flow: the device solver characterises the channel conductivity
+// as a function of (VCG, VPGS, VPGD, VDS) on a grid, and circuit simulation
+// interpolates the table instead of re-evaluating the physics ("a simple
+// compact model based on a table model in Verilog-A", paper section III-D).
+// The table also carries the parasitic capacitances among terminals and the
+// source/drain access resistance, as the paper's model does.
+package lut
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Axis is a uniform sampling grid over one voltage dimension.
+type Axis struct {
+	Lo, Hi float64
+	N      int
+}
+
+// Step returns the grid spacing.
+func (a Axis) Step() float64 {
+	if a.N <= 1 {
+		return 0
+	}
+	return (a.Hi - a.Lo) / float64(a.N-1)
+}
+
+// locate returns the lower grid index and the fractional offset for value v,
+// clamped to the axis range (flat extrapolation).
+func (a Axis) locate(v float64) (int, float64) {
+	if a.N <= 1 {
+		return 0, 0
+	}
+	t := (v - a.Lo) / (a.Hi - a.Lo) * float64(a.N-1)
+	if t <= 0 {
+		return 0, 0
+	}
+	if t >= float64(a.N-1) {
+		return a.N - 2, 1
+	}
+	i := int(t)
+	if i > a.N-2 {
+		i = a.N - 2
+	}
+	return i, t - float64(i)
+}
+
+// Table is a 4-D characterisation table ID(VCG, VPGS, VPGD, VDS) with
+// multilinear interpolation, plus the parasitics of the compact model.
+type Table struct {
+	CG, PGS, PGD, DS Axis
+	// ID is indexed [icg][ipgs][ipgd][ids] flattened.
+	ID []float64
+
+	CGate float64 // per-gate capacitance (F)
+	CPar  float64 // drain/source parasitic capacitance (F)
+	RAcc  float64 // access resistance (Ohm)
+}
+
+// DeviceFunc is any ID(vcg, vpgs, vpgd, vds) evaluator; internal/device
+// models satisfy it through a small adapter.
+type DeviceFunc func(vcg, vpgs, vpgd, vds float64) float64
+
+// Build samples f over the four axes and returns the table.
+func Build(cg, pgs, pgd, ds Axis, f DeviceFunc) (*Table, error) {
+	for _, a := range []Axis{cg, pgs, pgd, ds} {
+		if a.N < 2 {
+			return nil, errors.New("lut: every axis needs at least 2 points")
+		}
+		if !(a.Hi > a.Lo) {
+			return nil, fmt.Errorf("lut: axis range [%v,%v] invalid", a.Lo, a.Hi)
+		}
+	}
+	t := &Table{CG: cg, PGS: pgs, PGD: pgd, DS: ds}
+	t.ID = make([]float64, cg.N*pgs.N*pgd.N*ds.N)
+	idx := 0
+	for i := 0; i < cg.N; i++ {
+		vcg := cg.Lo + cg.Step()*float64(i)
+		for j := 0; j < pgs.N; j++ {
+			vpgs := pgs.Lo + pgs.Step()*float64(j)
+			for k := 0; k < pgd.N; k++ {
+				vpgd := pgd.Lo + pgd.Step()*float64(k)
+				for l := 0; l < ds.N; l++ {
+					vds := ds.Lo + ds.Step()*float64(l)
+					t.ID[idx] = f(vcg, vpgs, vpgd, vds)
+					idx++
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+func (t *Table) at(i, j, k, l int) float64 {
+	return t.ID[((i*t.PGS.N+j)*t.PGD.N+k)*t.DS.N+l]
+}
+
+// Lookup returns the multilinearly interpolated drain current. Voltages
+// outside the table range are clamped (flat extrapolation), which keeps
+// Newton iterations bounded.
+func (t *Table) Lookup(vcg, vpgs, vpgd, vds float64) float64 {
+	i, fi := t.CG.locate(vcg)
+	j, fj := t.PGS.locate(vpgs)
+	k, fk := t.PGD.locate(vpgd)
+	l, fl := t.DS.locate(vds)
+
+	var acc float64
+	for di := 0; di < 2; di++ {
+		wi := 1 - fi
+		if di == 1 {
+			wi = fi
+		}
+		if wi == 0 {
+			continue
+		}
+		for dj := 0; dj < 2; dj++ {
+			wj := 1 - fj
+			if dj == 1 {
+				wj = fj
+			}
+			if wj == 0 {
+				continue
+			}
+			for dk := 0; dk < 2; dk++ {
+				wk := 1 - fk
+				if dk == 1 {
+					wk = fk
+				}
+				if wk == 0 {
+					continue
+				}
+				for dl := 0; dl < 2; dl++ {
+					wl := 1 - fl
+					if dl == 1 {
+						wl = fl
+					}
+					if wl == 0 {
+						continue
+					}
+					acc += wi * wj * wk * wl * t.at(i+di, j+dj, k+dk, l+dl)
+				}
+			}
+		}
+	}
+	return acc
+}
+
+// MaxAbsError samples f on a denser grid (midpoints included) and returns
+// the worst absolute interpolation error, used to validate table fidelity.
+func (t *Table) MaxAbsError(f DeviceFunc, samplesPerAxis int) float64 {
+	if samplesPerAxis < 2 {
+		samplesPerAxis = 2
+	}
+	worst := 0.0
+	sample := func(a Axis, s int) float64 {
+		return a.Lo + (a.Hi-a.Lo)*float64(s)/float64(samplesPerAxis-1)
+	}
+	for i := 0; i < samplesPerAxis; i++ {
+		vcg := sample(t.CG, i)
+		for j := 0; j < samplesPerAxis; j++ {
+			vpgs := sample(t.PGS, j)
+			for k := 0; k < samplesPerAxis; k++ {
+				vpgd := sample(t.PGD, k)
+				for l := 0; l < samplesPerAxis; l++ {
+					vds := sample(t.DS, l)
+					e := math.Abs(t.Lookup(vcg, vpgs, vpgd, vds) - f(vcg, vpgs, vpgd, vds))
+					if e > worst {
+						worst = e
+					}
+				}
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,126 @@
+package lut
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cpsinw/internal/device"
+)
+
+func linearFunc(vcg, vpgs, vpgd, vds float64) float64 {
+	return 2*vcg - 0.5*vpgs + 3*vpgd + vds
+}
+
+func defaultAxes() (Axis, Axis, Axis, Axis) {
+	a := Axis{Lo: 0, Hi: 1.2, N: 7}
+	d := Axis{Lo: -1.2, Hi: 1.2, N: 13}
+	return a, a, a, d
+}
+
+func TestBuildValidation(t *testing.T) {
+	good := Axis{Lo: 0, Hi: 1, N: 3}
+	if _, err := Build(good, good, good, Axis{Lo: 0, Hi: 1, N: 1}, linearFunc); err == nil {
+		t.Error("Build accepted a 1-point axis")
+	}
+	if _, err := Build(good, good, good, Axis{Lo: 1, Hi: 0, N: 3}, linearFunc); err == nil {
+		t.Error("Build accepted an inverted axis")
+	}
+	if _, err := Build(good, good, good, good, linearFunc); err != nil {
+		t.Errorf("Build rejected valid axes: %v", err)
+	}
+}
+
+func TestLookupExactOnGridPoints(t *testing.T) {
+	cg, pgs, pgd, ds := defaultAxes()
+	tbl, err := Build(cg, pgs, pgd, ds, linearFunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cg.N; i++ {
+		for l := 0; l < ds.N; l++ {
+			vcg := cg.Lo + cg.Step()*float64(i)
+			vds := ds.Lo + ds.Step()*float64(l)
+			got := tbl.Lookup(vcg, 0.6, 0.6, vds)
+			want := linearFunc(vcg, 0.6, 0.6, vds)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("Lookup(%v,0.6,0.6,%v) = %v, want %v", vcg, vds, got, want)
+			}
+		}
+	}
+}
+
+func TestMultilinearReproducesLinearExactly(t *testing.T) {
+	// A multilinear interpolant is exact for multilinear functions
+	// everywhere, not only on grid points.
+	cg, pgs, pgd, ds := defaultAxes()
+	tbl, err := Build(cg, pgs, pgd, ds, linearFunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c, d uint8) bool {
+		vcg := 1.2 * float64(a) / 255
+		vpgs := 1.2 * float64(b) / 255
+		vpgd := 1.2 * float64(c) / 255
+		vds := -1.2 + 2.4*float64(d)/255
+		return math.Abs(tbl.Lookup(vcg, vpgs, vpgd, vds)-linearFunc(vcg, vpgs, vpgd, vds)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampedExtrapolation(t *testing.T) {
+	cg, pgs, pgd, ds := defaultAxes()
+	tbl, err := Build(cg, pgs, pgd, ds, linearFunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside := tbl.Lookup(1.2, 0.6, 0.6, 1.2)
+	outside := tbl.Lookup(5.0, 0.6, 0.6, 9.0)
+	if inside != outside {
+		t.Errorf("extrapolation not clamped: inside=%v outside=%v", inside, outside)
+	}
+}
+
+func TestTableAgainstDeviceModel(t *testing.T) {
+	m := device.Default()
+	f := func(vcg, vpgs, vpgd, vds float64) float64 {
+		return m.ID(device.Bias{VCG: vcg, VPGS: vpgs, VPGD: vpgd, VD: vds})
+	}
+	axes := Axis{Lo: 0, Hi: 1.2, N: 25}
+	dsAxis := Axis{Lo: -1.2, Hi: 1.2, N: 49}
+	tbl, err := Build(axes, axes, axes, dsAxis, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onI := m.IDSat()
+	if e := tbl.MaxAbsError(f, 9); e > 0.25*onI {
+		t.Errorf("table max abs error = %.3g, want < 25%% of on-current (%.3g)", e, onI)
+	}
+	// The table preserves the conduction rule: on-state >> blocked states.
+	on := tbl.Lookup(1.2, 1.2, 1.2, 1.2)
+	blocked := tbl.Lookup(1.2, 0, 0, 1.2)
+	if on/math.Max(math.Abs(blocked), 1e-30) < 1e3 {
+		t.Errorf("table on/blocked ratio too small: on=%.3g blocked=%.3g", on, blocked)
+	}
+}
+
+func TestAxisStepAndLocate(t *testing.T) {
+	a := Axis{Lo: 0, Hi: 1, N: 5}
+	if a.Step() != 0.25 {
+		t.Errorf("Step = %v, want 0.25", a.Step())
+	}
+	i, f := a.locate(0.3)
+	if i != 1 || math.Abs(f-0.2) > 1e-12 {
+		t.Errorf("locate(0.3) = %d, %v, want 1, 0.2", i, f)
+	}
+	i, f = a.locate(-1)
+	if i != 0 || f != 0 {
+		t.Errorf("locate(-1) = %d, %v, want clamp to 0,0", i, f)
+	}
+	i, f = a.locate(2)
+	if i != 3 || f != 1 {
+		t.Errorf("locate(2) = %d, %v, want clamp to 3,1", i, f)
+	}
+}

@@ -1,0 +1,151 @@
+// Package report renders the experiment results as fixed-width text
+// tables and CSV series, shared by the command-line tools, the
+// experiment harness and EXPERIMENTS.md generation.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatSI(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is a named (x, y...) data set rendered as CSV — one per
+// figure curve.
+type Series struct {
+	Title   string
+	Columns []string
+	X       []float64
+	Y       [][]float64 // one slice per column beyond X
+}
+
+// RenderCSV writes the series as CSV with a comment header.
+func (s *Series) RenderCSV(w io.Writer) {
+	if s.Title != "" {
+		fmt.Fprintf(w, "# %s\n", s.Title)
+	}
+	fmt.Fprintln(w, strings.Join(s.Columns, ","))
+	for i := range s.X {
+		row := []string{fmt.Sprintf("%.6g", s.X[i])}
+		for _, col := range s.Y {
+			if i < len(col) {
+				row = append(row, fmt.Sprintf("%.6g", col[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// String renders the CSV to a string.
+func (s *Series) String() string {
+	var b strings.Builder
+	s.RenderCSV(&b)
+	return b.String()
+}
+
+// FormatSI formats a value with an engineering suffix (f..G), keeping
+// three significant digits — readable currents, delays and capacitances.
+func FormatSI(v float64) string {
+	abs := v
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case abs >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case abs >= 1:
+		return fmt.Sprintf("%.3g", v)
+	case abs >= 1e-3:
+		return fmt.Sprintf("%.3gm", v*1e3)
+	case abs >= 1e-6:
+		return fmt.Sprintf("%.3gu", v*1e6)
+	case abs >= 1e-9:
+		return fmt.Sprintf("%.3gn", v*1e9)
+	case abs >= 1e-12:
+		return fmt.Sprintf("%.3gp", v*1e12)
+	default:
+		return fmt.Sprintf("%.3gf", v*1e15)
+	}
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tab.Add("alpha", 1.5e-12)
+	tab.Add("beta", "text")
+	tab.Add("gamma", 42)
+	out := tab.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "1.5p") {
+		t.Errorf("SI formatting missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: every row's second column starts at the same offset.
+	idx := strings.Index(lines[1], "value")
+	for _, l := range lines[3:] {
+		if len(l) < idx {
+			t.Errorf("row too short: %q", l)
+		}
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := Series{
+		Title:   "curve",
+		Columns: []string{"x", "y1", "y2"},
+		X:       []float64{0, 1, 2},
+		Y:       [][]float64{{10, 11, 12}, {20, 21, 22}},
+	}
+	out := s.String()
+	want := []string{"# curve", "x,y1,y2", "0,10,20", "1,11,21", "2,12,22"}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Errorf("CSV missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestFormatSI(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		1.23e-15: "1.23f",
+		4.5e-12:  "4.5p",
+		6.7e-9:   "6.7n",
+		8.9e-6:   "8.9u",
+		1.2e-3:   "1.2m",
+		3.4:      "3.4",
+		5.6e3:    "5.6k",
+		7.8e6:    "7.8M",
+		9.1e9:    "9.1G",
+	}
+	for in, want := range cases {
+		if got := FormatSI(in); got != want {
+			t.Errorf("FormatSI(%g) = %q, want %q", in, got, want)
+		}
+	}
+	if got := FormatSI(-2.5e-9); got != "-2.5n" {
+		t.Errorf("negative: %q", got)
+	}
+}

@@ -1,0 +1,506 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"cpsinw/internal/circuit"
+	"cpsinw/internal/device"
+)
+
+// Options tune the simulator. The zero value selects the defaults.
+type Options struct {
+	GMin      float64 // conductance from every node to ground (default 1e-12 S)
+	AbsTol    float64 // Newton residual tolerance in amps (default 1e-12)
+	VTol      float64 // Newton voltage-update tolerance (default 1e-9 V)
+	MaxNewton int     // Newton iteration cap per solve (default 200)
+	MaxStepV  float64 // Newton update damping limit per iteration (default 0.3 V)
+	DiffStep  float64 // numeric differentiation step (default 1e-6 V)
+}
+
+func (o Options) withDefaults() Options {
+	if o.GMin <= 0 {
+		o.GMin = 1e-12
+	}
+	if o.AbsTol <= 0 {
+		o.AbsTol = 1e-12
+	}
+	if o.VTol <= 0 {
+		o.VTol = 1e-9
+	}
+	if o.MaxNewton <= 0 {
+		o.MaxNewton = 200
+	}
+	if o.MaxStepV <= 0 {
+		o.MaxStepV = 0.3
+	}
+	if o.DiffStep <= 0 {
+		o.DiffStep = 1e-6
+	}
+	return o
+}
+
+// Engine simulates one netlist. Build one with NewEngine; it precomputes
+// the node numbering and MNA layout.
+type Engine struct {
+	Net  *circuit.Netlist
+	Opt  Options
+	node map[string]int // node name -> index (ground absent, index -1)
+	n    int            // number of non-ground nodes
+	m    int            // number of voltage-source branches
+}
+
+// NewEngine validates the netlist and prepares the MNA layout.
+func NewEngine(net *circuit.Netlist, opt Options) (*Engine, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{Net: net, Opt: opt.withDefaults(), node: map[string]int{}}
+	for i, name := range net.Nodes() {
+		e.node[name] = i
+	}
+	e.n = len(e.node)
+	e.m = len(net.Sources)
+	if e.n == 0 {
+		return nil, fmt.Errorf("spice: netlist has no nodes")
+	}
+	return e, nil
+}
+
+// index returns the unknown-vector index of a node (-1 for ground).
+func (e *Engine) index(name string) int {
+	if name == circuit.Ground {
+		return -1
+	}
+	return e.node[name]
+}
+
+// Solution is the result of one operating-point solve or one transient
+// timepoint: node voltages and voltage-source branch currents.
+type Solution struct {
+	e *Engine
+	X []float64 // node voltages then source currents
+}
+
+// V returns the voltage of a node (0 for ground and unknown names).
+func (s *Solution) V(node string) float64 {
+	if node == circuit.Ground {
+		return 0
+	}
+	i, ok := s.e.node[node]
+	if !ok {
+		return 0
+	}
+	return s.X[i]
+}
+
+// I returns the current flowing through a voltage source (from its P
+// terminal through the source to N; a positive supply current drawn from
+// a VDD source appears negative here, as in SPICE).
+func (s *Solution) I(sourceName string) float64 {
+	for k, v := range s.e.Net.Sources {
+		if v.Name == sourceName {
+			return s.X[s.e.n+k]
+		}
+	}
+	return 0
+}
+
+// stampState carries the per-solve assembly inputs.
+type stampState struct {
+	t       float64   // time for waveform evaluation
+	x       []float64 // current iterate
+	capV    []float64 // previous-step node voltages (transient), nil for DC
+	h       float64   // timestep (transient), 0 for DC
+	gshunt  float64   // extra gmin for gmin-stepping
+	srcScal float64   // source scaling for source-stepping (1 normally)
+	ptG     float64   // pseudo-transient damping conductance (0 off)
+	ptV     []float64 // pseudo-transient anchor voltages
+}
+
+// deviceBias builds the device bias from the iterate.
+func (e *Engine) deviceBias(t *circuit.Transistor, x []float64) device.Bias {
+	get := func(name string) float64 {
+		i := e.index(name)
+		if i < 0 {
+			return 0
+		}
+		return x[i]
+	}
+	return device.Bias{
+		VD:   get(t.D),
+		VCG:  get(t.CG),
+		VPGS: get(t.PGS),
+		VPGD: get(t.PGD),
+		VS:   get(t.S),
+	}
+}
+
+// terminalCurrents evaluates the five terminal currents of a transistor
+// (into the device) at bias b: drain, cg, pgs, pgd and the source closing
+// KCL.
+func terminalCurrents(t *circuit.Transistor, b device.Bias) [5]float64 {
+	w := t.EffectiveWidth()
+	id := t.Model.ID(b) * w
+	icg, ipgs, ipgd := t.Model.GateCurrents(b)
+	icg, ipgs, ipgd = icg*w, ipgs*w, ipgd*w
+	return [5]float64{id, icg, ipgs, ipgd, -(id + icg + ipgs + ipgd)}
+}
+
+// assemble builds the Jacobian and residual at the given state:
+// J dx = -F. Returns J and F.
+func (e *Engine) assemble(st stampState, jac [][]float64, f []float64) {
+	zeroMatrix(jac)
+	for i := range f {
+		f[i] = 0
+	}
+	addJ := func(r, c int, v float64) {
+		if r >= 0 && c >= 0 {
+			jac[r][c] += v
+		}
+	}
+	addF := func(r int, v float64) {
+		if r >= 0 {
+			f[r] += v
+		}
+	}
+	getV := func(idx int) float64 {
+		if idx < 0 {
+			return 0
+		}
+		return st.x[idx]
+	}
+
+	// gmin to ground on every node.
+	g := e.Opt.GMin + st.gshunt
+	for i := 0; i < e.n; i++ {
+		addJ(i, i, g)
+		addF(i, g*st.x[i])
+	}
+	// Pseudo-transient damping: a conductance pulling each node toward
+	// its previous settled value (backward-Euler companion of a virtual
+	// node capacitance).
+	if st.ptG > 0 && st.ptV != nil {
+		for i := 0; i < e.n; i++ {
+			addJ(i, i, st.ptG)
+			addF(i, st.ptG*(st.x[i]-st.ptV[i]))
+		}
+	}
+
+	for _, r := range e.Net.Resistors {
+		a, b := e.index(r.A), e.index(r.B)
+		gc := 1 / r.Ohms
+		va, vb := getV(a), getV(b)
+		addJ(a, a, gc)
+		addJ(b, b, gc)
+		addJ(a, b, -gc)
+		addJ(b, a, -gc)
+		addF(a, gc*(va-vb))
+		addF(b, gc*(vb-va))
+	}
+
+	for _, c := range e.Net.Capacitors {
+		if st.h <= 0 {
+			continue // open in DC
+		}
+		a, b := e.index(c.A), e.index(c.B)
+		gc := c.Farads / st.h
+		va, vb := getV(a), getV(b)
+		var vaOld, vbOld float64
+		if a >= 0 {
+			vaOld = st.capV[a]
+		}
+		if b >= 0 {
+			vbOld = st.capV[b]
+		}
+		// Backward Euler companion: i = C/h * ((va-vb) - (vaOld-vbOld)).
+		i := gc * ((va - vb) - (vaOld - vbOld))
+		addJ(a, a, gc)
+		addJ(b, b, gc)
+		addJ(a, b, -gc)
+		addJ(b, a, -gc)
+		addF(a, i)
+		addF(b, -i)
+	}
+
+	for k, v := range e.Net.Sources {
+		p, q := e.index(v.P), e.index(v.N)
+		row := e.n + k
+		ib := st.x[row]
+		// KCL: branch current leaves P, enters N.
+		addJ(p, row, 1)
+		addJ(q, row, -1)
+		addF(p, ib)
+		addF(q, -ib)
+		// Branch equation: v_p - v_n = V(t) (scaled during source stepping).
+		target := v.W.At(st.t) * st.srcScal
+		jac[row][row] = 0
+		if p >= 0 {
+			jac[row][p] += 1
+		}
+		if q >= 0 {
+			jac[row][q] -= 1
+		}
+		f[row] += getV(p) - getV(q) - target
+	}
+
+	for _, tr := range e.Net.Transistors {
+		idx := [5]int{e.index(tr.D), e.index(tr.CG), e.index(tr.PGS), e.index(tr.PGD), e.index(tr.S)}
+		b0 := e.deviceBias(tr, st.x)
+		i0 := terminalCurrents(tr, b0)
+		for term := 0; term < 5; term++ {
+			addF(idx[term], i0[term])
+		}
+		// Numeric Jacobian: perturb each terminal voltage.
+		hstep := e.Opt.DiffStep
+		for p := 0; p < 5; p++ {
+			bp := b0
+			switch p {
+			case 0:
+				bp.VD += hstep
+			case 1:
+				bp.VCG += hstep
+			case 2:
+				bp.VPGS += hstep
+			case 3:
+				bp.VPGD += hstep
+			case 4:
+				bp.VS += hstep
+			}
+			ip := terminalCurrents(tr, bp)
+			for term := 0; term < 5; term++ {
+				gpd := (ip[term] - i0[term]) / hstep
+				addJ(idx[term], idx[p], gpd)
+			}
+		}
+	}
+}
+
+// newton runs damped Newton iterations from the iterate in x (modified in
+// place), with a residual-based line search that halves the step when a
+// full update would worsen the KCL residual (flat floating-node regions
+// otherwise make the iteration oscillate). Returns the iteration count or
+// an error.
+func (e *Engine) newton(st stampState, x []float64) (int, error) {
+	dim := e.n + e.m
+	jac := newMatrix(dim)
+	f := make([]float64, dim)
+	fTrial := make([]float64, dim)
+	jacTrial := newMatrix(dim)
+	trial := make([]float64, dim)
+
+	residual := func(fv []float64) float64 {
+		max := 0.0
+		for _, v := range fv {
+			if a := math.Abs(v); a > max {
+				max = a
+			}
+		}
+		return max
+	}
+
+	st.x = x
+	e.assemble(st, jac, f)
+	maxF := residual(f)
+	for it := 1; it <= e.Opt.MaxNewton; it++ {
+		// Solve J dx = -F (assemble clobbered jac during elimination, so
+		// it is rebuilt each iteration).
+		rhs := make([]float64, dim)
+		for i := range f {
+			rhs[i] = -f[i]
+		}
+		if err := solveLinear(jac, rhs); err != nil {
+			return it, err
+		}
+		maxDx := 0.0
+		for i := 0; i < e.n; i++ { // damp node voltages only
+			if a := math.Abs(rhs[i]); a > maxDx {
+				maxDx = a
+			}
+		}
+		scale := 1.0
+		if maxDx > e.Opt.MaxStepV {
+			scale = e.Opt.MaxStepV / maxDx
+		}
+
+		// Line search: accept the largest step (scale, scale/2, ...) that
+		// does not blow up the residual.
+		accepted := false
+		for ls := 0; ls < 6; ls++ {
+			copy(trial, x)
+			for i := range trial {
+				trial[i] += scale * rhs[i]
+			}
+			st.x = trial
+			e.assemble(st, jacTrial, fTrial)
+			if ft := residual(fTrial); ft <= maxF*1.5+e.Opt.AbsTol || ls == 5 {
+				copy(x, trial)
+				copy(f, fTrial)
+				for i := range jac {
+					copy(jac[i], jacTrial[i])
+				}
+				maxF = ft
+				accepted = true
+				break
+			}
+			scale /= 2
+		}
+		if !accepted {
+			return it, fmt.Errorf("spice: Newton line search stalled")
+		}
+		st.x = x
+		if maxDx*scale < e.Opt.VTol && maxF < e.Opt.AbsTol*float64(dim)*100 {
+			return it, nil
+		}
+	}
+	return e.Opt.MaxNewton, fmt.Errorf("spice: Newton did not converge")
+}
+
+// DC computes the operating point at time t (waveform sources evaluated at
+// t; capacitors open). It tries plain Newton from a zero start, then gmin
+// stepping, then source stepping.
+func (e *Engine) DC(t float64) (*Solution, error) {
+	x := make([]float64, e.n+e.m)
+	if _, err := e.newton(stampState{t: t, srcScal: 1}, x); err == nil {
+		return &Solution{e: e, X: x}, nil
+	}
+	// gmin stepping: heavy shunt, then relax.
+	for i := range x {
+		x[i] = 0
+	}
+	ok := true
+	for _, gs := range []float64{1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-11, 0} {
+		if _, err := e.newton(stampState{t: t, srcScal: 1, gshunt: gs}, x); err != nil {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return &Solution{e: e, X: x}, nil
+	}
+	// Source stepping: ramp all sources from zero.
+	for i := range x {
+		x[i] = 0
+	}
+	ok = true
+	for _, sc := range []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 0.95, 1} {
+		if _, err := e.newton(stampState{t: t, srcScal: sc}, x); err != nil {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return &Solution{e: e, X: x}, nil
+	}
+	// Pseudo-transient continuation: damp every node toward its previous
+	// settled value with a decaying virtual conductance. This follows the
+	// physical power-up trajectory and picks one basin of multistable
+	// floating-node circuits. The decay is adaptive: a failed step backs
+	// off to heavier damping.
+	for i := range x {
+		x[i] = 0
+	}
+	anchor := make([]float64, e.n)
+	save := make([]float64, len(x))
+	g := 1e-4
+	const minG = 5e-14
+	settled := false
+	for attempts := 0; attempts < 120; attempts++ {
+		copy(save, x)
+		st := stampState{t: t, srcScal: 1, ptG: g, ptV: anchor}
+		if _, err := e.newton(st, x); err != nil {
+			copy(x, save)
+			g *= 8
+			if g > 1e-2 {
+				return nil, fmt.Errorf("spice: DC pseudo-transient diverged: %w", err)
+			}
+			continue
+		}
+		copy(anchor, x[:e.n])
+		if g <= minG {
+			settled = true
+			break
+		}
+		g /= 3
+	}
+	if !settled {
+		return nil, fmt.Errorf("spice: DC pseudo-transient did not settle")
+	}
+	// Final polish without damping; a bistable floating node may defeat
+	// it, in which case the minimally-damped solution (error ~ GMin-level
+	// currents) is accepted.
+	copy(save, x)
+	if _, err := e.newton(stampState{t: t, srcScal: 1}, x); err != nil {
+		copy(x, save)
+	}
+	return &Solution{e: e, X: x}, nil
+}
+
+// Waveforms holds sampled transient results.
+type Waveforms struct {
+	T []float64            // timepoints
+	V map[string][]float64 // node name -> voltage samples
+	I map[string][]float64 // source name -> branch current samples
+}
+
+// Tran integrates from 0 to stop with fixed step h, recording the given
+// nodes and every source current. The initial condition is the DC
+// operating point at t=0.
+func (e *Engine) Tran(h, stop float64, record []string) (*Waveforms, error) {
+	if h <= 0 || stop <= 0 {
+		return nil, fmt.Errorf("spice: bad transient window h=%v stop=%v", h, stop)
+	}
+	op, err := e.DC(0)
+	if err != nil {
+		return nil, fmt.Errorf("spice: transient initial OP: %w", err)
+	}
+	x := append([]float64(nil), op.X...)
+	capV := append([]float64(nil), x[:e.n]...)
+
+	wf := &Waveforms{V: map[string][]float64{}, I: map[string][]float64{}}
+	for _, r := range record {
+		wf.V[r] = nil
+	}
+	for _, s := range e.Net.Sources {
+		wf.I[s.Name] = nil
+	}
+	sample := func(t float64) {
+		wf.T = append(wf.T, t)
+		sol := Solution{e: e, X: x}
+		for name := range wf.V {
+			wf.V[name] = append(wf.V[name], sol.V(name))
+		}
+		for k, s := range e.Net.Sources {
+			wf.I[s.Name] = append(wf.I[s.Name], x[e.n+k])
+		}
+	}
+	sample(0)
+
+	steps := int(math.Ceil(stop / h))
+	for k := 1; k <= steps; k++ {
+		t := float64(k) * h
+		st := stampState{t: t, srcScal: 1, h: h, capV: capV}
+		if _, err := e.newton(st, x); err != nil {
+			// Retry the step with halved sub-steps before giving up.
+			if err2 := e.substep(t-h, h, 8, x, capV); err2 != nil {
+				return nil, fmt.Errorf("spice: transient failed at t=%.3g: %w", t, err)
+			}
+		}
+		copy(capV, x[:e.n])
+		sample(t)
+	}
+	return wf, nil
+}
+
+// substep integrates one troubled interval with finer steps.
+func (e *Engine) substep(t0, h float64, parts int, x, capV []float64) error {
+	hs := h / float64(parts)
+	for i := 1; i <= parts; i++ {
+		st := stampState{t: t0 + float64(i)*hs, srcScal: 1, h: hs, capV: capV}
+		if _, err := e.newton(st, x); err != nil {
+			return err
+		}
+		copy(capV, x[:e.n])
+	}
+	return nil
+}

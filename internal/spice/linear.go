@@ -1,0 +1,80 @@
+// Package spice is a small analog circuit simulator — the reproduction's
+// stand-in for HSPICE. It assembles modified nodal analysis (MNA) systems
+// over the circuit package's netlists, solves the nonlinear DC operating
+// point with damped Newton iterations (with gmin and source stepping
+// fallbacks), and integrates transients with the backward-Euler companion
+// model. Measurement helpers extract propagation delays and quiescent
+// supply currents, which is everything the paper's Figure 5 and Table III
+// experiments need.
+package spice
+
+import (
+	"errors"
+	"math"
+)
+
+// solveLinear solves A x = b in place using Gaussian elimination with
+// partial pivoting. A is dense row-major; both A and b are clobbered.
+// The solution is written into b. Suitable for the small (tens of nodes)
+// systems of gate-level analog simulation.
+func solveLinear(a [][]float64, b []float64) error {
+	n := len(a)
+	if n == 0 {
+		return nil
+	}
+	for col := 0; col < n; col++ {
+		// Pivot selection.
+		piv := col
+		max := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > max {
+				max, piv = v, r
+			}
+		}
+		if max < 1e-30 {
+			return errors.New("spice: singular matrix")
+		}
+		if piv != col {
+			a[piv], a[col] = a[col], a[piv]
+			b[piv], b[col] = b[col], b[piv]
+		}
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r][col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * b[c]
+		}
+		b[r] = s / a[r][r]
+	}
+	return nil
+}
+
+func newMatrix(n int) [][]float64 {
+	backing := make([]float64, n*n)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = backing[i*n : (i+1)*n]
+	}
+	return m
+}
+
+func zeroMatrix(m [][]float64) {
+	for i := range m {
+		row := m[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}

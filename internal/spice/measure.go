@@ -1,0 +1,88 @@
+package spice
+
+import (
+	"errors"
+	"math"
+)
+
+// CrossTime returns the first time after tMin at which the sampled signal
+// crosses the threshold in the requested direction, with linear
+// interpolation between samples.
+func CrossTime(t, v []float64, threshold float64, rising bool, tMin float64) (float64, error) {
+	if len(t) != len(v) || len(t) < 2 {
+		return 0, errors.New("spice: bad waveform")
+	}
+	for i := 1; i < len(t); i++ {
+		if t[i] < tMin {
+			continue
+		}
+		a, b := v[i-1], v[i]
+		var crossed bool
+		if rising {
+			crossed = a < threshold && b >= threshold
+		} else {
+			crossed = a > threshold && b <= threshold
+		}
+		if !crossed {
+			continue
+		}
+		if b == a {
+			return t[i], nil
+		}
+		f := (threshold - a) / (b - a)
+		return t[i-1] + f*(t[i]-t[i-1]), nil
+	}
+	return 0, errors.New("spice: no crossing found")
+}
+
+// PropDelay measures the propagation delay from the input crossing vdd/2
+// to the output crossing vdd/2, both after tMin. inRising selects the
+// input edge; the output direction is outRising.
+func PropDelay(wf *Waveforms, in, out string, vdd float64, inRising, outRising bool, tMin float64) (float64, error) {
+	ti, err := CrossTime(wf.T, wf.V[in], vdd/2, inRising, tMin)
+	if err != nil {
+		return 0, err
+	}
+	to, err := CrossTime(wf.T, wf.V[out], vdd/2, outRising, ti)
+	if err != nil {
+		return 0, err
+	}
+	return to - ti, nil
+}
+
+// FinalV returns the last sample of a recorded node.
+func FinalV(wf *Waveforms, node string) float64 {
+	v := wf.V[node]
+	if len(v) == 0 {
+		return 0
+	}
+	return v[len(v)-1]
+}
+
+// SettledV returns the average of the last fraction of the waveform,
+// a robust "final logic value" readout.
+func SettledV(wf *Waveforms, node string, fraction float64) float64 {
+	v := wf.V[node]
+	if len(v) == 0 {
+		return 0
+	}
+	if fraction <= 0 || fraction > 1 {
+		fraction = 0.1
+	}
+	start := int(float64(len(v)) * (1 - fraction))
+	if start >= len(v) {
+		start = len(v) - 1
+	}
+	sum := 0.0
+	for _, x := range v[start:] {
+		sum += x
+	}
+	return sum / float64(len(v)-start)
+}
+
+// SupplyCurrent returns the magnitude of the DC current delivered by the
+// named source in the given solution (SPICE sign convention: a source
+// delivering power shows a negative branch current).
+func SupplyCurrent(sol *Solution, source string) float64 {
+	return math.Abs(sol.I(source))
+}

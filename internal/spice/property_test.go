@@ -1,0 +1,128 @@
+package spice
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cpsinw/internal/circuit"
+	"cpsinw/internal/device"
+)
+
+// TestSuperpositionProperty: in a purely resistive linear network, the
+// response to two sources equals the sum of the responses to each source
+// alone — the MNA assembly and solver must satisfy superposition.
+func TestSuperpositionProperty(t *testing.T) {
+	build := func(v1, v2 float64) *circuit.Netlist {
+		n := &circuit.Netlist{}
+		n.AddV("V1", "a", circuit.Ground, circuit.DC(v1))
+		n.AddV("V2", "b", circuit.Ground, circuit.DC(v2))
+		n.AddR("R1", "a", "m", 1000)
+		n.AddR("R2", "b", "m", 2000)
+		n.AddR("R3", "m", circuit.Ground, 3000)
+		return n
+	}
+	solve := func(v1, v2 float64) float64 {
+		e, err := NewEngine(build(v1, v2), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := e.DC(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol.V("m")
+	}
+	f := func(a, b int8) bool {
+		v1 := float64(a) / 32
+		v2 := float64(b) / 32
+		both := solve(v1, v2)
+		sum := solve(v1, 0) + solve(0, v2)
+		return math.Abs(both-sum) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDividerScalingProperty: scaling the source scales every node
+// voltage linearly in a resistive divider.
+func TestDividerScalingProperty(t *testing.T) {
+	f := func(a int8) bool {
+		v := float64(a) / 16
+		n := &circuit.Netlist{}
+		n.AddV("V1", "in", circuit.Ground, circuit.DC(v))
+		n.AddR("R1", "in", "m", 1500)
+		n.AddR("R2", "m", circuit.Ground, 4500)
+		e, err := NewEngine(n, Options{})
+		if err != nil {
+			return false
+		}
+		sol, err := e.DC(0)
+		if err != nil {
+			return false
+		}
+		want := v * 4500 / 6000
+		return math.Abs(sol.V("m")-want) < 1e-9+1e-9*math.Abs(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKCLProperty: at the DC operating point of a TIG inverter, the
+// currents delivered by all sources balance the gmin losses — total
+// source current into the circuit must be tiny compared to the on-current
+// in quiescent states, and exactly conserved (sum of branch currents
+// equals current into ground).
+func TestKCLProperty(t *testing.T) {
+	f := func(inHigh bool) bool {
+		m := device.Default()
+		n := buildINV(m, 2e-16)
+		lvl := 0.0
+		if inHigh {
+			lvl = m.P.VDD
+		}
+		n.SourceByName("VIN").W = circuit.DC(lvl)
+		e, err := NewEngine(n, Options{})
+		if err != nil {
+			return false
+		}
+		sol, err := e.DC(0)
+		if err != nil {
+			return false
+		}
+		// Quiescent: net delivered current stays far below the on-current.
+		total := math.Abs(sol.I("VDD")) + math.Abs(sol.I("VIN"))
+		return total < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransientChargeConservationProperty: an RC charged from a step and
+// then disconnected (source held) keeps its final voltage within the
+// leakage budget — the backward-Euler companion must not create charge.
+func TestTransientChargeConservationProperty(t *testing.T) {
+	f := func(sel uint8) bool {
+		cval := []float64{0.5e-12, 1e-12, 2e-12}[int(sel)%3]
+		n := &circuit.Netlist{}
+		n.AddV("V1", "in", circuit.Ground, circuit.DC(1))
+		n.AddR("R1", "in", "out", 1000)
+		n.AddC("C1", "out", circuit.Ground, cval)
+		e, err := NewEngine(n, Options{})
+		if err != nil {
+			return false
+		}
+		wf, err := e.Tran(10e-12, 20e-9, []string{"out"})
+		if err != nil {
+			return false
+		}
+		final := FinalV(wf, "out")
+		return math.Abs(final-1) < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,250 @@
+package spice
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cpsinw/internal/circuit"
+	"cpsinw/internal/device"
+)
+
+func TestSolveLinearIdentityProperty(t *testing.T) {
+	// Solving A x = A y must recover y for well-conditioned A.
+	f := func(seed uint32) bool {
+		n := 4
+		a := newMatrix(n)
+		y := make([]float64, n)
+		r := seed
+		next := func() float64 {
+			r = r*1664525 + 1013904223
+			return float64(r%1000)/500 - 1
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a[i][j] = next()
+			}
+			a[i][i] += 4 // diagonally dominant
+			y[i] = next()
+		}
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i] += a[i][j] * y[j]
+			}
+		}
+		// solveLinear clobbers a; keep going.
+		if err := solveLinear(a, b); err != nil {
+			return false
+		}
+		for i := range y {
+			if math.Abs(b[i]-y[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := newMatrix(2)
+	a[0][0], a[0][1] = 1, 2
+	a[1][0], a[1][1] = 2, 4
+	if err := solveLinear(a, []float64{1, 2}); err == nil {
+		t.Error("singular matrix accepted")
+	}
+}
+
+func TestResistiveDividerDC(t *testing.T) {
+	n := &circuit.Netlist{}
+	n.AddV("V1", "in", circuit.Ground, circuit.DC(2.0))
+	n.AddR("R1", "in", "mid", 1000)
+	n.AddR("R2", "mid", circuit.Ground, 1000)
+	e, err := NewEngine(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := e.DC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := sol.V("mid"); math.Abs(v-1.0) > 1e-6 {
+		t.Errorf("divider mid = %v, want 1.0", v)
+	}
+	// Source current: 2V over 2k = 1 mA leaving the source P terminal.
+	if i := sol.I("V1"); math.Abs(i+1e-3) > 1e-8 {
+		t.Errorf("source current = %v, want -1e-3", i)
+	}
+}
+
+func TestRCTransient(t *testing.T) {
+	// Charging an RC from a step: v(t) = V(1 - exp(-t/RC)), RC = 1ns.
+	n := &circuit.Netlist{}
+	n.AddV("V1", "in", circuit.Ground, circuit.Pulse{V0: 0, V1: 1, Delay: 0, Rise: 1e-12, Fall: 1e-12, Width: 1})
+	n.AddR("R1", "in", "out", 1000)
+	n.AddC("C1", "out", circuit.Ground, 1e-12)
+	e, err := NewEngine(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := e.Tran(5e-12, 5e-9, []string{"out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After 5 time constants the output is within 1% of the rail.
+	if v := FinalV(wf, "out"); math.Abs(v-1) > 0.02 {
+		t.Errorf("RC final = %v, want ~1", v)
+	}
+	// At t = RC the response is ~63.2% (backward Euler slightly under).
+	tc, err := CrossTime(wf.T, wf.V["out"], 0.632, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc < 0.8e-9 || tc > 1.25e-9 {
+		t.Errorf("time constant = %.3g, want ~1ns", tc)
+	}
+}
+
+// buildINV constructs a static-polarity TIG inverter: pull-up p-type
+// (PGs grounded), pull-down n-type (PGs at VDD).
+func buildINV(m *device.Model, load float64) *circuit.Netlist {
+	n := &circuit.Netlist{Title: "tig inverter"}
+	vdd := m.P.VDD
+	n.AddV("VDD", "vdd", circuit.Ground, circuit.DC(vdd))
+	n.AddV("VIN", "in", circuit.Ground, circuit.Pulse{
+		V0: 0, V1: vdd, Delay: 200e-12, Rise: 20e-12, Fall: 20e-12, Width: 800e-12, Period: 1600e-12,
+	})
+	// Pull-up: drain=vdd, source=out (p-type conducts vdd -> out).
+	n.AddM("MPU", "vdd", "in", circuit.Ground, circuit.Ground, "out", m)
+	// Pull-down: drain=out, source=gnd.
+	n.AddM("MPD", "out", "in", "vdd", "vdd", circuit.Ground, m)
+	n.AddC("CL", "out", circuit.Ground, load)
+	return n
+}
+
+func TestInverterDCLevels(t *testing.T) {
+	m := device.Default()
+	n := buildINV(m, 2e-16)
+	// Replace the pulse with static levels.
+	for _, lvl := range []struct {
+		vin      float64
+		wantHigh bool
+	}{
+		{0, true},
+		{m.P.VDD, false},
+	} {
+		n.SourceByName("VIN").W = circuit.DC(lvl.vin)
+		e, err := NewEngine(n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := e.DC(0)
+		if err != nil {
+			t.Fatalf("DC at vin=%v: %v", lvl.vin, err)
+		}
+		out := sol.V("out")
+		if lvl.wantHigh && out < 0.9*m.P.VDD {
+			t.Errorf("vin=%v: out=%v, want >= %v", lvl.vin, out, 0.9*m.P.VDD)
+		}
+		if !lvl.wantHigh && out > 0.1*m.P.VDD {
+			t.Errorf("vin=%v: out=%v, want <= %v", lvl.vin, out, 0.1*m.P.VDD)
+		}
+	}
+}
+
+func TestInverterLeakageTiny(t *testing.T) {
+	m := device.Default()
+	n := buildINV(m, 2e-16)
+	n.SourceByName("VIN").W = circuit.DC(0)
+	e, _ := NewEngine(n, Options{})
+	sol, err := e.DC(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leak := SupplyCurrent(sol, "VDD")
+	if leak > 1e-9 {
+		t.Errorf("static leakage = %.3g A, want < 1 nA", leak)
+	}
+}
+
+func TestInverterTransientDelay(t *testing.T) {
+	m := device.Default()
+	n := buildINV(m, 2e-16)
+	e, err := NewEngine(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := e.Tran(1e-12, 1.6e-9, []string{"in", "out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vdd := m.P.VDD
+	// Input rises at 200ps: output must fall.
+	dHL, err := PropDelay(wf, "in", "out", vdd, true, false, 0)
+	if err != nil {
+		t.Fatalf("no falling output edge: %v", err)
+	}
+	// Input falls at ~1020ps: output must rise.
+	dLH, err := PropDelay(wf, "in", "out", vdd, false, true, 900e-12)
+	if err != nil {
+		t.Fatalf("no rising output edge: %v", err)
+	}
+	for name, d := range map[string]float64{"tpHL": dHL, "tpLH": dLH} {
+		if d <= 0 || d > 500e-12 {
+			t.Errorf("%s = %.3g s, want (0, 500ps]", name, d)
+		}
+	}
+	// Output swings rail to rail.
+	if hi := SettledV(wf, "out", 0.05); hi < 0.9*vdd {
+		t.Errorf("final out = %v, want near vdd", hi)
+	}
+}
+
+func TestGOSInverterDelayDegrades(t *testing.T) {
+	// A GOS on the pull-down device weakens the n branch; tpHL grows.
+	good := device.Default()
+	n := buildINV(good, 2e-16)
+	e, _ := NewEngine(n, Options{})
+	wf, err := e.Tran(1e-12, 1.6e-9, []string{"in", "out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dGood, err := PropDelay(wf, "in", "out", good.P.VDD, true, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := good.WithDefects(device.Defects{GOS: device.GOSAtPGS})
+	nb := buildINV(good, 2e-16)
+	nb.TransistorByName("MPD").Model = bad
+	eb, _ := NewEngine(nb, Options{})
+	wfb, err := eb.Tran(1e-12, 1.6e-9, []string{"in", "out"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dBad, err := PropDelay(wfb, "in", "out", good.P.VDD, true, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dBad <= dGood {
+		t.Errorf("GOS should slow the gate: good=%.3g bad=%.3g", dGood, dBad)
+	}
+}
+
+func TestCrossTimeErrors(t *testing.T) {
+	if _, err := CrossTime([]float64{0}, []float64{1}, 0.5, true, 0); err == nil {
+		t.Error("short waveform accepted")
+	}
+	if _, err := CrossTime([]float64{0, 1}, []float64{0, 0.1}, 0.5, true, 0); err == nil {
+		t.Error("no-crossing waveform accepted")
+	}
+}
+
+func TestEngineRejectsEmptyNetlist(t *testing.T) {
+	if _, err := NewEngine(&circuit.Netlist{}, Options{}); err == nil {
+		t.Error("empty netlist accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package tcad
+
+import (
+	"math"
+
+	"cpsinw/internal/device"
+)
+
+// DensityProfile is an electron-density map along the channel, the
+// 1-D analogue of the paper's Figure 4 cross-sections.
+type DensityProfile struct {
+	X       []float64 // positions (nm)
+	NE      []float64 // electron density (cm^-3)
+	Regions []Region  // controlling electrode per node
+	Mean    float64   // average density over the gated channel (cm^-3)
+	Defects device.Defects
+}
+
+// SaturationBias returns the n-type saturation bias used for the Figure 4
+// extraction: all gates and the drain at VDD, source grounded.
+func SaturationBias(p device.Params) device.Bias {
+	return device.Bias{VCG: p.VDD, VPGS: p.VDD, VPGD: p.VDD, VD: p.VDD, VS: 0}
+}
+
+// ElectronDensity solves the device at the given bias and returns the
+// electron-density profile together with its channel average.
+func ElectronDensity(p device.Params, d device.Defects, b device.Bias) *DensityProfile {
+	s := NewSolver(p, d)
+	st := s.Solve(b)
+	prof := &DensityProfile{
+		X:       append([]float64(nil), s.Grid.X...),
+		NE:      append([]float64(nil), st.NE...),
+		Regions: append([]Region(nil), s.Grid.Reg...),
+		Defects: d,
+	}
+	sum := 0.0
+	for _, n := range st.NE {
+		sum += n
+	}
+	prof.Mean = sum / float64(len(st.NE))
+	return prof
+}
+
+// MinNearRegion returns the minimum electron density within the given
+// region, used to localise the GOS disturbance.
+func (p *DensityProfile) MinNearRegion(r Region) float64 {
+	min := math.Inf(1)
+	for i, reg := range p.Regions {
+		if reg == r && p.NE[i] < min {
+			min = p.NE[i]
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// TransferCurve sweeps VCG at fixed polarity-gate and drain bias through
+// the full solver, mirroring device.Model.TransferCurve but with the
+// physical solver (used to cross-validate the compact model).
+func TransferCurve(p device.Params, d device.Defects, lo, hi float64, n int, vpgs, vpgd, vd float64) []device.IVPoint {
+	if n < 2 {
+		n = 2
+	}
+	s := NewSolver(p, d)
+	pts := make([]device.IVPoint, n)
+	for i := range pts {
+		v := lo + (hi-lo)*float64(i)/float64(n-1)
+		st := s.Solve(device.Bias{VCG: v, VPGS: vpgs, VPGD: vpgd, VD: vd})
+		pts[i] = device.IVPoint{V: v, I: st.ID}
+	}
+	return pts
+}

@@ -1,0 +1,114 @@
+// Package tcad is a synthetic device-level simulator for the TIG-SiNWFET,
+// standing in for the Sentaurus 3-D TCAD flow of the paper. It discretises
+// the nanowire along the transport axis into a 1-D grid spanning the five
+// gated regions (PGS gate, spacer, CG gate, spacer, PGD gate), solves a
+// region-coupled electrostatic potential with a damped fixed-point
+// iteration that accounts for channel charge screening, evaluates
+// Boltzmann carrier statistics, and computes current through WKB-style
+// Schottky barrier transmissions at the NiSi junctions.
+//
+// Defects are injected physically: a gate-oxide short becomes a local
+// carrier injection/recombination well centred on the defect; a nanowire
+// break becomes a transport-blocking barrier segment.
+//
+// The paper consumes TCAD through two artifacts only — I-V curves
+// (Figure 3) and electron-density maps (Figure 4) — both of which this
+// package reproduces with documented calibration (see DESIGN.md section 2).
+package tcad
+
+import "cpsinw/internal/device"
+
+// Region identifies which electrode controls a grid segment.
+type Region int
+
+const (
+	RegionPGS Region = iota
+	RegionSpacerS
+	RegionCG
+	RegionSpacerD
+	RegionPGD
+)
+
+// String names the region as in the paper's figures.
+func (r Region) String() string {
+	switch r {
+	case RegionPGS:
+		return "PGS"
+	case RegionSpacerS:
+		return "spacer-S"
+	case RegionCG:
+		return "CG"
+	case RegionSpacerD:
+		return "spacer-D"
+	case RegionPGD:
+		return "PGD"
+	}
+	return "invalid"
+}
+
+// Grid is the 1-D spatial discretisation of the device channel.
+type Grid struct {
+	X      []float64 // node positions from source junction (nm)
+	Reg    []Region  // controlling region of each node
+	Params device.Params
+}
+
+// NewGrid builds a uniform grid with roughly the given node spacing (nm)
+// over the full gated length of the device.
+func NewGrid(p device.Params, spacing float64) *Grid {
+	if spacing <= 0 {
+		spacing = 1
+	}
+	total := p.TotalLength()
+	n := int(total/spacing) + 1
+	if n < 11 {
+		n = 11
+	}
+	g := &Grid{
+		X:      make([]float64, n),
+		Reg:    make([]Region, n),
+		Params: p,
+	}
+	b1 := p.LPGS
+	b2 := b1 + p.LSpacer
+	b3 := b2 + p.LCG
+	b4 := b3 + p.LSpacer
+	for i := 0; i < n; i++ {
+		x := total * float64(i) / float64(n-1)
+		g.X[i] = x
+		switch {
+		case x < b1:
+			g.Reg[i] = RegionPGS
+		case x < b2:
+			g.Reg[i] = RegionSpacerS
+		case x < b3:
+			g.Reg[i] = RegionCG
+		case x < b4:
+			g.Reg[i] = RegionSpacerD
+		default:
+			g.Reg[i] = RegionPGD
+		}
+	}
+	return g
+}
+
+// N returns the number of grid nodes.
+func (g *Grid) N() int { return len(g.X) }
+
+// RegionCentre returns the x coordinate (nm) of the centre of a region.
+func (g *Grid) RegionCentre(r Region) float64 {
+	p := g.Params
+	switch r {
+	case RegionPGS:
+		return p.LPGS / 2
+	case RegionSpacerS:
+		return p.LPGS + p.LSpacer/2
+	case RegionCG:
+		return p.LPGS + p.LSpacer + p.LCG/2
+	case RegionSpacerD:
+		return p.LPGS + p.LSpacer + p.LCG + p.LSpacer/2
+	case RegionPGD:
+		return p.TotalLength() - p.LPGD/2
+	}
+	return 0
+}

@@ -1,0 +1,192 @@
+package tcad
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cpsinw/internal/device"
+)
+
+func satProfile(t *testing.T, d device.Defects) *DensityProfile {
+	t.Helper()
+	p := device.DefaultParams()
+	return ElectronDensity(p, d, SaturationBias(p))
+}
+
+func TestGridRegions(t *testing.T) {
+	p := device.DefaultParams()
+	g := NewGrid(p, 1)
+	if g.N() < 100 {
+		t.Fatalf("grid too coarse: %d nodes", g.N())
+	}
+	// The five regions must appear in order.
+	last := RegionPGS
+	seen := map[Region]bool{RegionPGS: true}
+	for _, r := range g.Reg {
+		if r < last {
+			t.Fatalf("regions out of order: %v after %v", r, last)
+		}
+		last = r
+		seen[r] = true
+	}
+	for _, r := range []Region{RegionPGS, RegionSpacerS, RegionCG, RegionSpacerD, RegionPGD} {
+		if !seen[r] {
+			t.Errorf("region %v missing from grid", r)
+		}
+	}
+	if g.X[0] != 0 || math.Abs(g.X[g.N()-1]-p.TotalLength()) > 1e-9 {
+		t.Errorf("grid extent [%v, %v], want [0, %v]", g.X[0], g.X[g.N()-1], p.TotalLength())
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	for r, want := range map[Region]string{
+		RegionPGS: "PGS", RegionSpacerS: "spacer-S", RegionCG: "CG",
+		RegionSpacerD: "spacer-D", RegionPGD: "PGD", Region(42): "invalid",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("Region(%d).String() = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestFaultFreeDensityMatchesFigure4(t *testing.T) {
+	prof := satProfile(t, device.Defects{})
+	// Paper: fault-free channel electron density 1.558e19 cm^-3.
+	if prof.Mean < 0.5e19 || prof.Mean > 5e19 {
+		t.Errorf("fault-free mean density = %.3e, want ~1.5e19 (0.5e19..5e19)", prof.Mean)
+	}
+}
+
+func TestGOSDensityOrderingMatchesFigure4(t *testing.T) {
+	// Paper Figure 4 ordering: FF (1.558e19) > CG GOS (1.763e18) >
+	// PGD GOS (1.316e18) >> PGS GOS (1.426e17).
+	ff := satProfile(t, device.Defects{}).Mean
+	cg := satProfile(t, device.Defects{GOS: device.GOSAtCG}).Mean
+	pgd := satProfile(t, device.Defects{GOS: device.GOSAtPGD}).Mean
+	pgs := satProfile(t, device.Defects{GOS: device.GOSAtPGS}).Mean
+	if !(ff > cg && cg > pgd && pgd > pgs) {
+		t.Fatalf("ordering violated: ff=%.3e cg=%.3e pgd=%.3e pgs=%.3e", ff, cg, pgd, pgs)
+	}
+	// Ratios: FF/CG ~ 8.8x, FF/PGD ~ 11.8x, FF/PGS ~ 109x. Accept a factor
+	// ~3 band around each.
+	checkRatio := func(name string, got, want float64) {
+		if got < want/3 || got > want*3 {
+			t.Errorf("%s density ratio = %.1f, want ~%.1f (band /3..x3)", name, got, want)
+		}
+	}
+	checkRatio("FF/CG", ff/cg, 8.8)
+	checkRatio("FF/PGD", ff/pgd, 11.8)
+	checkRatio("FF/PGS", ff/pgs, 109)
+}
+
+func TestGOSWellIsLocalised(t *testing.T) {
+	// The density disturbance must be centred on the defective gate:
+	// the depression relative to the fault-free profile is deepest in the
+	// defective region. (Absolute density is lowest at the drain pinch-off
+	// in every profile, so compare ratios, not raw minima.)
+	ff := satProfile(t, device.Defects{})
+	prof := satProfile(t, device.Defects{GOS: device.GOSAtPGS})
+	depression := func(r Region) float64 {
+		worst := 1.0
+		for i, reg := range prof.Regions {
+			if reg != r || ff.NE[i] <= 0 {
+				continue
+			}
+			if ratio := prof.NE[i] / ff.NE[i]; ratio < worst {
+				worst = ratio
+			}
+		}
+		return worst
+	}
+	atPGS := depression(RegionPGS)
+	atCG := depression(RegionCG)
+	if atPGS >= atCG {
+		t.Errorf("GOS@PGS: depression at PGS (%.3g) should be deeper than at CG (%.3g)", atPGS, atCG)
+	}
+}
+
+func TestSolverCurrentOnOff(t *testing.T) {
+	p := device.DefaultParams()
+	s := NewSolver(p, device.Defects{})
+	on := s.Solve(SaturationBias(p)).ID
+	off := s.Solve(device.Bias{VCG: 0, VPGS: p.VDD, VPGD: p.VDD, VD: p.VDD}).ID
+	if on <= 0 {
+		t.Fatalf("on current %v, want > 0", on)
+	}
+	if off < 0 {
+		off = -off
+	}
+	if on/math.Max(off, 1e-30) < 1e3 {
+		t.Errorf("solver on/off = %.3g (on=%.3g off=%.3g), want >= 1e3", on/off, on, off)
+	}
+}
+
+func TestSolverIDSatOrderingMatchesFigure3(t *testing.T) {
+	p := device.DefaultParams()
+	bias := SaturationBias(p)
+	id := func(d device.Defects) float64 {
+		return NewSolver(p, d).Solve(bias).ID
+	}
+	ff := id(device.Defects{})
+	pgs := id(device.Defects{GOS: device.GOSAtPGS})
+	cg := id(device.Defects{GOS: device.GOSAtCG})
+	pgd := id(device.Defects{GOS: device.GOSAtPGD})
+	if !(pgs < cg && cg < ff) {
+		t.Errorf("solver ID(SAT): want PGS < CG < FF, got pgs=%.3g cg=%.3g ff=%.3g", pgs, cg, ff)
+	}
+	if pgd <= ff {
+		t.Errorf("solver GOS@PGD should increase ID: pgd=%.3g ff=%.3g", pgd, ff)
+	}
+}
+
+func TestBreakKillsSolverCurrent(t *testing.T) {
+	p := device.DefaultParams()
+	bias := SaturationBias(p)
+	ff := NewSolver(p, device.Defects{}).Solve(bias).ID
+	br := NewSolver(p, device.Defects{BreakSeverity: 1}).Solve(bias).ID
+	if br/ff > 1e-6 {
+		t.Errorf("break residual = %.3g, want <= 1e-6", br/ff)
+	}
+}
+
+func TestTransferCurveMonotoneProperty(t *testing.T) {
+	p := device.DefaultParams()
+	pts := TransferCurve(p, device.Defects{}, 0, p.VDD, 25, p.VDD, p.VDD, p.VDD)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].I < pts[i-1].I-1e-15 {
+			t.Errorf("solver transfer curve not monotone at point %d", i)
+		}
+	}
+}
+
+func TestDensityPositivity(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		p := device.DefaultParams()
+		bias := device.Bias{
+			VCG:  p.VDD * float64(a%7) / 6,
+			VPGS: p.VDD * float64(b%7) / 6,
+			VPGD: p.VDD * float64(c%7) / 6,
+			VD:   p.VDD,
+		}
+		prof := ElectronDensity(p, device.Defects{}, bias)
+		for _, n := range prof.NE {
+			if n <= 0 || math.IsNaN(n) || math.IsInf(n, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaturationBias(t *testing.T) {
+	p := device.DefaultParams()
+	b := SaturationBias(p)
+	if b.VCG != p.VDD || b.VPGS != p.VDD || b.VPGD != p.VDD || b.VD != p.VDD || b.VS != 0 {
+		t.Errorf("SaturationBias = %+v", b)
+	}
+}

@@ -1,0 +1,235 @@
+// Package timing provides gate-level static timing analysis for CP
+// circuits with analog-characterised cell delays, plus the transition
+// (delay) fault model. The paper's Figure 5 shows that sub-critical
+// polarity-gate opens and partial nanowire breaks manifest as delay
+// faults ("for VCut below 0.56V, the delay fault and stuck-on can be used
+// for testing purpose"); this package lifts that observation to circuit
+// level: per-gate delay degradation factors propagate through arrival
+// times, and slow-to-rise/slow-to-fall transition tests expose them.
+package timing
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cpsinw/internal/circuit"
+	"cpsinw/internal/device"
+	"cpsinw/internal/gates"
+	"cpsinw/internal/logic"
+	"cpsinw/internal/spice"
+)
+
+// CellDelay is the characterised propagation delay of one gate kind.
+type CellDelay struct {
+	Kind gates.Kind
+	TPLH float64 // low-to-high output transition (s)
+	TPHL float64 // high-to-low output transition (s)
+}
+
+// Worst returns the slower of the two transitions.
+func (c CellDelay) Worst() float64 {
+	if c.TPLH > c.TPHL {
+		return c.TPLH
+	}
+	return c.TPHL
+}
+
+var (
+	cellCacheMu sync.Mutex
+	cellCache   = map[gates.Kind]CellDelay{}
+)
+
+// CharacteriseCell measures a gate kind's propagation delays with the
+// analog simulator (FO4 load, side inputs at the sensitising value).
+// Results are cached per kind.
+func CharacteriseCell(kind gates.Kind) (CellDelay, error) {
+	cellCacheMu.Lock()
+	if d, ok := cellCache[kind]; ok {
+		cellCacheMu.Unlock()
+		return d, nil
+	}
+	cellCacheMu.Unlock()
+
+	d, err := measureCell(kind)
+	if err != nil {
+		return CellDelay{}, err
+	}
+	cellCacheMu.Lock()
+	cellCache[kind] = d
+	cellCacheMu.Unlock()
+	return d, nil
+}
+
+// measureCell runs the analog characterisation: input 0 pulses, the
+// remaining inputs sit at the value that sensitises input 0 (1 for
+// NAND/XOR-style gates, 0 for NOR gates).
+func measureCell(kind gates.Kind) (CellDelay, error) {
+	spec := gates.Get(kind)
+	m := device.Default()
+	vdd := m.P.VDD
+	side := vdd // non-controlling for NAND/XOR/MAJ-ish sensitisation
+	if kind == gates.NOR2 || kind == gates.NOR3 {
+		side = 0
+	}
+	pulse := circuit.Pulse{V0: 0, V1: vdd, Delay: 100e-12, Rise: 10e-12, Fall: 10e-12, Width: 600e-12, Period: 1.4e-9}
+	waves := make([]circuit.Waveform, spec.NIn)
+	waves[0] = pulse
+	for i := 1; i < spec.NIn; i++ {
+		waves[i] = circuit.DC(side)
+	}
+	// MAJ needs mixed side inputs to sensitise input 0 (one 1, one 0).
+	if kind == gates.MAJ3 {
+		waves[1] = circuit.DC(vdd)
+		waves[2] = circuit.DC(0)
+	}
+	n, err := gates.BuildAnalog(spec, gates.BuildOptions{Inputs: waves})
+	if err != nil {
+		return CellDelay{}, err
+	}
+	eng, err := spice.NewEngine(n, spice.Options{})
+	if err != nil {
+		return CellDelay{}, err
+	}
+	wf, err := eng.Tran(2e-12, 1.4e-9, []string{gates.InputNode(0), gates.NodeOut})
+	if err != nil {
+		return CellDelay{}, err
+	}
+	in, out := gates.InputNode(0), gates.NodeOut
+
+	// Output polarity with respect to input 0 under the chosen side
+	// values comes from the Boolean function itself (XOR3 with both side
+	// inputs high is non-inverting: the two inversions cancel).
+	sideBits := make([]bool, spec.NIn)
+	for i := 1; i < spec.NIn; i++ {
+		w, _ := waves[i].(circuit.DC)
+		sideBits[i] = float64(w) > vdd/2
+	}
+	lowIn := append([]bool(nil), sideBits...)
+	highIn := append([]bool(nil), sideBits...)
+	highIn[0] = true
+	inverting := spec.Eval(lowIn) && !spec.Eval(highIn)
+	var dOnRise, dOnFall float64
+	if inverting {
+		dOnRise, err = spice.PropDelay(wf, in, out, vdd, true, false, 0)
+		if err != nil {
+			return CellDelay{}, fmt.Errorf("timing: %v HL: %w", kind, err)
+		}
+		dOnFall, err = spice.PropDelay(wf, in, out, vdd, false, true, 500e-12)
+		if err != nil {
+			return CellDelay{}, fmt.Errorf("timing: %v LH: %w", kind, err)
+		}
+		return CellDelay{Kind: kind, TPHL: dOnRise, TPLH: dOnFall}, nil
+	}
+	dOnRise, err = spice.PropDelay(wf, in, out, vdd, true, true, 0)
+	if err != nil {
+		return CellDelay{}, fmt.Errorf("timing: %v LH: %w", kind, err)
+	}
+	dOnFall, err = spice.PropDelay(wf, in, out, vdd, false, false, 500e-12)
+	if err != nil {
+		return CellDelay{}, fmt.Errorf("timing: %v HL: %w", kind, err)
+	}
+	return CellDelay{Kind: kind, TPLH: dOnRise, TPHL: dOnFall}, nil
+}
+
+// Analysis is the result of a static timing run.
+type Analysis struct {
+	// Arrival maps each net to its worst-case arrival time (s).
+	Arrival map[string]float64
+	// CriticalPath lists the nets of the longest path, input first.
+	CriticalPath []string
+	// Tmax is the circuit's worst arrival (the critical path delay).
+	Tmax float64
+}
+
+// Options configures the analysis.
+type Options struct {
+	// DelayFactor scales the delay of selected gate instances (defect
+	// injection: a partial break multiplies the affected cell's delay).
+	DelayFactor map[string]float64
+	// Cells overrides the characterised cell library (tests, what-if).
+	Cells map[gates.Kind]CellDelay
+}
+
+// Analyse computes worst-case arrival times by levelised longest-path
+// propagation, using analog-characterised cell delays.
+func Analyse(c *logic.Circuit, opt Options) (*Analysis, error) {
+	cellOf := func(k gates.Kind) (CellDelay, error) {
+		if opt.Cells != nil {
+			if d, ok := opt.Cells[k]; ok {
+				return d, nil
+			}
+		}
+		return CharacteriseCell(k)
+	}
+
+	a := &Analysis{Arrival: map[string]float64{}}
+	for _, pi := range c.Inputs {
+		a.Arrival[pi] = 0
+	}
+	from := map[string]string{} // net -> predecessor net on the longest path
+	for _, gi := range c.Levelized() {
+		g := &c.Gates[gi]
+		cd, err := cellOf(g.Kind)
+		if err != nil {
+			return nil, err
+		}
+		delay := cd.Worst()
+		if f, ok := opt.DelayFactor[g.Name]; ok && f > 0 {
+			delay *= f
+		}
+		worst, worstNet := 0.0, ""
+		for _, f := range g.Fanin {
+			if t := a.Arrival[f]; t >= worst {
+				worst, worstNet = t, f
+			}
+		}
+		a.Arrival[g.Output] = worst + delay
+		from[g.Output] = worstNet
+	}
+	for _, po := range c.Outputs {
+		if a.Arrival[po] > a.Tmax {
+			a.Tmax = a.Arrival[po]
+		}
+	}
+	// Trace the critical path back from the worst output.
+	var end string
+	for _, po := range c.Outputs {
+		if a.Arrival[po] == a.Tmax {
+			end = po
+			break
+		}
+	}
+	for net := end; net != ""; net = from[net] {
+		a.CriticalPath = append(a.CriticalPath, net)
+	}
+	reverse(a.CriticalPath)
+	return a, nil
+}
+
+func reverse(s []string) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Slacks returns per-output slack against a clock period, sorted by net.
+func (a *Analysis) Slacks(c *logic.Circuit, period float64) map[string]float64 {
+	out := map[string]float64{}
+	for _, po := range c.Outputs {
+		out[po] = period - a.Arrival[po]
+	}
+	return out
+}
+
+// Violations lists the outputs whose arrival exceeds the period.
+func (a *Analysis) Violations(c *logic.Circuit, period float64) []string {
+	var out []string
+	for _, po := range c.Outputs {
+		if a.Arrival[po] > period {
+			out = append(out, po)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

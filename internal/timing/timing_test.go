@@ -1,0 +1,207 @@
+package timing
+
+import (
+	"strings"
+	"testing"
+
+	"cpsinw/internal/atpg"
+	"cpsinw/internal/bench"
+	"cpsinw/internal/gates"
+	"cpsinw/internal/logic"
+)
+
+// fastCells returns a synthetic cell library so STA tests do not need the
+// analog simulator.
+func fastCells() map[gates.Kind]CellDelay {
+	out := map[gates.Kind]CellDelay{}
+	for i, k := range gates.Kinds() {
+		d := 10e-12 + float64(i)*1e-12
+		out[k] = CellDelay{Kind: k, TPLH: d, TPHL: d * 0.8}
+	}
+	return out
+}
+
+func TestCharacteriseCellINV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog characterisation in -short mode")
+	}
+	d, err := CharacteriseCell(gates.INV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TPLH <= 0 || d.TPHL <= 0 || d.TPLH > 500e-12 || d.TPHL > 500e-12 {
+		t.Errorf("INV delays out of range: %+v", d)
+	}
+	// Cached: second call returns the same values.
+	d2, err := CharacteriseCell(gates.INV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 != d {
+		t.Error("cache returned different values")
+	}
+}
+
+func TestCharacteriseAllCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analog characterisation in -short mode")
+	}
+	for _, k := range gates.Kinds() {
+		d, err := CharacteriseCell(k)
+		if err != nil {
+			t.Errorf("%v: %v", k, err)
+			continue
+		}
+		if d.Worst() <= 0 || d.Worst() > 1e-9 {
+			t.Errorf("%v: worst delay %.3g out of range", k, d.Worst())
+		}
+	}
+}
+
+func TestAnalyseRCA(t *testing.T) {
+	c := bench.RippleCarryAdder(4)
+	a, err := Analyse(c, Options{Cells: fastCells()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tmax <= 0 {
+		t.Fatal("zero critical delay")
+	}
+	// The carry chain dominates: cout arrives last (or ties).
+	if a.Arrival["cout"] < a.Arrival["s0"] {
+		t.Errorf("carry chain should dominate: cout=%.3g s0=%.3g", a.Arrival["cout"], a.Arrival["s0"])
+	}
+	// Critical path starts at an input and ends at an output.
+	if len(a.CriticalPath) < 2 {
+		t.Fatalf("critical path too short: %v", a.CriticalPath)
+	}
+	first := a.CriticalPath[0]
+	if d, ok := c.Driver(first); !ok || d != -1 {
+		t.Errorf("critical path does not start at a PI: %v", a.CriticalPath)
+	}
+	last := a.CriticalPath[len(a.CriticalPath)-1]
+	found := false
+	for _, po := range c.Outputs {
+		if po == last {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("critical path does not end at a PO: %v", a.CriticalPath)
+	}
+	// Arrival times are monotone along the path.
+	for i := 1; i < len(a.CriticalPath); i++ {
+		if a.Arrival[a.CriticalPath[i]] < a.Arrival[a.CriticalPath[i-1]] {
+			t.Errorf("arrival not monotone along critical path at %s", a.CriticalPath[i])
+		}
+	}
+}
+
+func TestDelayFactorInjection(t *testing.T) {
+	c := bench.RippleCarryAdder(4)
+	base, err := Analyse(c, Options{Cells: fastCells()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow down the first carry gate (on the carry chain): Tmax grows.
+	slow, err := Analyse(c, Options{
+		Cells:       fastCells(),
+		DelayFactor: map[string]float64{"fa0_c": 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Tmax <= base.Tmax {
+		t.Errorf("delay injection had no effect: %.3g vs %.3g", slow.Tmax, base.Tmax)
+	}
+	// Slack/violation bookkeeping against a clock between the two.
+	period := (base.Tmax + slow.Tmax) / 2
+	if v := base.Violations(c, period); len(v) != 0 {
+		t.Errorf("healthy circuit violates: %v", v)
+	}
+	if v := slow.Violations(c, period); len(v) == 0 {
+		t.Error("slowed circuit shows no violation")
+	}
+	slacks := slow.Slacks(c, period)
+	neg := 0
+	for _, s := range slacks {
+		if s < 0 {
+			neg++
+		}
+	}
+	if neg == 0 {
+		t.Error("no negative slack after injection")
+	}
+}
+
+func TestTransitionUniverse(t *testing.T) {
+	c := bench.C17()
+	u := TransitionUniverse(c)
+	// 11 nets x 2 transitions.
+	if len(u) != 22 {
+		t.Fatalf("universe = %d, want 22", len(u))
+	}
+	if u[0].String() == u[1].String() {
+		t.Error("identifiers collide")
+	}
+	if !strings.HasSuffix(TransitionFault{Net: "x", Rising: true}.String(), "/STR") {
+		t.Error("STR naming broken")
+	}
+}
+
+func TestTransitionCampaignC17(t *testing.T) {
+	c := bench.C17()
+	tests, covered, total, err := TransitionCampaign(c, atpg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered < total*9/10 {
+		t.Errorf("transition coverage %d/%d", covered, total)
+	}
+	if len(tests) != covered {
+		t.Errorf("test list inconsistent: %d vs %d", len(tests), covered)
+	}
+	// Every generated test was already validated inside the campaign;
+	// spot-check independence of launch and capture.
+	for _, tt := range tests[:3] {
+		same := true
+		for _, pi := range c.Inputs {
+			if tt.Launch[pi] != tt.Capture[pi] {
+				same = false
+			}
+		}
+		if same {
+			t.Errorf("%v: launch == capture cannot create a transition", tt.Fault)
+		}
+	}
+}
+
+func TestTransitionCampaignDPCircuit(t *testing.T) {
+	// Transition testing must work through XOR/MAJ gates too.
+	c := bench.FullAdderCP()
+	_, covered, total, err := TransitionCampaign(c, atpg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered != total {
+		t.Errorf("transition coverage %d/%d on the CP full adder", covered, total)
+	}
+}
+
+func TestSimulateTransitionRejectsBadPairs(t *testing.T) {
+	c := bench.C17()
+	f := TransitionFault{Net: "n10", Rising: true}
+	// A pair that never sets up the transition must be rejected.
+	same := faultsim_Pattern(c, logic.L1)
+	if SimulateTransition(c, f, same, same) {
+		t.Error("degenerate pair accepted")
+	}
+}
+
+func faultsim_Pattern(c *logic.Circuit, v logic.V) map[string]logic.V {
+	p := map[string]logic.V{}
+	for _, pi := range c.Inputs {
+		p[pi] = v
+	}
+	return p
+}
