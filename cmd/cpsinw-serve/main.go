@@ -1,0 +1,87 @@
+// Command cpsinw-serve runs the fault-campaign service: an HTTP/JSON
+// API over the reproduction's fault simulation and ATPG engines with a
+// bounded job queue, a worker pool and a content-addressed result
+// cache.
+//
+// Usage:
+//
+//	cpsinw-serve [-addr :8080] [-workers n] [-queue n] [-cache n] [-job-timeout 60s]
+//
+// Endpoints:
+//
+//	POST /v1/campaigns             submit a campaign (netlist or benchmark + fault config)
+//	GET  /v1/campaigns/{id}        job status
+//	GET  /v1/campaigns/{id}/report finished report as JSON
+//	GET  /healthz                  liveness
+//	GET  /metrics                  queue depth, cache hit rate, latency percentiles
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cpsinw/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cpsinw-serve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "bounded submission queue depth")
+	cacheSize := flag.Int("cache", 128, "result cache entries (LRU)")
+	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "per-job deadline")
+	flag.Parse()
+
+	srv := service.NewServer(service.ManagerConfig{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cacheSize,
+		JobTimeout: *jobTimeout,
+	})
+	defer srv.Close()
+
+	mgr := srv.Manager()
+	expvar.Publish("cpsinw", expvar.Func(func() interface{} {
+		return mgr.Metrics().Snapshot(mgr.QueueDepth(), mgr.Workers(), mgr.Cache())
+	}))
+
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (workers=%d queue=%d cache=%d)", *addr, mgr.Workers(), *queue, *cacheSize)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Print("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+}

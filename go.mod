@@ -1,0 +1,3 @@
+module cpsinw
+
+go 1.22

@@ -1,6 +1,8 @@
 package atpg
 
 import (
+	"context"
+
 	"cpsinw/internal/core"
 	"cpsinw/internal/faultsim"
 	"cpsinw/internal/gates"
@@ -53,6 +55,17 @@ func (r *CampaignResult) Coverage() float64 {
 // fallback, classical two-pattern generation for channel breaks in SP
 // gates, and the paper's procedure for channel breaks in DP gates.
 func Generate(c *logic.Circuit, faults []core.Fault, opt Options) *CampaignResult {
+	res, _ := GenerateContext(context.Background(), c, faults, opt)
+	return res
+}
+
+// GenerateContext is Generate with cooperative cancellation: the context
+// is checked between per-fault generation attempts (one PODEM search or
+// one polarity/channel-break procedure is the unit of work). On
+// cancellation it returns the partial result accumulated so far together
+// with the context's error, so long-running service campaigns can be
+// abandoned at a per-job deadline without losing accounting.
+func GenerateContext(ctx context.Context, c *logic.Circuit, faults []core.Fault, opt Options) (*CampaignResult, error) {
 	res := &CampaignResult{}
 	sim := faultsim.New(c)
 
@@ -66,6 +79,9 @@ func Generate(c *logic.Circuit, faults []core.Fault, opt Options) *CampaignResul
 	res.StuckAtTargeted = len(saFaults)
 	detected := make([]bool, len(saFaults))
 	for i, f := range saFaults {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		if detected[i] {
 			continue
 		}
@@ -94,6 +110,9 @@ func Generate(c *logic.Circuit, faults []core.Fault, opt Options) *CampaignResul
 		if !f.Kind.IsPolarityFault() {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		res.PolarityTargeted++
 		t, ok := GeneratePolarity(c, f, opt)
 		if !ok {
@@ -112,6 +131,9 @@ func Generate(c *logic.Circuit, faults []core.Fault, opt Options) *CampaignResul
 	for _, f := range faults {
 		if f.Kind != core.FaultChannelBreak {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return res, err
 		}
 		gi, err := gateIndexByName(c, f.Gate)
 		if err != nil {
@@ -138,7 +160,7 @@ func Generate(c *logic.Circuit, faults []core.Fault, opt Options) *CampaignResul
 			res.Set.TwoPattern = append(res.Set.TwoPattern, tp)
 		}
 	}
-	return res
+	return res, nil
 }
 
 // CompactPatterns drops combinational patterns that do not contribute

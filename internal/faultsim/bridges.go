@@ -1,6 +1,8 @@
 package faultsim
 
 import (
+	"context"
+
 	"cpsinw/internal/core"
 	"cpsinw/internal/logic"
 )
@@ -50,12 +52,22 @@ func evalBridged(c *logic.Circuit, p Pattern, b core.Bridge) map[string]logic.V 
 // RunBridges fault-simulates bridging faults over the pattern set,
 // detecting by definite primary-output differences.
 func (s *Simulator) RunBridges(bridges []core.Bridge, patterns []Pattern) []BridgeDetection {
+	out, _ := s.RunBridgesContext(context.Background(), bridges, patterns)
+	return out
+}
+
+// RunBridgesContext is RunBridges with cooperative cancellation checked
+// between bridges (one bridge's pattern sweep is the unit of work).
+func (s *Simulator) RunBridgesContext(ctx context.Context, bridges []core.Bridge, patterns []Pattern) ([]BridgeDetection, error) {
 	out := make([]BridgeDetection, len(bridges))
 	goods := make([]map[string]logic.V, len(patterns))
 	for k, p := range patterns {
 		goods[k] = s.C.Eval(map[string]logic.V(p))
 	}
 	for i, b := range bridges {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		out[i] = BridgeDetection{Bridge: b, Pattern: -1}
 		for k, p := range patterns {
 			faulty := evalBridged(s.C, p, b)
@@ -66,7 +78,7 @@ func (s *Simulator) RunBridges(bridges []core.Bridge, patterns []Pattern) []Brid
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // BridgeCoverage summarises bridge detections.

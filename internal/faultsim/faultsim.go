@@ -7,6 +7,7 @@
 package faultsim
 
 import (
+	"context"
 	"fmt"
 
 	"cpsinw/internal/core"
@@ -71,11 +72,22 @@ func (s *Simulator) packPatterns(patterns []Pattern) logic.PackedAssign {
 // using 64-way parallel-pattern packed simulation. Non-line faults in the
 // list are returned undetected.
 func (s *Simulator) RunStuckAt(faults []core.Fault, patterns []Pattern) []Detection {
+	out, _ := s.RunStuckAtContext(context.Background(), faults, patterns)
+	return out
+}
+
+// RunStuckAtContext is RunStuckAt with cooperative cancellation checked
+// once per 64-pattern chunk; on cancellation the detections so far are
+// returned with the context's error.
+func (s *Simulator) RunStuckAtContext(ctx context.Context, faults []core.Fault, patterns []Pattern) ([]Detection, error) {
 	out := make([]Detection, len(faults))
 	for i, f := range faults {
 		out[i] = Detection{Fault: f, Pattern: -1}
 	}
 	for base := 0; base < len(patterns); base += 64 {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		chunk := patterns[base:min(base+64, len(patterns))]
 		assign := s.packPatterns(chunk)
 		valid := ^uint64(0)
@@ -119,7 +131,7 @@ func (s *Simulator) RunStuckAt(faults []core.Fault, patterns []Pattern) []Detect
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 func trailingZeros(w uint64) int {
@@ -181,19 +193,7 @@ func (s *Simulator) transistorHooks(f core.Fault, leak *bool) (logic.TernaryHook
 // (the paper's IDDQ observability for pull-up polarity faults).
 // RunTransistorParallel spreads the same work over a goroutine pool.
 func (s *Simulator) RunTransistor(faults []core.Fault, patterns []Pattern, useIDDQ bool) ([]Detection, error) {
-	out := make([]Detection, len(faults))
-	goods := make([]map[string]logic.V, len(patterns))
-	for k, p := range patterns {
-		goods[k] = s.C.Eval(map[string]logic.V(p))
-	}
-	for i, f := range faults {
-		d, err := s.simulateTransistorFault(f, patterns, goods, useIDDQ)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = d
-	}
-	return out, nil
+	return s.runTransistorSerial(context.Background(), faults, patterns, useIDDQ)
 }
 
 // outputsDiffer reports a definite PO mismatch (X never counts).

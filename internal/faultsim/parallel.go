@@ -1,6 +1,7 @@
 package faultsim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -40,16 +41,46 @@ func (s *Simulator) simulateTransistorFault(f core.Fault, patterns []Pattern, go
 	return d, nil
 }
 
+// runTransistorSerial is the context-aware serial engine behind both
+// RunTransistor and the single-worker parallel fallback. Cancellation is
+// checked between faults: a fault's pattern sweep is the unit of work.
+func (s *Simulator) runTransistorSerial(ctx context.Context, faults []core.Fault, patterns []Pattern, useIDDQ bool) ([]Detection, error) {
+	out := make([]Detection, len(faults))
+	goods := make([]map[string]logic.V, len(patterns))
+	for k, p := range patterns {
+		goods[k] = s.C.Eval(map[string]logic.V(p))
+	}
+	for i, f := range faults {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		d, err := s.simulateTransistorFault(f, patterns, goods, useIDDQ)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
 // RunTransistorParallel is RunTransistor with the per-fault work spread
 // over a goroutine pool: each fault needs its own hooked evaluation, so
 // the fault axis is embarrassingly parallel, and the good-circuit
-// responses are computed once and shared read-only.
-func (s *Simulator) RunTransistorParallel(faults []core.Fault, patterns []Pattern, useIDDQ bool, workers int) ([]Detection, error) {
+// responses are computed once and shared read-only. The pool never
+// exceeds len(faults) workers, and the context cancels in-flight
+// campaigns between faults.
+func (s *Simulator) RunTransistorParallel(ctx context.Context, faults []core.Fault, patterns []Pattern, useIDDQ bool, workers int) ([]Detection, error) {
+	if len(faults) == 0 {
+		return []Detection{}, ctx.Err()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(faults) {
+		workers = len(faults)
+	}
 	if workers == 1 || len(faults) < 2 {
-		return s.RunTransistor(faults, patterns, useIDDQ)
+		return s.runTransistorSerial(ctx, faults, patterns, useIDDQ)
 	}
 
 	goods := make([]map[string]logic.V, len(patterns))
@@ -67,6 +98,9 @@ func (s *Simulator) RunTransistorParallel(faults []core.Fault, patterns []Patter
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // drain without working once canceled
+				}
 				d, err := s.simulateTransistorFault(faults[i], patterns, goods, useIDDQ)
 				if err != nil {
 					mu.Lock()
@@ -80,11 +114,19 @@ func (s *Simulator) RunTransistorParallel(faults []core.Fault, patterns []Patter
 			}
 		}()
 	}
+dispatch:
 	for i := range faults {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -1,6 +1,8 @@
 package faultsim
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -19,7 +21,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := sim.RunTransistorParallel(faults, pats, true, 8)
+	parallel, err := sim.RunTransistorParallel(context.Background(), faults, pats, true, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,12 +41,63 @@ func TestParallelSingleWorkerFallsBack(t *testing.T) {
 	c := bench.FullAdderCP()
 	sim := New(c)
 	faults := core.Universe(c, core.UniverseOptions{Polarity: true})
-	ds, err := sim.RunTransistorParallel(faults, ExhaustivePatterns(c), true, 1)
+	ds, err := sim.RunTransistorParallel(context.Background(), faults, ExhaustivePatterns(c), true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cov := Summarise(ds); cov.Detected == 0 {
 		t.Error("single-worker run detected nothing")
+	}
+}
+
+func TestParallelMoreWorkersThanFaults(t *testing.T) {
+	c := bench.FullAdderCP()
+	sim := New(c)
+	faults := core.Universe(c, core.UniverseOptions{Polarity: true})
+	pats := ExhaustivePatterns(c)
+
+	serial, err := sim.RunTransistor(faults, pats, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far more workers than faults: the pool must clamp, not spawn idle
+	// goroutines or deadlock on the unbuffered job channel.
+	parallel, err := sim.RunTransistorParallel(context.Background(), faults, pats, true, 10*len(faults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("length mismatch %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Method != parallel[i].Method || serial[i].Pattern != parallel[i].Pattern {
+			t.Errorf("fault %v: serial %v@%d vs parallel %v@%d",
+				serial[i].Fault, serial[i].Method, serial[i].Pattern,
+				parallel[i].Method, parallel[i].Pattern)
+		}
+	}
+}
+
+func TestParallelEmptyFaultList(t *testing.T) {
+	c := bench.FullAdderCP()
+	sim := New(c)
+	ds, err := sim.RunTransistorParallel(context.Background(), nil, ExhaustivePatterns(c), true, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Errorf("expected no detections, got %d", len(ds))
+	}
+}
+
+func TestParallelCancelled(t *testing.T) {
+	c := bench.RippleCarryAdder(4)
+	sim := New(c)
+	faults := core.Universe(c, core.UniverseOptions{ChannelBreak: true, Polarity: true, StuckOn: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sim.RunTransistorParallel(ctx, faults, randomTestPatterns(c, 48), true, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("expected context.Canceled, got %v", err)
 	}
 }
 
@@ -55,7 +108,7 @@ func TestParallelPropagatesErrors(t *testing.T) {
 		{Kind: core.FaultChannelBreak, Gate: "nonexistent", Transistor: "t1"},
 		{Kind: core.FaultChannelBreak, Gate: "nonexistent", Transistor: "t2"},
 	}
-	if _, err := sim.RunTransistorParallel(bad, ExhaustivePatterns(c), true, 4); err == nil {
+	if _, err := sim.RunTransistorParallel(context.Background(), bad, ExhaustivePatterns(c), true, 4); err == nil {
 		t.Error("unknown gate accepted")
 	}
 }

@@ -1,0 +1,68 @@
+package report
+
+import "encoding/json"
+
+// tableJSON is the wire form of a Table: the service layer returns the
+// same tables the CLI renders as text, so API consumers and terminal
+// users see identical data.
+type tableJSON struct {
+	Title   string     `json:"title,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON renders the table as {title, headers, rows}.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	j := tableJSON{Title: t.Title, Headers: t.Headers, Rows: t.Rows}
+	if j.Headers == nil {
+		j.Headers = []string{}
+	}
+	if j.Rows == nil {
+		j.Rows = [][]string{}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON restores a table from its wire form.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var j tableJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	t.Title, t.Headers, t.Rows = j.Title, j.Headers, j.Rows
+	return nil
+}
+
+// seriesJSON is the wire form of a Series; each curve keeps its column
+// name alongside the shared X axis.
+type seriesJSON struct {
+	Title   string      `json:"title,omitempty"`
+	Columns []string    `json:"columns"`
+	X       []float64   `json:"x"`
+	Y       [][]float64 `json:"y"`
+}
+
+// MarshalJSON renders the series as {title, columns, x, y}.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	j := seriesJSON{Title: s.Title, Columns: s.Columns, X: s.X, Y: s.Y}
+	if j.Columns == nil {
+		j.Columns = []string{}
+	}
+	if j.X == nil {
+		j.X = []float64{}
+	}
+	if j.Y == nil {
+		j.Y = [][]float64{}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON restores a series from its wire form.
+func (s *Series) UnmarshalJSON(data []byte) error {
+	var j seriesJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	s.Title, s.Columns, s.X, s.Y = j.Title, j.Columns, j.X, j.Y
+	return nil
+}

@@ -1,0 +1,61 @@
+package report
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tab := &Table{Title: "coverage", Headers: []string{"model", "pct"}}
+	tab.Add("stuck-at", "93.9%")
+	tab.Add("polarity", "100.0%")
+
+	data, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"title":"coverage","headers":["model","pct"],"rows":[["stuck-at","93.9%"],["polarity","100.0%"]]}`
+	if string(data) != want {
+		t.Errorf("marshal:\n got %s\nwant %s", data, want)
+	}
+
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, tab) {
+		t.Errorf("round trip: got %+v want %+v", back, *tab)
+	}
+}
+
+func TestTableJSONEmpty(t *testing.T) {
+	data, err := json.Marshal(&Table{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"headers":[],"rows":[]}`
+	if string(data) != want {
+		t.Errorf("got %s want %s", data, want)
+	}
+}
+
+func TestSeriesJSONRoundTrip(t *testing.T) {
+	s := &Series{
+		Title:   "fig5",
+		Columns: []string{"vdd", "iddq"},
+		X:       []float64{0.8, 1.0},
+		Y:       [][]float64{{1e-9, 2e-9}},
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Series
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&back, s) {
+		t.Errorf("round trip: got %+v want %+v", back, *s)
+	}
+}

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"strings"
+	"sync"
+
+	"cpsinw/internal/logic"
+)
+
+// CanonicalKey content-addresses a campaign: SHA-256 over the
+// canonicalized netlist (parse + re-emit, so whitespace, comments and
+// the submitted circuit name do not perturb the address) plus the
+// normalized result-affecting config. Two semantically identical
+// submissions therefore share one cache entry.
+func CanonicalKey(c *logic.Circuit, req CampaignRequest) string {
+	canon := *c
+	canon.Name = "canonical"
+	var b strings.Builder
+	// WriteBench on a strings.Builder cannot fail.
+	_ = logic.WriteBench(&b, &canon)
+	b.WriteByte(0)
+
+	// Only fields that change the result participate; Workers and
+	// TimeoutMS tune execution, and the netlist text is replaced by its
+	// canonical form above.
+	cfg, _ := json.Marshal(struct {
+		Faults   FaultConfig `json:"faults"`
+		Patterns int         `json:"patterns"`
+		Seed     int64       `json:"seed"`
+		ATPG     bool        `json:"atpg"`
+	}{req.Faults, req.Patterns, req.Seed, req.ATPG})
+	b.Write(cfg)
+
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Cache is a content-addressed LRU result cache with hit/miss
+// accounting. All methods are safe for concurrent use.
+type Cache struct {
+	mu           sync.Mutex
+	max          int
+	ll           *list.List // front = most recently used
+	items        map[string]*list.Element
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key    string
+	report *CampaignReport
+}
+
+// NewCache builds a cache holding at most max reports (default 128).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = 128
+	}
+	return &Cache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the cached report for the key, promoting it to most
+// recently used, and records a hit or miss.
+func (c *Cache) Get(key string) (*CampaignReport, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).report, true
+}
+
+// Put stores the report under the key, evicting the least recently used
+// entry when full. Re-putting an existing key refreshes its recency.
+func (c *Cache) Put(key string, r *CampaignReport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).report = r
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, report: r})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Stats returns the hit/miss counters and current size.
+func (c *Cache) Stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}
+
+// Keys lists the cached keys from most to least recently used, for
+// eviction-order inspection.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).key)
+	}
+	return out
+}

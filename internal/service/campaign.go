@@ -1,0 +1,169 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cpsinw/internal/atpg"
+	"cpsinw/internal/core"
+	"cpsinw/internal/faultsim"
+	"cpsinw/internal/logic"
+	"cpsinw/internal/report"
+)
+
+// exhaustiveInputLimit is the input count up to which campaigns always
+// simulate all 2^n patterns, ignoring the random-pattern budget.
+const exhaustiveInputLimit = 12
+
+// BuildPatterns mirrors the CLI pattern policy: exhaustive for circuits
+// with at most exhaustiveInputLimit inputs, seeded-random otherwise.
+func BuildPatterns(c *logic.Circuit, n int, seed int64) []faultsim.Pattern {
+	if len(c.Inputs) <= exhaustiveInputLimit {
+		return faultsim.ExhaustivePatterns(c)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]faultsim.Pattern, n)
+	for k := range out {
+		p := faultsim.Pattern{}
+		for _, pi := range c.Inputs {
+			p[pi] = logic.FromBool(rng.Intn(2) == 1)
+		}
+		out[k] = p
+	}
+	return out
+}
+
+// RunCampaign executes one normalized campaign request against the
+// batch engines, honouring the context between phases and inside the
+// parallel transistor simulation and the ATPG generators.
+func RunCampaign(ctx context.Context, c *logic.Circuit, req CampaignRequest) (*CampaignReport, error) {
+	start := time.Now()
+	pats := BuildPatterns(c, req.Patterns, req.Seed)
+	sim := faultsim.New(c)
+	stats := c.Statistics()
+	rep := &CampaignReport{
+		Circuit: CircuitInfo{
+			Name:    c.Name,
+			Inputs:  stats.Inputs,
+			Outputs: stats.Outputs,
+			Gates:   stats.Gates,
+			DPGates: stats.DPGates,
+		},
+		Patterns: len(pats),
+	}
+
+	if req.Faults.StuckAt {
+		faults := core.Universe(c, core.ClassicalOnly())
+		ds, err := sim.RunStuckAtContext(ctx, faults, pats)
+		if err != nil {
+			return nil, err
+		}
+		rep.StuckAt = coverageJSON(faultsim.Summarise(ds))
+	}
+
+	uopt := core.UniverseOptions{
+		ChannelBreak: req.Faults.StuckOpen,
+		StuckOn:      req.Faults.StuckOn,
+		Polarity:     req.Faults.Polarity,
+	}
+	if uopt.ChannelBreak || uopt.StuckOn || uopt.Polarity {
+		trFaults := core.Universe(c, uopt)
+		ds, err := sim.RunTransistorParallel(ctx, trFaults, pats, false, req.Workers)
+		if err != nil {
+			return nil, err
+		}
+		rep.Transistor = coverageJSON(faultsim.Summarise(ds))
+		if req.Faults.IDDQ {
+			ds, err = sim.RunTransistorParallel(ctx, trFaults, pats, true, req.Workers)
+			if err != nil {
+				return nil, err
+			}
+			rep.TransistorIDDQ = coverageJSON(faultsim.Summarise(ds))
+		}
+	}
+
+	if req.Faults.Bridges {
+		bridges := core.NeighborBridges(c, req.Faults.BridgeWindow)
+		ds, err := sim.RunBridgesContext(ctx, bridges, pats)
+		if err != nil {
+			return nil, err
+		}
+		rep.Bridges = coverageJSON(faultsim.BridgeCoverage(ds))
+	}
+
+	if req.ATPG {
+		genOpt := uopt
+		genOpt.LineStuckAt = req.Faults.StuckAt
+		universe := core.Universe(c, genOpt)
+		res, err := atpg.GenerateContext(ctx, c, universe, atpg.Options{})
+		if err != nil {
+			return nil, err
+		}
+		rep.ATPG = &ATPGJSON{
+			StuckAtTargeted:  res.StuckAtTargeted,
+			StuckAtCovered:   res.StuckAtCovered,
+			PolarityTargeted: res.PolarityTargeted,
+			PolarityCovered:  res.PolarityCovered,
+			CBSPTargeted:     res.CBSPTargeted,
+			CBSPCovered:      res.CBSPCovered,
+			CBDPTargeted:     res.CBDPTargeted,
+			CBDPCovered:      res.CBDPCovered,
+			Coverage:         res.Coverage(),
+			TotalVectors:     res.Set.TotalVectors(),
+			Untestable:       len(res.Untestable),
+		}
+	}
+
+	rep.Tables = buildTables(rep)
+	rep.ElapsedMS = time.Since(start).Milliseconds()
+	return rep, nil
+}
+
+func coverageJSON(cov faultsim.Coverage) *CoverageJSON {
+	out := &CoverageJSON{
+		Total:        cov.Total,
+		Detected:     cov.Detected,
+		ByOutput:     cov.ByOutput,
+		ByIDDQ:       cov.ByIDDQ,
+		ByTwoPattern: cov.ByTwoPat,
+		Percent:      cov.Percent(),
+	}
+	for _, f := range cov.Undetected {
+		out.Undetected = append(out.Undetected, f.String())
+	}
+	return out
+}
+
+// buildTables renders the structured numbers as the same report.Table
+// shapes the CLI prints, marshalled to JSON by internal/report.
+func buildTables(rep *CampaignReport) []*report.Table {
+	cov := &report.Table{
+		Title:   fmt.Sprintf("fault simulation with %d patterns", rep.Patterns),
+		Headers: []string{"model", "faults", "detected", "coverage"},
+	}
+	add := func(name string, c *CoverageJSON) {
+		if c != nil {
+			cov.Add(name, fmt.Sprintf("%d", c.Total), fmt.Sprintf("%d", c.Detected), fmt.Sprintf("%.1f%%", c.Percent))
+		}
+	}
+	add("classical stuck-at", rep.StuckAt)
+	add("CP transistor (voltage only)", rep.Transistor)
+	add("CP transistor (+IDDQ)", rep.TransistorIDDQ)
+	add("bridges", rep.Bridges)
+	tables := []*report.Table{cov}
+
+	if a := rep.ATPG; a != nil {
+		t := &report.Table{
+			Title:   "ATPG campaign",
+			Headers: []string{"class", "targeted", "covered"},
+		}
+		t.Add("line stuck-at", fmt.Sprintf("%d", a.StuckAtTargeted), fmt.Sprintf("%d", a.StuckAtCovered))
+		t.Add("polarity", fmt.Sprintf("%d", a.PolarityTargeted), fmt.Sprintf("%d", a.PolarityCovered))
+		t.Add("channel break (SP)", fmt.Sprintf("%d", a.CBSPTargeted), fmt.Sprintf("%d", a.CBSPCovered))
+		t.Add("channel break (DP)", fmt.Sprintf("%d", a.CBDPTargeted), fmt.Sprintf("%d", a.CBDPCovered))
+		tables = append(tables, t)
+	}
+	return tables
+}

@@ -1,0 +1,292 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"cpsinw/internal/logic"
+)
+
+// ErrQueueFull is returned by Submit when the bounded queue cannot
+// accept another job; clients should back off and retry.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// ErrClosed is returned by Submit after Close: the instance is shutting
+// down and clients should retry elsewhere.
+var ErrClosed = errors.New("service: manager closed")
+
+// runCampaign is the worker's execution function, a seam for tests that
+// need deterministic blocking or cancellation.
+var runCampaign = RunCampaign
+
+// Job is one campaign submission moving through the queue.
+type Job struct {
+	ID  string
+	Key string
+
+	mu       sync.Mutex
+	state    JobState
+	cacheHit bool
+	err      string
+	submitted, started,
+	finished time.Time
+	report *CampaignReport
+
+	circuit *logic.Circuit
+	req     CampaignRequest
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:        j.ID,
+		State:     j.state,
+		CacheHit:  j.cacheHit,
+		Key:       j.Key,
+		Error:     j.err,
+		Submitted: rfc3339(j.submitted),
+		Started:   rfc3339(j.started),
+		Finished:  rfc3339(j.finished),
+	}
+}
+
+// Report returns the result and whether the job finished successfully.
+func (j *Job) Report() (*CampaignReport, JobState, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report, j.state, j.err
+}
+
+// ManagerConfig tunes the job manager.
+type ManagerConfig struct {
+	Workers    int           // worker pool size (default GOMAXPROCS)
+	QueueDepth int           // bounded submission queue (default 64)
+	CacheSize  int           // LRU result cache entries (default 128)
+	MaxJobs    int           // retained job records; oldest finished are pruned (default 4096)
+	JobTimeout time.Duration // per-job deadline (default 60s)
+}
+
+func (c ManagerConfig) withDefaults() ManagerConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// Manager owns the queue, the worker pool and the result cache.
+type Manager struct {
+	cfg     ManagerConfig
+	cache   *Cache
+	metrics *Metrics
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	queue  chan *Job
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	finished []string // terminal job IDs, oldest first, for pruning
+	seq      int
+	closed   bool
+}
+
+// NewManager starts the worker pool.
+func NewManager(cfg ManagerConfig) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheSize),
+		metrics: &Metrics{},
+		ctx:     ctx,
+		cancel:  cancel,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		jobs:    map[string]*Job{},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit validates the request and either answers it from the cache
+// (the job is born terminal, marked as a hit) or enqueues it. Returns
+// ErrQueueFull when the bounded queue is saturated.
+func (m *Manager) Submit(req CampaignRequest) (*Job, error) {
+	norm, circuit, err := req.normalize()
+	if err != nil {
+		return nil, err
+	}
+	key := CanonicalKey(circuit, norm)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	m.seq++
+	job := &Job{
+		ID:        fmt.Sprintf("c-%06d", m.seq),
+		Key:       key,
+		state:     StateQueued,
+		submitted: time.Now(),
+		circuit:   circuit,
+		req:       norm,
+	}
+	m.metrics.Submitted.Add(1)
+
+	if rep, ok := m.cache.Get(key); ok {
+		job.cacheHit = true
+		job.state = StateDone
+		job.started = job.submitted
+		job.finished = time.Now()
+		job.report = rep
+		job.circuit, job.req.Netlist = nil, "" // nothing left to run
+		m.jobs[job.ID] = job
+		m.noteTerminalLocked(job.ID)
+		return job, nil
+	}
+
+	select {
+	case m.queue <- job:
+	default:
+		m.seq-- // the rejected job never existed
+		m.metrics.Submitted.Add(-1)
+		return nil, ErrQueueFull
+	}
+	m.jobs[job.ID] = job
+	return job, nil
+}
+
+// Get looks a job up by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// noteTerminalLocked records a finished job and prunes the oldest
+// finished records beyond MaxJobs, bounding the job table on long-lived
+// servers. Queued and running jobs are never pruned. Callers hold m.mu.
+func (m *Manager) noteTerminalLocked(id string) {
+	m.finished = append(m.finished, id)
+	for len(m.jobs) > m.cfg.MaxJobs && len(m.finished) > 0 {
+		victim := m.finished[0]
+		m.finished = m.finished[1:]
+		delete(m.jobs, victim)
+	}
+}
+
+func (m *Manager) noteTerminal(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.noteTerminalLocked(id)
+}
+
+// QueueDepth reports the jobs waiting for a worker.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// Metrics exposes the counters for the /metrics handler.
+func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// Cache exposes the result cache (read-mostly: stats and keys).
+func (m *Manager) Cache() *Cache { return m.cache }
+
+// Workers reports the pool size.
+func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// Close cancels in-flight jobs and stops the workers.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.cancel()
+	close(m.queue)
+	m.wg.Wait()
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		if m.ctx.Err() != nil {
+			job.mu.Lock()
+			job.state = StateCanceled
+			job.err = "service shutting down"
+			job.finished = time.Now()
+			job.circuit, job.req.Netlist = nil, ""
+			job.mu.Unlock()
+			m.metrics.Canceled.Add(1)
+			m.noteTerminal(job.ID)
+			continue
+		}
+		m.run(job)
+	}
+}
+
+func (m *Manager) run(job *Job) {
+	timeout := m.cfg.JobTimeout
+	if job.req.TimeoutMS > 0 {
+		if d := time.Duration(job.req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(m.ctx, timeout)
+	defer cancel()
+
+	job.mu.Lock()
+	job.state = StateRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+
+	rep, err := runCampaign(ctx, job.circuit, job.req)
+
+	job.mu.Lock()
+	job.finished = time.Now()
+	elapsed := job.finished.Sub(job.started)
+	switch {
+	case err == nil:
+		job.state = StateDone
+		job.report = rep
+		m.cache.Put(job.Key, rep)
+		m.metrics.Completed.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		job.state = StateCanceled
+		job.err = err.Error()
+		m.metrics.Canceled.Add(1)
+	default:
+		job.state = StateFailed
+		job.err = err.Error()
+		m.metrics.Failed.Add(1)
+	}
+	// Release the parsed circuit and netlist text: terminal jobs only
+	// serve status and report reads.
+	job.circuit, job.req.Netlist = nil, ""
+	job.mu.Unlock()
+	m.metrics.ObserveLatency(elapsed)
+	m.noteTerminal(job.ID)
+}

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow bounds the sliding sample set the percentiles are
+// computed over.
+const latencyWindow = 1024
+
+// Metrics collects the service counters. The expvar.Int fields are kept
+// unpublished so multiple servers (httptest instances in particular) can
+// coexist in one process; cmd/cpsinw-serve publishes a snapshot function
+// into the global expvar map.
+type Metrics struct {
+	Submitted expvar.Int
+	Completed expvar.Int
+	Failed    expvar.Int
+	Canceled  expvar.Int
+
+	mu      sync.Mutex
+	samples []float64 // job latencies in ms, ring buffer
+	next    int
+	full    bool
+}
+
+// ObserveLatency records one finished job's wall-clock time.
+func (m *Metrics) ObserveLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.samples) < latencyWindow && !m.full {
+		m.samples = append(m.samples, ms)
+		return
+	}
+	m.full = true
+	m.samples[m.next] = ms
+	m.next = (m.next + 1) % latencyWindow
+}
+
+// percentiles returns nearest-rank percentiles over the current window.
+func (m *Metrics) percentiles(ps ...float64) []float64 {
+	m.mu.Lock()
+	sorted := append([]float64(nil), m.samples...)
+	m.mu.Unlock()
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if len(sorted) == 0 {
+			continue
+		}
+		rank := int(p/100*float64(len(sorted)) + 0.5)
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(sorted) {
+			rank = len(sorted)
+		}
+		out[i] = sorted[rank-1]
+	}
+	return out
+}
+
+// Snapshot renders every counter plus derived statistics as a flat map,
+// served by /metrics and publishable through expvar.Func.
+func (m *Metrics) Snapshot(queueDepth, workers int, cache *Cache) map[string]interface{} {
+	hits, misses, size := cache.Stats()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	pcts := m.percentiles(50, 99)
+	m.mu.Lock()
+	n := len(m.samples)
+	m.mu.Unlock()
+	return map[string]interface{}{
+		"queue_depth":     queueDepth,
+		"workers":         workers,
+		"jobs_submitted":  m.Submitted.Value(),
+		"jobs_completed":  m.Completed.Value(),
+		"jobs_failed":     m.Failed.Value(),
+		"jobs_canceled":   m.Canceled.Value(),
+		"cache_hits":      hits,
+		"cache_misses":    misses,
+		"cache_size":      size,
+		"cache_hit_rate":  hitRate,
+		"latency_ms_p50":  pcts[0],
+		"latency_ms_p99":  pcts[1],
+		"latency_samples": n,
+	}
+}

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// maxBodyBytes bounds a campaign submission (netlists are small; this
+// is a denial-of-service guard, not a format limit).
+const maxBodyBytes = 8 << 20
+
+// Server is the HTTP front of the job manager.
+type Server struct {
+	mgr *Manager
+	mux *http.ServeMux
+}
+
+// NewServer starts a manager with the config and wires the routes.
+func NewServer(cfg ManagerConfig) *Server {
+	s := &Server{mgr: NewManager(cfg), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the route multiplexer.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Manager exposes the underlying job manager (metrics publication,
+// direct submission in tests).
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// Close stops the worker pool.
+func (s *Server) Close() { s.mgr.Close() }
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req CampaignRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	job, err := s.mgr.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	st := job.Status()
+	w.Header().Set("Location", "/v1/campaigns/"+job.ID)
+	code := http.StatusAccepted
+	if st.CacheHit {
+		code = http.StatusOK // answered immediately from the cache
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	rep, state, errMsg := job.Report()
+	switch state {
+	case StateDone:
+		writeJSON(w, http.StatusOK, rep)
+	case StateFailed, StateCanceled:
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("campaign %s: %s", state, errMsg))
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, fmt.Sprintf("campaign still %s", state))
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":  "ok",
+		"workers": s.mgr.Workers(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Metrics().Snapshot(s.mgr.QueueDepth(), s.mgr.Workers(), s.mgr.Cache()))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

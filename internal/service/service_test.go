@@ -1,0 +1,267 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cpsinw/internal/core"
+	"cpsinw/internal/faultsim"
+	"cpsinw/internal/logic"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(ManagerConfig{Workers: 2, QueueDepth: 8, CacheSize: 8, JobTimeout: 30 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return srv, ts
+}
+
+func postCampaign(t *testing.T, ts *httptest.Server, req CampaignRequest) (JobStatus, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, v interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func pollDone(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(25 * time.Second)
+	for time.Now().Before(deadline) {
+		var st JobStatus
+		if code := getJSON(t, ts.URL+"/v1/campaigns/"+id, &st); code != http.StatusOK {
+			t.Fatalf("status poll: HTTP %d", code)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("campaign never finished")
+	return JobStatus{}
+}
+
+// TestEndToEndC17PolarityCampaign drives the acceptance flow: submit a
+// c17 polarity-fault campaign over HTTP, poll to completion, fetch the
+// JSON report, check the coverage against the batch path, then submit
+// the same circuit with different whitespace and observe a cache hit
+// through /metrics.
+func TestEndToEndC17PolarityCampaign(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	req := CampaignRequest{
+		Netlist: c17Bench,
+		Faults: FaultConfig{
+			StuckAt:   true,
+			Polarity:  true,
+			StuckOpen: true,
+			StuckOn:   true,
+			IDDQ:      true,
+		},
+		ATPG: true,
+	}
+	st, code := postCampaign(t, ts, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	if st.ID == "" || st.CacheHit {
+		t.Fatalf("submit status = %+v", st)
+	}
+
+	final := pollDone(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("campaign %s: %s (%s)", st.ID, final.State, final.Error)
+	}
+
+	var rep CampaignReport
+	if code := getJSON(t, ts.URL+"/v1/campaigns/"+st.ID+"/report", &rep); code != http.StatusOK {
+		t.Fatalf("report: HTTP %d", code)
+	}
+
+	// --- Compare against the batch path on the same circuit. ---
+	c := parseBench(t, c17Bench)
+	pats := BuildPatterns(c, 256, 1)
+	sim := faultsim.New(c)
+	if rep.Patterns != len(pats) {
+		t.Errorf("patterns = %d, want %d (exhaustive)", rep.Patterns, len(pats))
+	}
+	if rep.Circuit.Gates != 6 || rep.Circuit.Inputs != 5 || rep.Circuit.Outputs != 2 {
+		t.Errorf("circuit info = %+v", rep.Circuit)
+	}
+
+	saCov := faultsim.Summarise(sim.RunStuckAt(core.Universe(c, core.ClassicalOnly()), pats))
+	if rep.StuckAt == nil || rep.StuckAt.Total != saCov.Total || rep.StuckAt.Detected != saCov.Detected {
+		t.Errorf("stuck-at = %+v, batch says %d/%d", rep.StuckAt, saCov.Detected, saCov.Total)
+	}
+
+	trFaults := core.Universe(c, core.UniverseOptions{ChannelBreak: true, StuckOn: true, Polarity: true})
+	trNo, err := sim.RunTransistor(trFaults, pats, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trYes, err := sim.RunTransistor(trFaults, pats, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covNo, covYes := faultsim.Summarise(trNo), faultsim.Summarise(trYes)
+	if rep.Transistor == nil || rep.Transistor.Detected != covNo.Detected || rep.Transistor.Total != covNo.Total {
+		t.Errorf("transistor = %+v, batch says %d/%d", rep.Transistor, covNo.Detected, covNo.Total)
+	}
+	if rep.TransistorIDDQ == nil || rep.TransistorIDDQ.Detected != covYes.Detected {
+		t.Errorf("transistor+iddq = %+v, batch says %d/%d", rep.TransistorIDDQ, covYes.Detected, covYes.Total)
+	}
+	if rep.TransistorIDDQ.Percent <= rep.Transistor.Percent {
+		t.Errorf("IDDQ did not improve coverage: %.1f%% vs %.1f%%",
+			rep.TransistorIDDQ.Percent, rep.Transistor.Percent)
+	}
+	if rep.ATPG == nil || rep.ATPG.Coverage <= 0 {
+		t.Errorf("atpg = %+v", rep.ATPG)
+	}
+	if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) < 3 {
+		t.Errorf("report tables missing: %+v", rep.Tables)
+	}
+
+	// --- Second, whitespace-different submission: a cache hit. ---
+	req2 := req
+	req2.Netlist = c17BenchMessy
+	st2, code := postCampaign(t, ts, req2)
+	if code != http.StatusOK {
+		t.Fatalf("resubmit: HTTP %d, want 200 (immediate cache answer)", code)
+	}
+	if !st2.CacheHit || st2.State != StateDone {
+		t.Fatalf("resubmit status = %+v, want a finished cache hit", st2)
+	}
+	if st2.Key != st.Key {
+		t.Errorf("content address changed: %s vs %s", st2.Key, st.Key)
+	}
+	var rep2 CampaignReport
+	if code := getJSON(t, ts.URL+"/v1/campaigns/"+st2.ID+"/report", &rep2); code != http.StatusOK {
+		t.Fatalf("cached report: HTTP %d", code)
+	}
+	if rep2.StuckAt.Detected != rep.StuckAt.Detected || rep2.TransistorIDDQ.Percent != rep.TransistorIDDQ.Percent {
+		t.Error("cached report differs from the original")
+	}
+
+	var metrics map[string]float64
+	if code := getJSON(t, ts.URL+"/metrics", &metrics); code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", code)
+	}
+	if metrics["cache_hits"] != 1 || metrics["cache_misses"] != 1 {
+		t.Errorf("cache counters = %v hits / %v misses, want 1/1", metrics["cache_hits"], metrics["cache_misses"])
+	}
+	if metrics["jobs_submitted"] != 2 || metrics["jobs_completed"] != 1 {
+		t.Errorf("job counters = %v submitted / %v completed, want 2/1", metrics["jobs_submitted"], metrics["jobs_completed"])
+	}
+	if metrics["cache_hit_rate"] != 0.5 {
+		t.Errorf("cache_hit_rate = %v, want 0.5", metrics["cache_hit_rate"])
+	}
+}
+
+func TestServerBenchmarkByName(t *testing.T) {
+	_, ts := newTestServer(t)
+	st, code := postCampaign(t, ts, CampaignRequest{
+		Benchmark: "c17",
+		Faults:    FaultConfig{Polarity: true, IDDQ: true},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	final := pollDone(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("campaign: %s (%s)", final.State, final.Error)
+	}
+	var rep CampaignReport
+	if code := getJSON(t, ts.URL+"/v1/campaigns/"+st.ID+"/report", &rep); code != http.StatusOK {
+		t.Fatalf("report: HTTP %d", code)
+	}
+	if rep.TransistorIDDQ == nil || rep.TransistorIDDQ.Detected == 0 {
+		t.Errorf("polarity campaign detected nothing: %+v", rep.TransistorIDDQ)
+	}
+}
+
+func TestServerErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	if code := getJSON(t, ts.URL+"/v1/campaigns/c-999999", nil); code != http.StatusNotFound {
+		t.Errorf("unknown id status = HTTP %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/campaigns/c-999999/report", nil); code != http.StatusNotFound {
+		t.Errorf("unknown id report = HTTP %d, want 404", code)
+	}
+
+	if _, code := postCampaign(t, ts, CampaignRequest{Netlist: "bogus"}); code != http.StatusBadRequest {
+		t.Errorf("bad submission = HTTP %d, want 400", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON = HTTP %d, want 400", resp.StatusCode)
+	}
+
+	var health map[string]interface{}
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Errorf("healthz = HTTP %d", code)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("healthz body = %v", health)
+	}
+}
+
+func TestReportBeforeCompletionConflicts(t *testing.T) {
+	release := make(chan struct{})
+	withFakeRunner(t, func(ctx context.Context, _ *logic.Circuit, _ CampaignRequest) (*CampaignReport, error) {
+		select {
+		case <-release:
+			return &CampaignReport{}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	_, ts := newTestServer(t)
+
+	st, code := postCampaign(t, ts, CampaignRequest{Netlist: c17Bench, Faults: FaultConfig{StuckAt: true}})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/campaigns/"+st.ID+"/report", nil); code != http.StatusConflict {
+		t.Errorf("report while running = HTTP %d, want 409", code)
+	}
+	close(release)
+	pollDone(t, ts, st.ID)
+}

@@ -1,0 +1,188 @@
+// Package service exposes the reproduction's fault campaigns as a
+// long-lived HTTP/JSON service: a bounded job queue feeds a worker pool
+// that drives the faultsim/atpg engines under per-job deadlines, and a
+// content-addressed LRU cache serves resubmissions of previously
+// evaluated (netlist, fault-model) pairs without re-simulation.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cpsinw/internal/bench"
+	"cpsinw/internal/logic"
+	"cpsinw/internal/report"
+)
+
+// FaultConfig selects the fault classes a campaign simulates, mirroring
+// core.UniverseOptions over the wire.
+type FaultConfig struct {
+	StuckAt      bool `json:"stuck_at"`                // classical line SA0/SA1
+	Polarity     bool `json:"polarity"`                // the paper's SA-n / SA-p polarity faults
+	StuckOpen    bool `json:"stuck_open"`              // channel breaks (nanowire opens)
+	StuckOn      bool `json:"stuck_on"`                // always-conducting transistors
+	Bridges      bool `json:"bridges"`                 // inter-net bridging faults
+	BridgeWindow int  `json:"bridge_window,omitempty"` // neighbour window for bridge extraction (default 2)
+	IDDQ         bool `json:"iddq"`                    // add quiescent-current observation
+}
+
+// Any reports whether at least one class is enabled.
+func (f FaultConfig) Any() bool {
+	return f.StuckAt || f.Polarity || f.StuckOpen || f.StuckOn || f.Bridges
+}
+
+// CampaignRequest is the POST /v1/campaigns body. Exactly one of Netlist
+// (.bench source) or Benchmark (a bench.Suite name) selects the circuit.
+type CampaignRequest struct {
+	Netlist   string      `json:"netlist,omitempty"`
+	Benchmark string      `json:"benchmark,omitempty"`
+	Faults    FaultConfig `json:"faults"`
+	// Patterns is the random-pattern budget; circuits with <= 12 inputs
+	// are always simulated exhaustively (default 256).
+	Patterns int   `json:"patterns,omitempty"`
+	Seed     int64 `json:"seed,omitempty"` // random pattern seed (default 1)
+	ATPG     bool  `json:"atpg,omitempty"` // also run the test-generation campaign
+	// Workers and TimeoutMS tune execution without affecting results, so
+	// they are excluded from the cache key.
+	Workers   int   `json:"workers,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// normalize applies defaults and validates the request, resolving the
+// circuit. The returned request is the canonical form used for cache
+// keying.
+func (r CampaignRequest) normalize() (CampaignRequest, *logic.Circuit, error) {
+	if (r.Netlist == "") == (r.Benchmark == "") {
+		return r, nil, errors.New("exactly one of netlist or benchmark is required")
+	}
+	if !r.Faults.Any() {
+		return r, nil, errors.New("at least one fault class must be enabled")
+	}
+	if r.Patterns <= 0 {
+		r.Patterns = 256
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Faults.BridgeWindow <= 0 {
+		r.Faults.BridgeWindow = 2
+	}
+	if !r.Faults.Bridges {
+		r.Faults.BridgeWindow = 0 // irrelevant: keep the cache key stable
+	}
+	var c *logic.Circuit
+	if r.Benchmark != "" {
+		suite := bench.Suite()
+		var ok bool
+		c, ok = suite[r.Benchmark]
+		if !ok {
+			names := make([]string, 0, len(suite))
+			for n := range suite {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return r, nil, fmt.Errorf("unknown benchmark %q (have: %s)", r.Benchmark, strings.Join(names, ", "))
+		}
+	} else {
+		var err error
+		c, err = logic.ParseBench("campaign", strings.NewReader(r.Netlist))
+		if err != nil {
+			return r, nil, fmt.Errorf("bad netlist: %w", err)
+		}
+	}
+	if len(c.Inputs) <= exhaustiveInputLimit {
+		// The circuit is simulated exhaustively: the random-pattern
+		// budget and seed cannot affect the result, so zero them for a
+		// stable content address.
+		r.Patterns, r.Seed = 0, 0
+	}
+	return r, c, nil
+}
+
+// CircuitInfo summarises the campaign's circuit in the report.
+type CircuitInfo struct {
+	Name    string `json:"name"`
+	Inputs  int    `json:"inputs"`
+	Outputs int    `json:"outputs"`
+	Gates   int    `json:"gates"`
+	DPGates int    `json:"dp_gates"`
+}
+
+// CoverageJSON is the wire form of faultsim.Coverage.
+type CoverageJSON struct {
+	Total        int      `json:"total"`
+	Detected     int      `json:"detected"`
+	ByOutput     int      `json:"by_output,omitempty"`
+	ByIDDQ       int      `json:"by_iddq,omitempty"`
+	ByTwoPattern int      `json:"by_two_pattern,omitempty"`
+	Percent      float64  `json:"percent"`
+	Undetected   []string `json:"undetected,omitempty"`
+}
+
+// ATPGJSON is the wire form of atpg.CampaignResult.
+type ATPGJSON struct {
+	StuckAtTargeted  int     `json:"stuck_at_targeted"`
+	StuckAtCovered   int     `json:"stuck_at_covered"`
+	PolarityTargeted int     `json:"polarity_targeted"`
+	PolarityCovered  int     `json:"polarity_covered"`
+	CBSPTargeted     int     `json:"cb_sp_targeted"`
+	CBSPCovered      int     `json:"cb_sp_covered"`
+	CBDPTargeted     int     `json:"cb_dp_targeted"`
+	CBDPCovered      int     `json:"cb_dp_covered"`
+	Coverage         float64 `json:"coverage"`
+	TotalVectors     int     `json:"total_vectors"`
+	Untestable       int     `json:"untestable"`
+}
+
+// CampaignReport is the GET /v1/campaigns/{id}/report body: structured
+// coverage per fault class plus the same report.Table set the CLI tools
+// render, marshalled through internal/report's JSON form.
+type CampaignReport struct {
+	Circuit        CircuitInfo     `json:"circuit"`
+	Patterns       int             `json:"patterns"`
+	StuckAt        *CoverageJSON   `json:"stuck_at,omitempty"`
+	Transistor     *CoverageJSON   `json:"transistor,omitempty"`      // voltage observation only
+	TransistorIDDQ *CoverageJSON   `json:"transistor_iddq,omitempty"` // voltage + IDDQ
+	Bridges        *CoverageJSON   `json:"bridges,omitempty"`
+	ATPG           *ATPGJSON       `json:"atpg,omitempty"`
+	Tables         []*report.Table `json:"tables"`
+	ElapsedMS      int64           `json:"elapsed_ms"`
+}
+
+// JobState is the lifecycle of one campaign job.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobStatus is the GET /v1/campaigns/{id} body.
+type JobStatus struct {
+	ID        string   `json:"id"`
+	State     JobState `json:"state"`
+	CacheHit  bool     `json:"cache_hit"`
+	Key       string   `json:"key"` // content address of (netlist, config)
+	Error     string   `json:"error,omitempty"`
+	Submitted string   `json:"submitted,omitempty"`
+	Started   string   `json:"started,omitempty"`
+	Finished  string   `json:"finished,omitempty"`
+}
+
+func rfc3339(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
