@@ -230,6 +230,52 @@ func BenchmarkStuckAtFaultSim(b *testing.B) {
 	}
 }
 
+// BenchmarkTransistorCampaign is the perf-regression harness of the
+// compiled fault engine: a full CP transistor-fault campaign (channel
+// break + stuck-on + polarity, with IDDQ) on the largest benchmark
+// circuit (mult3, 39 gates), old vs new engine. The two engines return
+// bit-identical detections (enforced by internal/faultsim's
+// differential tests and re-checked here), so the ratio is pure
+// engine speedup; BENCH_faultsim.json at the repo root records the
+// trajectory. Run just this comparison with:
+//
+//	go test -bench=BenchmarkTransistorCampaign -benchtime=3x
+func BenchmarkTransistorCampaign(b *testing.B) {
+	c := bench.Multiplier(3)
+	faults := core.Universe(c, core.UniverseOptions{
+		ChannelBreak: true, StuckOn: true, Polarity: true,
+	})
+	patterns := faultsim.ExhaustivePatterns(c)
+
+	run := func(b *testing.B, engine faultsim.Engine) []faultsim.Detection {
+		sim := faultsim.New(c)
+		sim.Engine = engine
+		var last []faultsim.Detection
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ds, err := sim.RunTransistor(faults, patterns, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = ds
+		}
+		return last
+	}
+
+	var ref, cmp []faultsim.Detection
+	b.Run("reference", func(b *testing.B) { ref = run(b, faultsim.EngineReference) })
+	b.Run("compiled", func(b *testing.B) { cmp = run(b, faultsim.EngineCompiled) })
+	if len(ref) != len(cmp) {
+		return // a -bench filter selected only one engine: nothing to compare
+	}
+	for i := range ref {
+		if ref[i].Method != cmp[i].Method || ref[i].Pattern != cmp[i].Pattern {
+			b.Fatalf("engines disagree on %v: (%q, %d) vs (%q, %d)",
+				ref[i].Fault, ref[i].Method, ref[i].Pattern, cmp[i].Method, cmp[i].Pattern)
+		}
+	}
+}
+
 // BenchmarkSwitchLevelXOR2 times one switch-level evaluation of the XOR2
 // with an injected polarity fault.
 func BenchmarkSwitchLevelXOR2(b *testing.B) {

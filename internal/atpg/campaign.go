@@ -68,6 +68,7 @@ func Generate(c *logic.Circuit, faults []core.Fault, opt Options) *CampaignResul
 func GenerateContext(ctx context.Context, c *logic.Circuit, faults []core.Fault, opt Options) (*CampaignResult, error) {
 	res := &CampaignResult{}
 	sim := faultsim.New(c)
+	sim.Engine = opt.Engine
 
 	// --- Line stuck-at faults with fault dropping. ---
 	var saFaults []core.Fault
@@ -105,15 +106,69 @@ func GenerateContext(ctx context.Context, c *logic.Circuit, faults []core.Fault,
 		}
 	}
 
-	// --- Polarity faults. ---
+	// --- Polarity faults, with fault dropping: a polarity fault the
+	// voltage patterns generated so far already catch needs no dedicated
+	// vector. The check runs through the simulator's engine (the
+	// compiled LUT/cone engine by default) and is incremental — one
+	// batched pass over the stuck-at patterns, then one single-pattern
+	// pass per newly generated vector — so good baselines are never
+	// recomputed per fault.
+	var polFaults []core.Fault
 	for _, f := range faults {
-		if !f.Kind.IsPolarityFault() {
-			continue
+		if f.Kind.IsPolarityFault() {
+			polFaults = append(polFaults, f)
 		}
+	}
+	res.PolarityTargeted = len(polFaults)
+	polDetected := make([]bool, len(polFaults))
+	markDetected := func(from int, patterns []faultsim.Pattern) {
+		// Only still-undetected, well-formed faults are worth
+		// re-simulating: malformed entries (unknown gate/transistor)
+		// would fail the whole batch, so they are filtered here and
+		// simply stay undropped — generation decides their fate. The
+		// single-worker parallel entry point threads the campaign
+		// context through the engine, so per-job deadlines cancel the
+		// drop pass too; its only remaining error is cancellation,
+		// which the caller's ctx check picks up.
+		var idxs []int
+		var sub []core.Fault
+		for i := from; i < len(polFaults); i++ {
+			if polDetected[i] {
+				continue
+			}
+			f := polFaults[i]
+			gi, err := gateIndexByName(c, f.Gate)
+			if err != nil {
+				continue
+			}
+			if gates.Get(c.Gates[gi].Kind).Transistor(f.Transistor) == nil {
+				continue
+			}
+			idxs = append(idxs, i)
+			sub = append(sub, f)
+		}
+		if len(sub) == 0 || len(patterns) == 0 {
+			return
+		}
+		ds, err := sim.RunTransistorParallel(ctx, sub, patterns, false, 1)
+		if err != nil {
+			return
+		}
+		for j, d := range ds {
+			if d.Detected() {
+				polDetected[idxs[j]] = true
+			}
+		}
+	}
+	markDetected(0, res.Set.Patterns)
+	for i, f := range polFaults {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
-		res.PolarityTargeted++
+		if polDetected[i] {
+			res.PolarityCovered++
+			continue
+		}
 		t, ok := GeneratePolarity(c, f, opt)
 		if !ok {
 			res.Untestable = append(res.Untestable, f)
@@ -124,6 +179,7 @@ func GenerateContext(ctx context.Context, c *logic.Circuit, faults []core.Fault,
 			res.Set.IDDQPatterns = append(res.Set.IDDQPatterns, t.Pattern)
 		} else {
 			res.Set.Patterns = append(res.Set.Patterns, t.Pattern)
+			markDetected(i+1, res.Set.Patterns[len(res.Set.Patterns)-1:])
 		}
 	}
 

@@ -16,6 +16,9 @@ import (
 // Options bounds the search.
 type Options struct {
 	MaxBacktracks int // per PODEM attempt (default 4096)
+	// Engine selects the fault-simulation engine the campaign uses for
+	// fault dropping and verification (default: the compiled engine).
+	Engine faultsim.Engine
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,77 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseNetlist asserts that every analog netlist the parser accepts
+// survives write -> parse -> write unchanged: no panics on arbitrary
+// input, a re-parseable text form, a stable fixpoint, and identical
+// element counts. Seed corpus: testdata/fuzz/FuzzParseNetlist.
+// TestHierarchicalNameDispatch locks the dotted-name dispatch rule:
+// written-back expanded elements ("x1.r1") re-parse as their own
+// element type without renaming — even next to a top-level element
+// whose name would collide under naive prefixing — while dotted X
+// instance names whose last segment is not an element letter still
+// expand as subcircuit instances.
+func TestHierarchicalNameDispatch(t *testing.T) {
+	var p Parser
+	src := ".subckt s a\nr1 a 0 1k\n.ends\nx1 n s\nrx1.r1 n 0 2k\nV1 n 0 1.0\n.end\n"
+	n, err := p.Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := n.String()
+	n2, err := p.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if len(n2.Resistors) != 2 || n2.Resistors[0].Name != "x1.r1" || n2.Resistors[1].Name != "rx1.r1" {
+		t.Fatalf("resistor names drifted: %+v", n2.Resistors)
+	}
+
+	// Dotted instance names stay instances — even when the last segment
+	// starts with an element letter ("main" ~ M), because the line's
+	// last field names a known subcircuit.
+	for _, inst := range []string{"x1.a", "x1.main"} {
+		dotted := ".subckt inv in out\nMp out in 0 0 vdd\n.ends\nVdd vdd 0 1.2\n" +
+			inst + " b c inv\nRl c 0 1k\n.end\n"
+		nd, err := p.Parse(strings.NewReader(dotted))
+		if err != nil {
+			t.Fatalf("dotted instance name %q rejected: %v", inst, err)
+		}
+		if len(nd.Transistors) != 1 || nd.Transistors[0].Name != inst+".Mp" {
+			t.Fatalf("dotted instance %q expansion drifted: %+v", inst, nd.Transistors)
+		}
+	}
+}
+
+func FuzzParseNetlist(f *testing.F) {
+	f.Add("* inverter\nVdd vdd 0 1.2\nVin in 0 pulse(0 1.2 10p 10p 10p 200p 500p)\nM1 out in 0 0 vdd\nR1 out 0 10k\n.end\n")
+	f.Add("Vs a 0 dc 1.2\nC1 a 0 1f\nR1 a b 1meg\nRload b 0 2.2k\n.end\n")
+	f.Add("V1 n1 0 pwl(0 0 1n 1.2)\nM1 n2 n1 0 vdd gnd w=2 gos=cg gossize=5n\n.end\n")
+	f.Add(".subckt inv in out\nMp out in 0 0 vdd\nMn out in vdd vdd 0\n.ends\nVdd vdd 0 1.2\nVin a 0 0.6\nX1 a y inv\nRl y 0 100k\n.end\n")
+	f.Add("* continuation\nV1 p 0\n+ pulse(0 1 0 1p\n+ 1p 5p 10p)\nC2 p 0 2p\n.end\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		var p Parser
+		n, err := p.Parse(strings.NewReader(src))
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		text := n.String()
+		n2, err := p.Parse(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("round-trip parse: %v\nwritten:\n%s", err, text)
+		}
+		if text2 := n2.String(); text2 != text {
+			t.Fatalf("unstable round trip:\nfirst:\n%s\nsecond:\n%s", text, text2)
+		}
+		if len(n2.Resistors) != len(n.Resistors) || len(n2.Capacitors) != len(n.Capacitors) ||
+			len(n2.Sources) != len(n.Sources) || len(n2.Transistors) != len(n.Transistors) {
+			t.Fatalf("element counts drift: R %d->%d C %d->%d V %d->%d M %d->%d",
+				len(n.Resistors), len(n2.Resistors), len(n.Capacitors), len(n2.Capacitors),
+				len(n.Sources), len(n2.Sources), len(n.Transistors), len(n2.Transistors))
+		}
+	})
+}

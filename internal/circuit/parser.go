@@ -65,10 +65,10 @@ func (p *Parser) Parse(r io.Reader) (*Netlist, error) {
 		return s, lineno
 	}
 	process := func(line string, ln int) error {
-		if line == "" {
-			return nil
-		}
 		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			return nil // blank or whitespace-only (e.g. empty continuations)
+		}
 		key := strings.ToLower(fields[0])
 		switch {
 		case key == ".subckt":
@@ -142,6 +142,7 @@ func (p *Parser) element(n *Netlist, base *device.Model, subckts map[string]*sub
 	fields := strings.Fields(line)
 	name := fields[0]
 	lower := strings.ToLower(name)
+	dispatch := dispatchKey(lower, fields, subckts)
 	mangle := func(s string) string {
 		if namePrefix == "" {
 			return s
@@ -153,7 +154,7 @@ func (p *Parser) element(n *Netlist, base *device.Model, subckts map[string]*sub
 		return nil
 	case strings.HasPrefix(lower, ".title"):
 		return nil
-	case lower[0] == 'r':
+	case dispatch[0] == 'r':
 		if len(fields) != 4 {
 			return fmt.Errorf("line %d: R element needs 3 operands", ln)
 		}
@@ -162,7 +163,7 @@ func (p *Parser) element(n *Netlist, base *device.Model, subckts map[string]*sub
 			return fmt.Errorf("line %d: %v", ln, err)
 		}
 		n.AddR(mangle(name), mapNode(fields[1]), mapNode(fields[2]), v)
-	case lower[0] == 'c':
+	case dispatch[0] == 'c':
 		if len(fields) != 4 {
 			return fmt.Errorf("line %d: C element needs 3 operands", ln)
 		}
@@ -171,7 +172,7 @@ func (p *Parser) element(n *Netlist, base *device.Model, subckts map[string]*sub
 			return fmt.Errorf("line %d: %v", ln, err)
 		}
 		n.AddC(mangle(name), mapNode(fields[1]), mapNode(fields[2]), v)
-	case lower[0] == 'v':
+	case dispatch[0] == 'v':
 		if len(fields) < 4 {
 			return fmt.Errorf("line %d: V element needs operands", ln)
 		}
@@ -180,7 +181,7 @@ func (p *Parser) element(n *Netlist, base *device.Model, subckts map[string]*sub
 			return fmt.Errorf("line %d: %v", ln, err)
 		}
 		n.AddV(mangle(name), mapNode(fields[1]), mapNode(fields[2]), w)
-	case lower[0] == 'm':
+	case dispatch[0] == 'm':
 		if len(fields) < 6 {
 			return fmt.Errorf("line %d: M element needs 5 nodes", ln)
 		}
@@ -235,7 +236,7 @@ func (p *Parser) element(n *Netlist, base *device.Model, subckts map[string]*sub
 			mapNode(fields[3]), mapNode(fields[4]),
 			mapNode(fields[5]), model)
 		t.Width = width
-	case lower[0] == 'x':
+	case dispatch[0] == 'x':
 		if len(fields) < 2 {
 			return fmt.Errorf("line %d: X element needs a subcircuit name", ln)
 		}
@@ -273,8 +274,9 @@ func (p *Parser) elementBound(n *Netlist, base *device.Model, subckts map[string
 		return nil
 	}
 	lower := strings.ToLower(fields[0])
+	dispatch := dispatchKey(lower, fields, subckts)
 	var nodeEnd int
-	switch lower[0] {
+	switch dispatch[0] {
 	case 'r', 'c', 'v':
 		nodeEnd = 3
 	case 'm':
@@ -302,6 +304,33 @@ func (p *Parser) elementBound(n *Netlist, base *device.Model, subckts map[string
 		fields[i] = resolve(fields[i])
 	}
 	return p.element(n, base, subckts, strings.Join(fields, " "), ln, prefix)
+}
+
+// dispatchKey returns the lowercased name segment whose first letter
+// selects the element type. Elements normally dispatch on the name's
+// first letter, but subcircuit expansion mangles names with the
+// instance path ("x1.r1"), so written-back flat netlists carry
+// x-prefixed dotted names whose type lives in the last path segment.
+// A line whose last field names a known subcircuit is always an
+// instance (dotted instance names like "x1.a" or "x1.main" stay
+// valid); otherwise dotted segments naming a concrete element
+// (r/c/v/m) re-dispatch as that element.
+func dispatchKey(lower string, fields []string, subckts map[string]*subckt) string {
+	if lower[0] != 'x' {
+		return lower
+	}
+	if _, ok := subckts[strings.ToLower(fields[len(fields)-1])]; ok {
+		return lower
+	}
+	dot := strings.LastIndexByte(lower, '.')
+	if dot < 0 || dot+1 >= len(lower) {
+		return lower
+	}
+	switch lower[dot+1] {
+	case 'r', 'c', 'v', 'm':
+		return lower[dot+1:]
+	}
+	return lower
 }
 
 // mapNode resolves a node reference: ground aliases collapse and everything

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cpsinw/internal/bench"
+	"cpsinw/internal/logic"
+)
+
+// The golden files lock the exact report text of the paper's
+// reproduced tables so engine changes (LUT compilation, cone
+// restriction, ATPG fault dropping, ...) cannot silently drift the
+// numbers. Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if string(want) == got {
+		return
+	}
+	wantLines := strings.Split(string(want), "\n")
+	gotLines := strings.Split(got, "\n")
+	for i := 0; i < len(wantLines) || i < len(gotLines); i++ {
+		var w, g string
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if w != g {
+			t.Fatalf("%s drifted at line %d:\n golden: %q\n got:    %q\n(rerun with -update only if the change is intended)", name, i+1, w, g)
+		}
+	}
+	t.Fatalf("%s drifted (whitespace only?); rerun with -update only if intended", name)
+}
+
+func TestGoldenTableI(t *testing.T) {
+	checkGolden(t, "tableI.golden", TableI().Report())
+}
+
+func TestGoldenTableII(t *testing.T) {
+	checkGolden(t, "tableII.golden", TableII().Report())
+}
+
+func TestGoldenTableIIISwitchLevel(t *testing.T) {
+	r, err := TableIII(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "tableIII_switch.golden", r.Report())
+}
+
+// goldenSuite is a deterministic sub-suite: small enough to keep the
+// golden runs fast, mixed enough to exercise SP and DP gates, PODEM,
+// IDDQ fallback and both channel-break procedures.
+func goldenSuite() map[string]*logic.Circuit {
+	return map[string]*logic.Circuit{
+		"c17":     bench.C17(),
+		"fa_cp":   bench.FullAdderCP(),
+		"tmr":     bench.TMRVoter(),
+		"parity8": bench.ParityTree(8),
+		"rca4":    bench.RippleCarryAdder(4),
+	}
+}
+
+func TestGoldenATPGCampaign(t *testing.T) {
+	r, err := ATPGCampaign(goldenSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "atpg_campaign.golden", r.Report())
+}
+
+func TestGoldenChannelBreakAlgorithm(t *testing.T) {
+	r, err := ChannelBreakAlgorithm(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "channelbreak_algorithm.golden", r.Report())
+}
+
+// TestGoldenFilesPresent keeps the corpus honest: every golden this
+// file asserts against must be checked in, so a fresh clone fails
+// loudly instead of silently skipping.
+func TestGoldenFilesPresent(t *testing.T) {
+	for _, name := range []string{
+		"tableI.golden", "tableII.golden", "tableIII_switch.golden",
+		"atpg_campaign.golden", "channelbreak_algorithm.golden",
+	} {
+		if _, err := os.Stat(filepath.Join("testdata", name)); err != nil {
+			t.Errorf("golden file missing: %v", err)
+		}
+	}
+}

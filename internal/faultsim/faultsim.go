@@ -9,6 +9,7 @@ package faultsim
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"cpsinw/internal/core"
 	"cpsinw/internal/gates"
@@ -43,7 +44,14 @@ func (d Detection) Detected() bool { return d.Method != ByNone }
 type Simulator struct {
 	C *logic.Circuit
 
+	// Engine selects the transistor-fault implementation; the zero value
+	// is the compiled LUT/cone engine, EngineReference the serial oracle.
+	Engine Engine
+
 	gateIdx map[string]int // instance name -> index
+
+	ccOnce sync.Once
+	cc     *logic.CompiledCircuit
 }
 
 // New builds a simulator for the circuit.
@@ -187,13 +195,19 @@ func (s *Simulator) transistorHooks(f core.Fault, leak *bool) (logic.TernaryHook
 	}, nil
 }
 
-// RunTransistor fault-simulates transistor faults serially over the
-// pattern set. Output differences at POs detect by voltage; when useIDDQ
-// is set, a leak signature detects by quiescent-current measurement
-// (the paper's IDDQ observability for pull-up polarity faults).
-// RunTransistorParallel spreads the same work over a goroutine pool.
+// RunTransistor fault-simulates transistor faults over the pattern set.
+// Output differences at POs detect by voltage; when useIDDQ is set, a
+// leak signature detects by quiescent-current measurement (the paper's
+// IDDQ observability for pull-up polarity faults). The simulator's
+// Engine selects the implementation: compiled LUT + cone propagation by
+// default, the serial hooked oracle under EngineReference; both return
+// identical detections. RunTransistorParallel spreads the same work
+// over a goroutine pool.
 func (s *Simulator) RunTransistor(faults []core.Fault, patterns []Pattern, useIDDQ bool) ([]Detection, error) {
-	return s.runTransistorSerial(context.Background(), faults, patterns, useIDDQ)
+	if s.Engine == EngineReference {
+		return s.runTransistorSerial(context.Background(), faults, patterns, useIDDQ)
+	}
+	return s.runTransistorCompiled(context.Background(), faults, patterns, useIDDQ)
 }
 
 // outputsDiffer reports a definite PO mismatch (X never counts).
@@ -212,8 +226,12 @@ func (s *Simulator) outputsDiffer(good, faulty map[string]logic.V) bool {
 // charge retention at the faulty gate: the first pattern initialises the
 // gate output, the second exposes a floating output retaining the stale
 // value. Detection requires a definite PO difference under the second
-// pattern.
+// pattern. The simulator's Engine selects the implementation (compiled
+// stuck-open transition LUTs by default).
 func (s *Simulator) RunTwoPattern(faults []core.Fault, pairs [][2]Pattern) ([]Detection, error) {
+	if s.Engine != EngineReference {
+		return s.runTwoPatternCompiled(faults, pairs)
+	}
 	out := make([]Detection, len(faults))
 	for i, f := range faults {
 		out[i] = Detection{Fault: f, Pattern: -1}
@@ -315,11 +333,4 @@ func ExhaustivePatterns(c *logic.Circuit) []Pattern {
 		out = append(out, p)
 	}
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -20,6 +20,7 @@ func (s *Simulator) simulateTransistorFault(f core.Fault, patterns []Pattern, go
 	if _, ok := f.Kind.TFault(); !ok {
 		return d, nil // analog-only faults are out of scope here
 	}
+	engineStats.referenceFaultRuns.Add(1)
 	for k, p := range patterns {
 		leak := false
 		hooks, err := s.transistorHooks(f, &leak)
@@ -80,12 +81,24 @@ func (s *Simulator) RunTransistorParallel(ctx context.Context, faults []core.Fau
 		workers = len(faults)
 	}
 	if workers == 1 || len(faults) < 2 {
-		return s.runTransistorSerial(ctx, faults, patterns, useIDDQ)
+		if s.Engine == EngineReference {
+			return s.runTransistorSerial(ctx, faults, patterns, useIDDQ)
+		}
+		return s.runTransistorCompiled(ctx, faults, patterns, useIDDQ)
 	}
 
-	goods := make([]map[string]logic.V, len(patterns))
-	for k, p := range patterns {
-		goods[k] = s.C.Eval(map[string]logic.V(p))
+	// Good-circuit responses are computed once and shared read-only:
+	// hooked maps for the reference engine, dense baselines for the
+	// compiled one (each worker carries its own cone scratch).
+	var goods []map[string]logic.V
+	var base [][]logic.V
+	if s.Engine == EngineReference {
+		goods = make([]map[string]logic.V, len(patterns))
+		for k, p := range patterns {
+			goods[k] = s.C.Eval(map[string]logic.V(p))
+		}
+	} else {
+		base = s.evalBaselines(patterns)
 	}
 
 	out := make([]Detection, len(faults))
@@ -97,11 +110,21 @@ func (s *Simulator) RunTransistorParallel(ctx context.Context, faults []core.Fau
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var sc *coneScratch
+			if s.Engine != EngineReference {
+				sc = newConeScratch(s.compiled())
+			}
 			for i := range jobs {
 				if ctx.Err() != nil {
 					continue // drain without working once canceled
 				}
-				d, err := s.simulateTransistorFault(faults[i], patterns, goods, useIDDQ)
+				var d Detection
+				var err error
+				if s.Engine == EngineReference {
+					d, err = s.simulateTransistorFault(faults[i], patterns, goods, useIDDQ)
+				} else {
+					d, err = s.simulateTransistorFaultCompiled(faults[i], patterns, base, sc, useIDDQ)
+				}
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {

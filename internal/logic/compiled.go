@@ -1,0 +1,106 @@
+package logic
+
+import "sort"
+
+// CompiledCircuit is a Circuit lowered to dense integer net ids with a
+// per-gate ternary LUT: the form the fault-simulation engines evaluate.
+// Net ids follow the sorted net-name order of Nets(), so they are
+// deterministic for a given circuit.
+type CompiledCircuit struct {
+	C *Circuit
+
+	NetName  []string       // net id -> name
+	NetID    map[string]int // name -> net id
+	InputID  []int          // per primary input, in circuit input order
+	OutputID []int          // per primary output, in circuit output order
+	IsOutput []bool         // net id -> drives a primary output
+
+	Fanin   [][]int   // gate -> fanin net ids, in pin order
+	GateOut []int     // gate -> output net id
+	LUT     []GateLUT // gate -> compiled ternary table (shared per kind)
+
+	Order   []int   // levelized gate evaluation order
+	Pos     []int   // gate -> position in Order (cone scheduling priority)
+	Fanouts [][]int // net id -> gate indices reading the net
+}
+
+// Compile lowers the circuit. The result is immutable and safe for
+// concurrent use; callers cache it (compilation is O(nets + gates)).
+func (c *Circuit) Compile() *CompiledCircuit {
+	names := c.Nets()
+	cc := &CompiledCircuit{
+		C:        c,
+		NetName:  names,
+		NetID:    make(map[string]int, len(names)),
+		InputID:  make([]int, len(c.Inputs)),
+		OutputID: make([]int, len(c.Outputs)),
+		IsOutput: make([]bool, len(names)),
+		Fanin:    make([][]int, len(c.Gates)),
+		GateOut:  make([]int, len(c.Gates)),
+		LUT:      make([]GateLUT, len(c.Gates)),
+		Order:    c.Levelized(),
+		Pos:      make([]int, len(c.Gates)),
+		Fanouts:  make([][]int, len(names)),
+	}
+	for id, n := range names {
+		cc.NetID[n] = id
+	}
+	for i, pi := range c.Inputs {
+		cc.InputID[i] = cc.NetID[pi]
+	}
+	for i, po := range c.Outputs {
+		id := cc.NetID[po]
+		cc.OutputID[i] = id
+		cc.IsOutput[id] = true
+	}
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		fin := make([]int, len(g.Fanin))
+		for k, f := range g.Fanin {
+			fin[k] = cc.NetID[f]
+		}
+		cc.Fanin[gi] = fin
+		cc.GateOut[gi] = cc.NetID[g.Output]
+		cc.LUT[gi] = CompileGateLUT(g.Kind)
+	}
+	for pos, gi := range cc.Order {
+		cc.Pos[gi] = pos
+	}
+	for _, net := range names {
+		id := cc.NetID[net]
+		fo := append([]int(nil), c.Fanouts(net)...)
+		sort.Ints(fo)
+		cc.Fanouts[id] = fo
+	}
+	return cc
+}
+
+// NumNets returns the dense net count.
+func (cc *CompiledCircuit) NumNets() int { return len(cc.NetName) }
+
+// EvalInto simulates the fault-free circuit for one ternary assignment
+// into vals (length NumNets), returning vals. Inputs missing from the
+// assignment are X, matching Circuit.Eval.
+func (cc *CompiledCircuit) EvalInto(assign map[string]V, vals []V) []V {
+	for i, pi := range cc.C.Inputs {
+		v, ok := assign[pi]
+		if !ok {
+			v = LX
+		}
+		vals[cc.InputID[i]] = v
+	}
+	for _, gi := range cc.Order {
+		vals[cc.GateOut[gi]] = cc.LUT[gi][cc.GateInputIndex(gi, vals)]
+	}
+	return vals
+}
+
+// GateInputIndex computes the ternary LUT index of one gate's inputs
+// under the given net values.
+func (cc *CompiledCircuit) GateInputIndex(gi int, vals []V) int {
+	idx := 0
+	for k, nid := range cc.Fanin[gi] {
+		idx += int(vals[nid]) * pow3[k]
+	}
+	return idx
+}

@@ -1,0 +1,62 @@
+package logic
+
+import (
+	"sync"
+
+	"cpsinw/internal/gates"
+)
+
+// Compiled ternary lookup tables. A gate's 3-valued evaluation is a pure
+// function of its (at most 3) ternary inputs, so it compiles into a
+// 3^NIn-entry table computed once per gate kind. Table lookups replace
+// the unknown-enumeration of evalKind on the fault-simulation hot path;
+// CompileGateLUT is defined to be extensionally equal to evalKind, which
+// the differential tests in internal/faultsim enforce against the
+// hooked reference engine.
+
+// pow3 holds the radix-3 place values used to index ternary LUTs
+// (input i contributes in[i] * pow3[i]; V is already a 0/1/2 digit).
+var pow3 = [4]int{1, 3, 9, 27}
+
+// Pow3 returns 3^n for the small exponents used by ternary tables.
+func Pow3(n int) int { return pow3[n] }
+
+// TernaryIndex encodes a ternary input vector as a radix-3 LUT index,
+// input 0 in the least significant digit.
+func TernaryIndex(in []V) int {
+	idx := 0
+	for i, v := range in {
+		idx += int(v) * pow3[i]
+	}
+	return idx
+}
+
+// TernaryVector decodes a radix-3 LUT index back into n input values.
+func TernaryVector(idx, n int) []V {
+	out := make([]V, n)
+	for i := range out {
+		out[i] = V(idx / pow3[i] % 3)
+	}
+	return out
+}
+
+// GateLUT is the compiled ternary behaviour of one gate kind: entry
+// TernaryIndex(in) holds the gate output for the input vector in.
+type GateLUT []V
+
+var gateLUTCache sync.Map // gates.Kind -> GateLUT
+
+// CompileGateLUT builds (and caches) the ternary table of a gate kind.
+// The returned slice is shared and must not be modified.
+func CompileGateLUT(kind gates.Kind) GateLUT {
+	if v, ok := gateLUTCache.Load(kind); ok {
+		return v.(GateLUT)
+	}
+	n := gates.Get(kind).NIn
+	lut := make(GateLUT, Pow3(n))
+	for idx := range lut {
+		lut[idx] = evalKind(kind, TernaryVector(idx, n))
+	}
+	actual, _ := gateLUTCache.LoadOrStore(kind, lut)
+	return actual.(GateLUT)
+}

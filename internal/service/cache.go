@@ -32,7 +32,11 @@ func CanonicalKey(c *logic.Circuit, req CampaignRequest) string {
 		Patterns int         `json:"patterns"`
 		Seed     int64       `json:"seed"`
 		ATPG     bool        `json:"atpg"`
-	}{req.Faults, req.Patterns, req.Seed, req.ATPG})
+		// The engines are differentially proven result-identical, but
+		// keying them apart keeps a cross-check of one engine against
+		// the other's cached report a real re-simulation.
+		Engine string `json:"engine"`
+	}{req.Faults, req.Patterns, req.Seed, req.ATPG, req.Engine})
 	b.Write(cfg)
 
 	sum := sha256.Sum256([]byte(b.String()))

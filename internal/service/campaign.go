@@ -41,7 +41,12 @@ func BuildPatterns(c *logic.Circuit, n int, seed int64) []faultsim.Pattern {
 func RunCampaign(ctx context.Context, c *logic.Circuit, req CampaignRequest) (*CampaignReport, error) {
 	start := time.Now()
 	pats := BuildPatterns(c, req.Patterns, req.Seed)
+	engine, err := faultsim.ParseEngine(req.Engine)
+	if err != nil {
+		return nil, err
+	}
 	sim := faultsim.New(c)
+	sim.Engine = engine
 	stats := c.Statistics()
 	rep := &CampaignReport{
 		Circuit: CircuitInfo{
@@ -52,6 +57,7 @@ func RunCampaign(ctx context.Context, c *logic.Circuit, req CampaignRequest) (*C
 			DPGates: stats.DPGates,
 		},
 		Patterns: len(pats),
+		Engine:   engine.String(),
 	}
 
 	if req.Faults.StuckAt {
@@ -97,7 +103,7 @@ func RunCampaign(ctx context.Context, c *logic.Circuit, req CampaignRequest) (*C
 		genOpt := uopt
 		genOpt.LineStuckAt = req.Faults.StuckAt
 		universe := core.Universe(c, genOpt)
-		res, err := atpg.GenerateContext(ctx, c, universe, atpg.Options{})
+		res, err := atpg.GenerateContext(ctx, c, universe, atpg.Options{Engine: engine})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestCampaignEngineSelection runs the same benchmark campaign through
+// both fault-simulation engines over the wire: both must succeed, tag
+// their report with the engine used, produce identical coverage (the
+// engines are differentially proven bit-identical), land in distinct
+// cache entries, and show up in the per-engine job counters.
+func TestCampaignEngineSelection(t *testing.T) {
+	_, ts := newTestServer(t)
+	reports := map[string]*CampaignReport{}
+	keys := map[string]string{}
+	for _, engine := range []string{"compiled", "reference"} {
+		st, code := postCampaign(t, ts, CampaignRequest{
+			Benchmark: "fa_cp",
+			Faults:    FaultConfig{StuckAt: true, Polarity: true, StuckOpen: true, IDDQ: true},
+			Engine:    engine,
+		})
+		if code != http.StatusAccepted {
+			t.Fatalf("%s: HTTP %d", engine, code)
+		}
+		if done := pollDone(t, ts, st.ID); done.State != StateDone {
+			t.Fatalf("%s: state %s (%s)", engine, done.State, done.Error)
+		}
+		keys[engine] = st.Key
+		var rep CampaignReport
+		if code := getJSON(t, ts.URL+"/v1/campaigns/"+st.ID+"/report", &rep); code != http.StatusOK {
+			t.Fatalf("%s report: HTTP %d", engine, code)
+		}
+		if rep.Engine != engine {
+			t.Errorf("report engine = %q, want %q", rep.Engine, engine)
+		}
+		reports[engine] = &rep
+	}
+	if keys["compiled"] == keys["reference"] {
+		t.Errorf("engine missing from the cache key: both map to %s", keys["compiled"])
+	}
+	c, r := reports["compiled"], reports["reference"]
+	if c.StuckAt.Detected != r.StuckAt.Detected ||
+		c.TransistorIDDQ.Detected != r.TransistorIDDQ.Detected ||
+		c.TransistorIDDQ.Percent != r.TransistorIDDQ.Percent {
+		t.Errorf("engines disagree: compiled %+v/%+v vs reference %+v/%+v",
+			c.StuckAt, c.TransistorIDDQ, r.StuckAt, r.TransistorIDDQ)
+	}
+
+	var metrics map[string]float64
+	if code := getJSON(t, ts.URL+"/metrics", &metrics); code != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", code)
+	}
+	if metrics["jobs_engine_compiled"] < 1 || metrics["jobs_engine_reference"] < 1 {
+		t.Errorf("engine job counters = %v compiled / %v reference, want >= 1 each",
+			metrics["jobs_engine_compiled"], metrics["jobs_engine_reference"])
+	}
+	// The engine counters are process-wide, so only sanity-check shape:
+	// the compiled engine must have run faults and skipped gate evals.
+	if metrics["faultsim_compiled_fault_runs"] < 1 || metrics["faultsim_gate_evals_skipped"] < 1 {
+		t.Errorf("faultsim counters missing: %v runs, %v skipped",
+			metrics["faultsim_compiled_fault_runs"], metrics["faultsim_gate_evals_skipped"])
+	}
+}
+
+// TestCampaignEngineValidation rejects unknown engine names up front.
+func TestCampaignEngineValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, code := postCampaign(t, ts, CampaignRequest{
+		Benchmark: "c17",
+		Faults:    FaultConfig{StuckAt: true},
+		Engine:    "warp-drive",
+	})
+	if code != http.StatusBadRequest {
+		t.Fatalf("HTTP %d, want 400", code)
+	}
+}

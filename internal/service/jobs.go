@@ -263,6 +263,11 @@ func (m *Manager) run(job *Job) {
 	job.started = time.Now()
 	job.mu.Unlock()
 
+	if job.req.Engine == "reference" {
+		m.metrics.ReferenceJobs.Add(1)
+	} else {
+		m.metrics.CompiledJobs.Add(1)
+	}
 	rep, err := runCampaign(ctx, job.circuit, job.req)
 
 	job.mu.Lock()

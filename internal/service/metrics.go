@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"cpsinw/internal/faultsim"
 )
 
 // latencyWindow bounds the sliding sample set the percentiles are
@@ -20,6 +22,11 @@ type Metrics struct {
 	Completed expvar.Int
 	Failed    expvar.Int
 	Canceled  expvar.Int
+
+	// Per-engine job accounting: which transistor-fault engine each
+	// executed campaign selected (compiled is the default).
+	CompiledJobs  expvar.Int
+	ReferenceJobs expvar.Int
 
 	mu      sync.Mutex
 	samples []float64 // job latencies in ms, ring buffer
@@ -76,19 +83,32 @@ func (m *Metrics) Snapshot(queueDepth, workers int, cache *Cache) map[string]int
 	m.mu.Lock()
 	n := len(m.samples)
 	m.mu.Unlock()
+	// faultsim's engine counters are process-wide (the engines are
+	// shared by every simulator); exposing them here quantifies what the
+	// compiled LUT/cone engine saves over full re-simulation. All
+	// values stay numeric so the map marshals flat.
+	es := faultsim.ReadEngineStats()
 	return map[string]interface{}{
-		"queue_depth":     queueDepth,
-		"workers":         workers,
-		"jobs_submitted":  m.Submitted.Value(),
-		"jobs_completed":  m.Completed.Value(),
-		"jobs_failed":     m.Failed.Value(),
-		"jobs_canceled":   m.Canceled.Value(),
-		"cache_hits":      hits,
-		"cache_misses":    misses,
-		"cache_size":      size,
-		"cache_hit_rate":  hitRate,
-		"latency_ms_p50":  pcts[0],
-		"latency_ms_p99":  pcts[1],
-		"latency_samples": n,
+		"queue_depth":                   queueDepth,
+		"workers":                       workers,
+		"jobs_submitted":                m.Submitted.Value(),
+		"jobs_completed":                m.Completed.Value(),
+		"jobs_failed":                   m.Failed.Value(),
+		"jobs_canceled":                 m.Canceled.Value(),
+		"jobs_engine_compiled":          m.CompiledJobs.Value(),
+		"jobs_engine_reference":         m.ReferenceJobs.Value(),
+		"cache_hits":                    hits,
+		"cache_misses":                  misses,
+		"cache_size":                    size,
+		"cache_hit_rate":                hitRate,
+		"latency_ms_p50":                pcts[0],
+		"latency_ms_p99":                pcts[1],
+		"latency_samples":               n,
+		"faultsim_compiled_fault_runs":  es.CompiledFaultRuns,
+		"faultsim_reference_fault_runs": es.ReferenceFaultRuns,
+		"faultsim_cone_gate_evals":      es.ConeGateEvals,
+		"faultsim_gate_evals_skipped":   es.GateEvalsSkipped,
+		"faultsim_fault_luts_compiled":  es.FaultLUTsCompiled,
+		"faultsim_two_pattern_runs":     es.TwoPatternRuns,
 	}
 }

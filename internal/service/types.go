@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"cpsinw/internal/bench"
+	"cpsinw/internal/faultsim"
 	"cpsinw/internal/logic"
 	"cpsinw/internal/report"
 )
@@ -45,6 +46,14 @@ type CampaignRequest struct {
 	Patterns int   `json:"patterns,omitempty"`
 	Seed     int64 `json:"seed,omitempty"` // random pattern seed (default 1)
 	ATPG     bool  `json:"atpg,omitempty"` // also run the test-generation campaign
+	// Engine selects the transistor-fault simulation engine: "compiled"
+	// (default; ternary LUTs + cone-restricted propagation) or
+	// "reference" (the serial switch-level oracle). The engines are
+	// differentially tested to return identical results, so the choice
+	// only affects speed — but it is kept in the cache key so a
+	// cross-check of one engine against the other's cached report is
+	// always a real re-simulation.
+	Engine string `json:"engine,omitempty"`
 	// Workers and TimeoutMS tune execution without affecting results, so
 	// they are excluded from the cache key.
 	Workers   int   `json:"workers,omitempty"`
@@ -73,6 +82,11 @@ func (r CampaignRequest) normalize() (CampaignRequest, *logic.Circuit, error) {
 	if !r.Faults.Bridges {
 		r.Faults.BridgeWindow = 0 // irrelevant: keep the cache key stable
 	}
+	eng, err := faultsim.ParseEngine(r.Engine)
+	if err != nil {
+		return r, nil, err
+	}
+	r.Engine = eng.String() // canonical name for the cache key
 	var c *logic.Circuit
 	if r.Benchmark != "" {
 		suite := bench.Suite()
@@ -143,6 +157,7 @@ type ATPGJSON struct {
 type CampaignReport struct {
 	Circuit        CircuitInfo     `json:"circuit"`
 	Patterns       int             `json:"patterns"`
+	Engine         string          `json:"engine,omitempty"` // fault-simulation engine used
 	StuckAt        *CoverageJSON   `json:"stuck_at,omitempty"`
 	Transistor     *CoverageJSON   `json:"transistor,omitempty"`      // voltage observation only
 	TransistorIDDQ *CoverageJSON   `json:"transistor_iddq,omitempty"` // voltage + IDDQ
