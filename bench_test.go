@@ -10,6 +10,7 @@ package cpsinw
 // reproduces the evaluation artifacts and measures the harness.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -171,8 +172,9 @@ func BenchmarkBreakSeverity(b *testing.B) {
 	}
 }
 
-// BenchmarkBridgeCampaign regenerates the interconnect-bridge study.
-func BenchmarkBridgeCampaign(b *testing.B) {
+// BenchmarkBridgeCampaignReport regenerates the interconnect-bridge
+// study (the engine comparison lives in BenchmarkBridgeCampaign below).
+func BenchmarkBridgeCampaignReport(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.BridgeCampaign(nil)
 		if err != nil {
@@ -231,13 +233,14 @@ func BenchmarkStuckAtFaultSim(b *testing.B) {
 }
 
 // BenchmarkTransistorCampaign is the perf-regression harness of the
-// compiled fault engine: a full CP transistor-fault campaign (channel
-// break + stuck-on + polarity, with IDDQ) on the largest benchmark
-// circuit (mult3, 39 gates), old vs new engine. The two engines return
-// bit-identical detections (enforced by internal/faultsim's
-// differential tests and re-checked here), so the ratio is pure
-// engine speedup; BENCH_faultsim.json at the repo root records the
-// trajectory. Run just this comparison with:
+// fault engines: a full CP transistor-fault campaign (channel break +
+// stuck-on + polarity, with IDDQ) on the largest benchmark circuit
+// (mult3, 39 gates) through the serial oracle, the compiled cone
+// engine and the packed PPSFP engine. All engines return bit-identical
+// detections (enforced by internal/faultsim's differential tests and
+// re-checked here), so the ratios are pure engine speedup;
+// BENCH_faultsim.json at the repo root records the trajectory. Run
+// just this comparison with:
 //
 //	go test -bench=BenchmarkTransistorCampaign -benchtime=3x
 func BenchmarkTransistorCampaign(b *testing.B) {
@@ -262,16 +265,64 @@ func BenchmarkTransistorCampaign(b *testing.B) {
 		return last
 	}
 
-	var ref, cmp []faultsim.Detection
-	b.Run("reference", func(b *testing.B) { ref = run(b, faultsim.EngineReference) })
-	b.Run("compiled", func(b *testing.B) { cmp = run(b, faultsim.EngineCompiled) })
-	if len(ref) != len(cmp) {
-		return // a -bench filter selected only one engine: nothing to compare
+	results := map[string][]faultsim.Detection{}
+	for _, engine := range []faultsim.Engine{faultsim.EngineReference, faultsim.EngineCompiled, faultsim.EnginePacked} {
+		engine := engine
+		b.Run(engine.String(), func(b *testing.B) { results[engine.String()] = run(b, engine) })
 	}
-	for i := range ref {
-		if ref[i].Method != cmp[i].Method || ref[i].Pattern != cmp[i].Pattern {
-			b.Fatalf("engines disagree on %v: (%q, %d) vs (%q, %d)",
-				ref[i].Fault, ref[i].Method, ref[i].Pattern, cmp[i].Method, cmp[i].Pattern)
+	ref := results["reference"]
+	for name, cmp := range results {
+		if len(ref) != len(cmp) {
+			continue // a -bench filter skipped an engine: nothing to compare
+		}
+		for i := range ref {
+			if ref[i].Method != cmp[i].Method || ref[i].Pattern != cmp[i].Pattern {
+				b.Fatalf("%s disagrees on %v: (%q, %d) vs (%q, %d)",
+					name, ref[i].Fault, ref[i].Method, ref[i].Pattern, cmp[i].Method, cmp[i].Pattern)
+			}
+		}
+	}
+}
+
+// BenchmarkBridgeCampaign is the same perf-regression harness for the
+// bridge engines: neighbour-extracted bridges on mult3 with IDDQ
+// observation, per engine, detections re-checked identical.
+func BenchmarkBridgeCampaign(b *testing.B) {
+	c := bench.Multiplier(3)
+	bridges := core.NeighborBridges(c, 4)
+	patterns := faultsim.ExhaustivePatterns(c)
+
+	run := func(b *testing.B, engine faultsim.Engine) []faultsim.BridgeDetection {
+		sim := faultsim.New(c)
+		sim.Engine = engine
+		var last []faultsim.BridgeDetection
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ds, err := sim.RunBridgesObserved(context.Background(), bridges, patterns, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = ds
+		}
+		return last
+	}
+
+	results := map[string][]faultsim.BridgeDetection{}
+	for _, engine := range []faultsim.Engine{faultsim.EngineReference, faultsim.EngineCompiled, faultsim.EnginePacked} {
+		engine := engine
+		b.Run(engine.String(), func(b *testing.B) { results[engine.String()] = run(b, engine) })
+	}
+	ref := results["reference"]
+	for name, cmp := range results {
+		if len(ref) != len(cmp) {
+			continue // a -bench filter skipped an engine: nothing to compare
+		}
+		for i := range ref {
+			if ref[i].Detected != cmp[i].Detected || ref[i].Method != cmp[i].Method || ref[i].Pattern != cmp[i].Pattern {
+				b.Fatalf("%s disagrees on %v: (%v, %q, %d) vs (%v, %q, %d)",
+					name, ref[i].Bridge, ref[i].Detected, ref[i].Method, ref[i].Pattern,
+					cmp[i].Detected, cmp[i].Method, cmp[i].Pattern)
+			}
 		}
 	}
 }

@@ -100,6 +100,41 @@ func TestGoldenChannelBreakAlgorithm(t *testing.T) {
 	checkGolden(t, "channelbreak_algorithm.golden", r.Report())
 }
 
+func TestGoldenDelayFault(t *testing.T) {
+	r, err := DelayFault(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "delayfault.golden", r.Report())
+}
+
+// TestGoldenFigure5 locks the open-polarity-gate leakage/delay sweep at
+// a reduced point budget (the analog engine dominates the runtime; the
+// sweep window and measurement path are the same as the full figure).
+func TestGoldenFigure5(t *testing.T) {
+	r, err := Figure5(Figure5Options{Points: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure5.golden", r.Report())
+}
+
+func TestGoldenDiagnosis(t *testing.T) {
+	r, err := Diagnosis(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "diagnosis.golden", r.Report())
+}
+
+func TestGoldenBridgeCampaign(t *testing.T) {
+	r, err := BridgeCampaign(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "bridge_campaign.golden", r.Report())
+}
+
 // TestGoldenFilesPresent keeps the corpus honest: every golden this
 // file asserts against must be checked in, so a fresh clone fails
 // loudly instead of silently skipping.
@@ -107,6 +142,8 @@ func TestGoldenFilesPresent(t *testing.T) {
 	for _, name := range []string{
 		"tableI.golden", "tableII.golden", "tableIII_switch.golden",
 		"atpg_campaign.golden", "channelbreak_algorithm.golden",
+		"delayfault.golden", "figure5.golden", "diagnosis.golden",
+		"bridge_campaign.golden",
 	} {
 		if _, err := os.Stat(filepath.Join("testdata", name)); err != nil {
 			t.Errorf("golden file missing: %v", err)

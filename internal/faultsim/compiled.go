@@ -26,14 +26,22 @@ const (
 	// baselines and cone-restricted event-driven faulty propagation.
 	EngineCompiled Engine = iota
 	// EngineReference is the original serial hooked engine, kept as the
-	// oracle the compiled engine is differentially tested against.
+	// oracle the compiled and packed engines are differentially tested
+	// against.
 	EngineReference
+	// EnginePacked is the bit-parallel PPSFP engine: 64 ternary patterns
+	// per two-bitplane word, packed gate evaluation and packed
+	// cone-restricted propagation.
+	EnginePacked
 )
 
 // String names the engine for reports and metrics.
 func (e Engine) String() string {
-	if e == EngineReference {
+	switch e {
+	case EngineReference:
 		return "reference"
+	case EnginePacked:
+		return "packed"
 	}
 	return "compiled"
 }
@@ -46,8 +54,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineCompiled, nil
 	case "reference":
 		return EngineReference, nil
+	case "packed":
+		return EnginePacked, nil
 	}
-	return EngineCompiled, fmt.Errorf("faultsim: unknown engine %q (have: compiled, reference)", s)
+	return EngineCompiled, fmt.Errorf("faultsim: unknown engine %q (have: compiled, packed, reference)", s)
 }
 
 // EngineStats is a snapshot of the package-wide engine counters,
@@ -59,7 +69,11 @@ type EngineStats struct {
 	ConeGateEvals      uint64 // gate LUT lookups the cone engine performed
 	GateEvalsSkipped   uint64 // gate evaluations avoided vs full re-simulation
 	FaultLUTsCompiled  uint64 // distinct per-fault behaviour tables built
-	TwoPatternRuns     uint64 // fault x pair units through the compiled engine
+	TwoPatternRuns     uint64 // fault x pair units through the compiled/packed engines
+	PackedFaultRuns    uint64 // fault x campaign units through the packed engine
+	PackedGateEvals    uint64 // packed gate evaluations (each covers up to 64 lanes)
+	PackedBridgeRuns   uint64 // bridge x campaign units through the packed engine
+	CompiledBridgeRuns uint64 // bridge x campaign units through the compiled engine
 }
 
 var engineStats struct {
@@ -69,6 +83,10 @@ var engineStats struct {
 	gateEvalsSkipped   atomic.Uint64
 	faultLUTsCompiled  atomic.Uint64
 	twoPatternRuns     atomic.Uint64
+	packedFaultRuns    atomic.Uint64
+	packedGateEvals    atomic.Uint64
+	packedBridgeRuns   atomic.Uint64
+	compiledBridgeRuns atomic.Uint64
 }
 
 // ReadEngineStats snapshots the engine counters.
@@ -80,6 +98,10 @@ func ReadEngineStats() EngineStats {
 		GateEvalsSkipped:   engineStats.gateEvalsSkipped.Load(),
 		FaultLUTsCompiled:  engineStats.faultLUTsCompiled.Load(),
 		TwoPatternRuns:     engineStats.twoPatternRuns.Load(),
+		PackedFaultRuns:    engineStats.packedFaultRuns.Load(),
+		PackedGateEvals:    engineStats.packedGateEvals.Load(),
+		PackedBridgeRuns:   engineStats.packedBridgeRuns.Load(),
+		CompiledBridgeRuns: engineStats.compiledBridgeRuns.Load(),
 	}
 }
 

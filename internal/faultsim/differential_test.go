@@ -10,11 +10,15 @@ import (
 	"cpsinw/internal/logic"
 )
 
-// The compiled LUT/cone engine must be bit-identical to the serial
-// EvalHooked reference engine: same Detection method AND same first
-// detecting pattern for every fault, on arbitrary circuits, fault
-// lists and pattern sets (including X and missing inputs). The
-// reference engine stays available as the oracle via EngineReference.
+// The compiled LUT/cone engine and the bit-parallel packed PPSFP
+// engine must be bit-identical to the serial EvalHooked reference
+// engine: same Detection method AND same first detecting pattern for
+// every fault, on arbitrary circuits, fault lists and pattern sets
+// (including X and missing inputs). The reference engine stays
+// available as the oracle via EngineReference.
+
+// fastEngines are the engines proven against the reference oracle.
+var fastEngines = []Engine{EngineCompiled, EnginePacked}
 
 // randomTernaryPatterns draws patterns that exercise the ternary paths:
 // mostly binary values, some explicit X, some inputs left unassigned.
@@ -94,13 +98,15 @@ func TestDifferentialTransistorEngines(t *testing.T) {
 			if err != nil {
 				t.Fatalf("case %d: reference: %v", ci, err)
 			}
-			cmp := New(c)
-			cmp.Engine = EngineCompiled
-			got, err := cmp.RunTransistor(faults, patterns, useIDDQ)
-			if err != nil {
-				t.Fatalf("case %d: compiled: %v", ci, err)
+			for _, eng := range fastEngines {
+				cmp := New(c)
+				cmp.Engine = eng
+				got, err := cmp.RunTransistor(faults, patterns, useIDDQ)
+				if err != nil {
+					t.Fatalf("case %d: %v: %v", ci, eng, err)
+				}
+				diffDetections(t, c.Name+"/"+eng.String(), want, got)
 			}
-			diffDetections(t, c.Name, want, got)
 		}
 	}
 }
@@ -131,13 +137,15 @@ func TestDifferentialTwoPatternEngines(t *testing.T) {
 		if err != nil {
 			t.Fatalf("case %d: reference: %v", ci, err)
 		}
-		cmp := New(c)
-		cmp.Engine = EngineCompiled
-		got, err := cmp.RunTwoPattern(faults, pairs)
-		if err != nil {
-			t.Fatalf("case %d: compiled: %v", ci, err)
+		for _, eng := range fastEngines {
+			cmp := New(c)
+			cmp.Engine = eng
+			got, err := cmp.RunTwoPattern(faults, pairs)
+			if err != nil {
+				t.Fatalf("case %d: %v: %v", ci, eng, err)
+			}
+			diffDetections(t, c.Name+"/"+eng.String(), want, got)
 		}
-		diffDetections(t, c.Name, want, got)
 	}
 }
 
@@ -158,12 +166,15 @@ func TestDifferentialParallelCompiled(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cmp := New(c)
-		got, err := cmp.RunTransistorParallel(context.Background(), faults, patterns, true, 8)
-		if err != nil {
-			t.Fatal(err)
+		for _, eng := range fastEngines {
+			cmp := New(c)
+			cmp.Engine = eng
+			got, err := cmp.RunTransistorParallel(context.Background(), faults, patterns, true, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffDetections(t, c.Name+"/"+eng.String(), want, got)
 		}
-		diffDetections(t, c.Name, want, got)
 	}
 }
 
@@ -178,7 +189,7 @@ func TestCompiledEngineErrorParity(t *testing.T) {
 	}
 	pats := ExhaustivePatterns(c)
 	for _, f := range bad {
-		for _, eng := range []Engine{EngineReference, EngineCompiled} {
+		for _, eng := range []Engine{EngineReference, EngineCompiled, EnginePacked} {
 			s := New(c)
 			s.Engine = eng
 			if _, err := s.RunTransistor([]core.Fault{f}, pats, true); err == nil {

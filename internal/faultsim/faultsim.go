@@ -52,6 +52,10 @@ type Simulator struct {
 
 	ccOnce sync.Once
 	cc     *logic.CompiledCircuit
+
+	// Packed-engine scratch pool: the buffers and the scratch-local
+	// LUT-resolution caches stay warm across campaigns.
+	scratchPool sync.Pool
 }
 
 // New builds a simulator for the circuit.
@@ -200,12 +204,16 @@ func (s *Simulator) transistorHooks(f core.Fault, leak *bool) (logic.TernaryHook
 // leak signature detects by quiescent-current measurement (the paper's
 // IDDQ observability for pull-up polarity faults). The simulator's
 // Engine selects the implementation: compiled LUT + cone propagation by
-// default, the serial hooked oracle under EngineReference; both return
-// identical detections. RunTransistorParallel spreads the same work
-// over a goroutine pool.
+// default, 64-way bit-parallel PPSFP under EnginePacked, the serial
+// hooked oracle under EngineReference; all three return identical
+// detections. RunTransistorParallel spreads the same work over a
+// goroutine pool.
 func (s *Simulator) RunTransistor(faults []core.Fault, patterns []Pattern, useIDDQ bool) ([]Detection, error) {
-	if s.Engine == EngineReference {
+	switch s.Engine {
+	case EngineReference:
 		return s.runTransistorSerial(context.Background(), faults, patterns, useIDDQ)
+	case EnginePacked:
+		return s.runTransistorPacked(context.Background(), faults, patterns, useIDDQ)
 	}
 	return s.runTransistorCompiled(context.Background(), faults, patterns, useIDDQ)
 }
@@ -227,10 +235,14 @@ func (s *Simulator) outputsDiffer(good, faulty map[string]logic.V) bool {
 // gate output, the second exposes a floating output retaining the stale
 // value. Detection requires a definite PO difference under the second
 // pattern. The simulator's Engine selects the implementation (compiled
-// stuck-open transition LUTs by default).
+// stuck-open transition LUTs by default; packed cone propagation of the
+// same LUTs under EnginePacked).
 func (s *Simulator) RunTwoPattern(faults []core.Fault, pairs [][2]Pattern) ([]Detection, error) {
-	if s.Engine != EngineReference {
+	switch s.Engine {
+	case EngineCompiled:
 		return s.runTwoPatternCompiled(faults, pairs)
+	case EnginePacked:
+		return s.runTwoPatternPacked(faults, pairs)
 	}
 	out := make([]Detection, len(faults))
 	for i, f := range faults {

@@ -1,0 +1,480 @@
+// Packed PPSFP engine: 64 ternary patterns per two-bitplane word,
+// evaluated through the same compiled gate and per-fault behaviour LUTs
+// as the scalar cone engine. Baselines are packed once per campaign;
+// each fault then needs one packed behaviour-LUT evaluation plus one
+// packed cone propagation per 64-pattern chunk, instead of one scalar
+// cone pass per pattern. Defined to be bit-identical to the reference
+// and compiled engines (same detection method, same first detecting
+// pattern), which the differential suites enforce.
+package faultsim
+
+import (
+	"context"
+	"fmt"
+
+	"cpsinw/internal/core"
+	"cpsinw/internal/gates"
+	"cpsinw/internal/logic"
+)
+
+// packedBase is the fault-free response of one 64-pattern chunk.
+type packedBase struct {
+	start int               // index of the chunk's first pattern
+	valid uint64            // lanes backed by a real pattern
+	in    []logic.PackedVec // per primary input (circuit input order)
+	vals  []logic.PackedVec // per net id, canonical planes
+}
+
+// packTernaryChunk packs up to 64 ternary patterns into per-input
+// planes; inputs missing from a pattern are X, matching the scalar
+// map-based evaluation. Lanes beyond the chunk stay X.
+func (s *Simulator) packTernaryChunk(patterns []Pattern) []logic.PackedVec {
+	in := make([]logic.PackedVec, len(s.C.Inputs))
+	for k, p := range patterns {
+		for i, pi := range s.C.Inputs {
+			v, ok := p[pi]
+			if !ok {
+				v = logic.LX
+			}
+			in[i] = in[i].WithLane(k, v)
+		}
+	}
+	return in
+}
+
+// packedBaselines memoizes the good-circuit planes per 64-pattern
+// chunk. All chunk planes share one backing array (one allocation to
+// scan instead of one per chunk).
+func (s *Simulator) packedBaselines(patterns []Pattern) []packedBase {
+	cc := s.compiled()
+	nChunks := (len(patterns) + 63) / 64
+	backing := make([]logic.PackedVec, nChunks*cc.NumNets())
+	out := make([]packedBase, 0, nChunks)
+	for base := 0; base < len(patterns); base += 64 {
+		chunk := patterns[base:min(base+64, len(patterns))]
+		valid := ^uint64(0)
+		if len(chunk) < 64 {
+			valid = 1<<uint(len(chunk)) - 1
+		}
+		pb := packedBase{
+			start: base,
+			valid: valid,
+			in:    s.packTernaryChunk(chunk),
+		}
+		pb.vals = cc.EvalPacked(pb.in, backing[:cc.NumNets():cc.NumNets()])
+		backing = backing[cc.NumNets():]
+		out = append(out, pb)
+	}
+	return out
+}
+
+// evalFaultLUTPacked evaluates one per-fault behaviour table across all
+// lanes: the faulty gate's output planes plus the lanes carrying the
+// IDDQ-leak signature (only fully-defined input vectors can leak, by
+// construction of the table). The nested per-digit loops prune whole
+// subtables whose lane mask is already empty and avoid the radix-3
+// divisions of a flat index walk (this runs once per fault per chunk,
+// right on the packed hot path).
+func evalFaultLUTPacked(lut *faultLUT, in []logic.PackedVec) (logic.PackedVec, uint64) {
+	// Digit masks computed in place (the [3][3]uint64 of
+	// logic.TernaryLaneMasks is a 72-byte copy per call, once per fault
+	// per chunk).
+	var masks [3][3]uint64
+	for i := range in {
+		p := in[i].Canon()
+		masks[i][0] = p.Known &^ p.Val
+		masks[i][1] = p.Val
+		masks[i][2] = ^p.Known
+	}
+	var out logic.PackedVec
+	var leak uint64
+	accum := func(idx int, m uint64) {
+		if lut.leak[idx] {
+			leak |= m
+		}
+		switch lut.out[idx] {
+		case logic.L1:
+			out.Val |= m
+			out.Known |= m
+		case logic.L0:
+			out.Known |= m
+		}
+	}
+	switch len(in) {
+	case 1:
+		for d0 := 0; d0 < 3; d0++ {
+			if m := masks[0][d0]; m != 0 {
+				accum(d0, m)
+			}
+		}
+	case 2:
+		for d1 := 0; d1 < 3; d1++ {
+			m1 := masks[1][d1]
+			if m1 == 0 {
+				continue
+			}
+			for d0 := 0; d0 < 3; d0++ {
+				if m := m1 & masks[0][d0]; m != 0 {
+					accum(3*d1+d0, m)
+				}
+			}
+		}
+	default:
+		for d2 := 0; d2 < 3; d2++ {
+			m2 := masks[2][d2]
+			if m2 == 0 {
+				continue
+			}
+			for d1 := 0; d1 < 3; d1++ {
+				m1 := m2 & masks[1][d1]
+				if m1 == 0 {
+					continue
+				}
+				for d0 := 0; d0 < 3; d0++ {
+					if m := m1 & masks[0][d0]; m != 0 {
+						accum(9*d2+3*d1+d0, m)
+					}
+				}
+			}
+		}
+	}
+	return out, leak
+}
+
+// faninPlanes gathers one gate's input planes.
+func faninPlanes(cc *logic.CompiledCircuit, gi int, vals []logic.PackedVec, buf []logic.PackedVec) []logic.PackedVec {
+	fin := cc.Fanin[gi]
+	buf = buf[:len(fin)]
+	for k, nid := range fin {
+		buf[k] = vals[nid]
+	}
+	return buf
+}
+
+// packedScratch is the packed counterpart of coneScratch: epoch-stamped
+// faulty planes over the chunk baseline. Scheduling needs no heap — the
+// compiled circuit's static, topologically-sorted fanout cones are
+// walked directly, because with 64 lanes in flight nearly every cone
+// gate carries a change in some lane.
+type packedScratch struct {
+	cc    *logic.CompiledCircuit
+	fval  []logic.PackedVec
+	stamp []int64
+	epoch int64
+	inbuf [3]logic.PackedVec
+
+	// Scratch-local resolution caches — lock-free because a scratch is
+	// owned by exactly one goroutine at a time, and warm across
+	// campaigns because scratches are pooled on the Simulator. The
+	// 1-entry memos exploit fault-list locality (faults group by gate
+	// and iterate the fault kinds of one transistor consecutively; the
+	// name strings share backing, so equality is a pointer comparison);
+	// luts replaces the process-wide sync.Map, whose interface-key
+	// hashing costs more than the whole packed evaluation of one fault.
+	lastGate  string
+	lastGI    int
+	lastTr    string
+	lastKind  gates.Kind
+	lastSlots *[8]*faultLUT
+	luts      [16]map[string]*[8]*faultLUT // [kind][transistor][tfault]
+
+	evals, runs uint64 // packed gate evals / fault runs, flushed per campaign
+}
+
+// packedScratchOf hands out a reusable scratch (the per-net plane and
+// stamp slices dominate the allocation cost of small campaigns).
+func (s *Simulator) packedScratchOf() *packedScratch {
+	if v := s.scratchPool.Get(); v != nil {
+		return v.(*packedScratch)
+	}
+	cc := s.compiled()
+	return &packedScratch{
+		cc:     cc,
+		fval:   make([]logic.PackedVec, cc.NumNets()),
+		stamp:  make([]int64, cc.NumNets()),
+		lastGI: -1,
+	}
+}
+
+func (s *Simulator) putPackedScratch(sc *packedScratch) {
+	sc.flushStats()
+	s.scratchPool.Put(sc)
+}
+
+// gateIndex memoizes the instance-name lookup behind the 1-entry cache.
+func (sc *packedScratch) gateIndex(s *Simulator, name string) (int, bool) {
+	if sc.lastGI >= 0 && name == sc.lastGate {
+		return sc.lastGI, true
+	}
+	gi, ok := s.gateIdx[name]
+	if ok {
+		sc.lastGate, sc.lastGI = name, gi
+	}
+	return gi, ok
+}
+
+// propagateCone seeds gate gi's faulty output planes and walks gi's
+// static cone in topological order, evaluating only gates with a
+// changed fanin plane and recording only planes that actually change
+// versus the chunk baseline (all 64 lanes at once). It returns the
+// lanes with a definite good/faulty primary-output difference; per lane
+// this computes exactly what the scalar cone engine computes per
+// pattern.
+func (sc *packedScratch) propagateCone(gi int, fout logic.PackedVec, base []logic.PackedVec) uint64 {
+	cc := sc.cc
+	onet := cc.GateOut[gi]
+	sc.evals++
+	if fout == base[onet] {
+		return 0 // no lane excites the fault
+	}
+	sc.epoch++
+	epoch := sc.epoch
+	stamp := sc.stamp
+	sc.fval[onet], stamp[onet] = fout, epoch
+	// A lane can only detect if it excites the fault at the seed, so
+	// the first excited lane lower-bounds every achievable detection
+	// lane: the moment a primary output differs there, no further
+	// propagation can improve the result and the walk stops.
+	floor := uint64(1) << uint(logic.FirstLane(
+		(fout.Val^base[onet].Val)|(fout.Known^base[onet].Known)))
+	var diff uint64
+	if cc.IsOutput[onet] {
+		diff |= logic.DefiniteDiffMask(base[onet], fout)
+	}
+	if diff&floor != 0 {
+		return diff
+	}
+	for _, g := range cc.Cone(gi) {
+		fin := cc.Fanin[g]
+		dirty := false
+		for _, nid := range fin {
+			if stamp[nid] == epoch {
+				dirty = true
+				break
+			}
+		}
+		if !dirty {
+			continue
+		}
+		sc.evals++
+		in := sc.inbuf[:len(fin)]
+		for k, nid := range fin {
+			if stamp[nid] == epoch {
+				in[k] = sc.fval[nid]
+			} else {
+				in[k] = base[nid]
+			}
+		}
+		nv := logic.EvalKindPacked(cc.Kinds[g], cc.LUT[g], in)
+		on := cc.GateOut[g]
+		if nv == base[on] {
+			continue
+		}
+		sc.fval[on], stamp[on] = nv, epoch
+		if cc.IsOutput[on] {
+			diff |= logic.DefiniteDiffMask(base[on], nv)
+			if diff&floor != 0 {
+				return diff
+			}
+		}
+	}
+	return diff
+}
+
+// flushStats publishes the accumulated packed counters (once per
+// campaign or worker, not per fault: two uncontended atomics per fault
+// are measurable at packed speeds).
+func (sc *packedScratch) flushStats() {
+	if sc.evals > 0 {
+		engineStats.packedGateEvals.Add(sc.evals)
+		sc.evals = 0
+	}
+	if sc.runs > 0 {
+		engineStats.packedFaultRuns.Add(sc.runs)
+		sc.runs = 0
+	}
+}
+
+// resolveFaultLUT memoizes compiledFaultLUT resolutions in the scratch.
+func (sc *packedScratch) resolveFaultLUT(key faultLUTKey) (*faultLUT, error) {
+	if int(key.kind) >= len(sc.luts) || int(key.tf) >= 8 {
+		return compiledFaultLUT(key.kind, key.tr, key.tf) // out-of-range enums: no memo
+	}
+	byTr := sc.luts[key.kind]
+	if byTr == nil {
+		byTr = map[string]*[8]*faultLUT{}
+		sc.luts[key.kind] = byTr
+	}
+	slots := byTr[key.tr]
+	if slots == nil {
+		slots = new([8]*faultLUT)
+		byTr[key.tr] = slots
+	}
+	sc.lastKind, sc.lastTr, sc.lastSlots = key.kind, key.tr, slots
+	if lut := slots[key.tf]; lut != nil {
+		return lut, nil
+	}
+	lut, err := compiledFaultLUT(key.kind, key.tr, key.tf)
+	if err != nil {
+		return nil, err
+	}
+	slots[key.tf] = lut
+	return lut, nil
+}
+
+// simulateTransistorFaultPacked is the packed counterpart of
+// simulateTransistorFaultCompiled: identical Detection results, one
+// packed behaviour-LUT evaluation plus one packed cone pass per chunk.
+func (s *Simulator) simulateTransistorFaultPacked(f core.Fault, bases []packedBase, sc *packedScratch, useIDDQ bool) (Detection, error) {
+	d := Detection{Fault: f, Pattern: -1}
+	if f.Kind.IsLineFault() {
+		return d, nil
+	}
+	tf, ok := f.Kind.TFault()
+	if !ok {
+		return d, nil // analog-only faults are out of scope here
+	}
+	if len(bases) == 0 {
+		return d, nil
+	}
+	gi, ok := sc.gateIndex(s, f.Gate)
+	if !ok {
+		return d, fmt.Errorf("faultsim: unknown gate %q", f.Gate)
+	}
+	kind := s.C.Gates[gi].Kind
+	var lut *faultLUT
+	if sc.lastSlots != nil && kind == sc.lastKind && f.Transistor == sc.lastTr && int(tf) < 8 {
+		lut = sc.lastSlots[tf]
+	}
+	if lut == nil {
+		var err error
+		lut, err = sc.resolveFaultLUT(faultLUTKey{kind, f.Transistor, tf})
+		if err != nil {
+			return d, err
+		}
+	}
+	sc.runs++
+	cc := sc.cc
+	for ci := range bases {
+		pb := &bases[ci]
+		fout, leak := evalFaultLUTPacked(lut, faninPlanes(cc, gi, pb.vals, sc.inbuf[:]))
+		if !useIDDQ {
+			leak = 0
+		}
+		// Per pattern, the leak check precedes the output compare
+		// (mirroring the scalar engines); across patterns the earliest
+		// lane wins. A leak in the chunk's first lane therefore decides
+		// immediately — no output difference can come earlier.
+		if leak&1 == 1 {
+			d.Method, d.Pattern = ByIDDQ, pb.start
+			return d, nil
+		}
+		diff := sc.propagateCone(gi, fout, pb.vals)
+		m := (leak | diff) & pb.valid
+		if m == 0 {
+			continue
+		}
+		lane := logic.FirstLane(m)
+		if leak>>uint(lane)&1 == 1 {
+			d.Method = ByIDDQ
+		} else {
+			d.Method = ByOutput
+		}
+		d.Pattern = pb.start + lane
+		return d, nil
+	}
+	return d, nil
+}
+
+// runTransistorPacked is the serial packed campaign driver.
+func (s *Simulator) runTransistorPacked(ctx context.Context, faults []core.Fault, patterns []Pattern, useIDDQ bool) ([]Detection, error) {
+	bases := s.packedBaselines(patterns)
+	sc := s.packedScratchOf()
+	defer s.putPackedScratch(sc)
+	out := make([]Detection, len(faults))
+	for i, f := range faults {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		d, err := s.simulateTransistorFaultPacked(f, bases, sc, useIDDQ)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// laneGateIndex decodes one gate's ternary LUT index for a single lane
+// of the given planes.
+func laneGateIndex(cc *logic.CompiledCircuit, gi, lane int, vals []logic.PackedVec) int {
+	idx := 0
+	for k, nid := range cc.Fanin[gi] {
+		idx += int(vals[nid].Get(lane)) * logic.Pow3(k)
+	}
+	return idx
+}
+
+// runTwoPatternPacked replays pattern pairs through the stuck-open
+// transition LUTs with packed cone propagation: the faulty gate's
+// charge-state trajectory is still decoded per lane (the Mealy state is
+// radix-3 over internal node labels and does not vectorise), but the
+// expensive downstream propagation of the test pattern covers all 64
+// pairs of a chunk in one pass.
+func (s *Simulator) runTwoPatternPacked(faults []core.Fault, pairs [][2]Pattern) ([]Detection, error) {
+	out := make([]Detection, len(faults))
+	hasOpen := false
+	for i, f := range faults {
+		out[i] = Detection{Fault: f, Pattern: -1}
+		if tf, ok := f.Kind.TFault(); ok && tf == logic.TFaultOpen {
+			hasOpen = true
+		}
+	}
+	if !hasOpen {
+		return out, nil // nothing to simulate: skip the baseline evals
+	}
+	firsts := make([]Pattern, len(pairs))
+	seconds := make([]Pattern, len(pairs))
+	for k, pair := range pairs {
+		firsts[k], seconds[k] = pair[0], pair[1]
+	}
+	bases0 := s.packedBaselines(firsts)
+	bases1 := s.packedBaselines(seconds)
+	cc := s.compiled()
+	sc := s.packedScratchOf()
+	defer s.putPackedScratch(sc)
+	totalRuns := uint64(0)
+	defer func() { engineStats.twoPatternRuns.Add(totalRuns) }()
+	for i, f := range faults {
+		tf, ok := f.Kind.TFault()
+		if !ok || tf != logic.TFaultOpen {
+			continue
+		}
+		gi, ok := s.gateIdx[f.Gate]
+		if !ok {
+			return nil, fmt.Errorf("faultsim: unknown gate %q", f.Gate)
+		}
+		lut := compiledOpenLUT(s.C.Gates[gi].Kind, f.Transistor)
+	chunks:
+		for ci := range bases0 {
+			pb0, pb1 := &bases0[ci], &bases1[ci]
+			n := 64
+			if pb0.valid != ^uint64(0) {
+				n = logic.FirstLane(^pb0.valid)
+			}
+			var fout logic.PackedVec
+			for lane := 0; lane < n; lane++ {
+				totalRuns++
+				st := lut.next[int(lut.init)*lut.nVec+laneGateIndex(cc, gi, lane, pb0.vals)]
+				fout = fout.WithLane(lane, lut.out[int(st)*lut.nVec+laneGateIndex(cc, gi, lane, pb1.vals)])
+			}
+			diff := sc.propagateCone(gi, fout, pb1.vals) & pb1.valid
+			if diff != 0 {
+				out[i].Method = ByTwoPattern
+				out[i].Pattern = pb1.start + logic.FirstLane(diff)
+				break chunks
+			}
+		}
+	}
+	return out, nil
+}

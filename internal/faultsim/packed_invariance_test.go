@@ -1,0 +1,165 @@
+package faultsim
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"cpsinw/internal/bench"
+	"cpsinw/internal/core"
+)
+
+// Lane invariance of EnginePacked: the 64-lane packing is an
+// implementation detail, so reshaping the pattern set around the word
+// boundary must never change what is detected. Three reshapes are
+// checked on every random campaign:
+//
+//   - padding: appending repeats of earlier patterns (making the count
+//     a non-multiple of 64 and spilling into a second chunk) leaves
+//     every Detection bit-identical — later duplicates can never win;
+//   - splitting: running the set as two packed calls and merging is
+//     bit-identical to the single call (first half wins, second half
+//     detections shift by the split point);
+//   - permutation: reordering patterns preserves the *set* of detected
+//     faults (method and first index legitimately move).
+
+func detectedSet(ds []Detection) map[string]bool {
+	out := map[string]bool{}
+	for _, d := range ds {
+		if d.Detected() {
+			out[d.Fault.String()] = true
+		}
+	}
+	return out
+}
+
+func TestPackedLaneInvarianceTransistor(t *testing.T) {
+	rng := rand.New(rand.NewSource(64646464))
+	cases := 40
+	if testing.Short() {
+		cases = 10
+	}
+	for ci := 0; ci < cases; ci++ {
+		c := bench.Random(rng.Int63(), 4+rng.Intn(6), 5+rng.Intn(30))
+		universe := core.Universe(c, core.UniverseOptions{
+			ChannelBreak: true, StuckOn: true, Polarity: true,
+		})
+		faults := subsample(rng, universe, 50)
+		// 65..120 patterns: always spills past one word, never a
+		// multiple of 64.
+		n := 65 + rng.Intn(56)
+		if n%64 == 0 {
+			n++
+		}
+		patterns := randomTernaryPatterns(rng, c, n)
+		useIDDQ := ci%2 == 0
+
+		sim := New(c)
+		sim.Engine = EnginePacked
+		base, err := sim.RunTransistor(faults, patterns, useIDDQ)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+
+		// Padding with repeats of already-present patterns.
+		padded := append(append([]Pattern{}, patterns...), patterns[:7]...)
+		got, err := sim.RunTransistor(faults, padded, useIDDQ)
+		if err != nil {
+			t.Fatalf("case %d: padded: %v", ci, err)
+		}
+		diffDetections(t, "padded", base, got)
+
+		// Splitting one packed call into two at an off-word boundary.
+		split := 1 + rng.Intn(n-1)
+		first, err := sim.RunTransistor(faults, patterns[:split], useIDDQ)
+		if err != nil {
+			t.Fatalf("case %d: split head: %v", ci, err)
+		}
+		second, err := sim.RunTransistor(faults, patterns[split:], useIDDQ)
+		if err != nil {
+			t.Fatalf("case %d: split tail: %v", ci, err)
+		}
+		merged := make([]Detection, len(faults))
+		for i := range merged {
+			switch {
+			case first[i].Detected():
+				merged[i] = first[i]
+			case second[i].Detected():
+				merged[i] = second[i]
+				merged[i].Pattern += split
+			default:
+				merged[i] = Detection{Fault: faults[i], Pattern: -1}
+			}
+		}
+		diffDetections(t, "split-merge", base, merged)
+
+		// Permuting the pattern order preserves the detected set.
+		perm := append([]Pattern{}, patterns...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		got, err = sim.RunTransistor(faults, perm, useIDDQ)
+		if err != nil {
+			t.Fatalf("case %d: permuted: %v", ci, err)
+		}
+		want, have := detectedSet(base), detectedSet(got)
+		if len(want) != len(have) {
+			t.Fatalf("case %d: permutation changed detections: %d vs %d", ci, len(want), len(have))
+		}
+		for f := range want {
+			if !have[f] {
+				t.Errorf("case %d: %s lost under permutation", ci, f)
+			}
+		}
+	}
+}
+
+func TestPackedLaneInvarianceBridges(t *testing.T) {
+	rng := rand.New(rand.NewSource(128128))
+	cases := 25
+	if testing.Short() {
+		cases = 8
+	}
+	for ci := 0; ci < cases; ci++ {
+		c := bench.Random(rng.Int63(), 4+rng.Intn(6), 5+rng.Intn(25))
+		bridges := randomBridges(rng, c, 2+rng.Intn(20))
+		n := 65 + rng.Intn(40)
+		patterns := randomTernaryPatterns(rng, c, n)
+		useIDDQ := ci%2 == 0
+
+		sim := New(c)
+		sim.Engine = EnginePacked
+		base, err := sim.RunBridgesObserved(context.Background(), bridges, patterns, useIDDQ)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+
+		padded := append(append([]Pattern{}, patterns...), patterns[:5]...)
+		got, err := sim.RunBridgesObserved(context.Background(), bridges, padded, useIDDQ)
+		if err != nil {
+			t.Fatalf("case %d: padded: %v", ci, err)
+		}
+		diffBridgeDetections(t, "padded", base, got)
+
+		split := 1 + rng.Intn(n-1)
+		first, err := sim.RunBridgesObserved(context.Background(), bridges, patterns[:split], useIDDQ)
+		if err != nil {
+			t.Fatalf("case %d: split head: %v", ci, err)
+		}
+		second, err := sim.RunBridgesObserved(context.Background(), bridges, patterns[split:], useIDDQ)
+		if err != nil {
+			t.Fatalf("case %d: split tail: %v", ci, err)
+		}
+		merged := make([]BridgeDetection, len(bridges))
+		for i := range merged {
+			switch {
+			case first[i].Detected:
+				merged[i] = first[i]
+			case second[i].Detected:
+				merged[i] = second[i]
+				merged[i].Pattern += split
+			default:
+				merged[i] = BridgeDetection{Bridge: bridges[i], Pattern: -1}
+			}
+		}
+		diffBridgeDetections(t, "split-merge", base, merged)
+	}
+}

@@ -81,23 +81,31 @@ func (s *Simulator) RunTransistorParallel(ctx context.Context, faults []core.Fau
 		workers = len(faults)
 	}
 	if workers == 1 || len(faults) < 2 {
-		if s.Engine == EngineReference {
+		switch s.Engine {
+		case EngineReference:
 			return s.runTransistorSerial(ctx, faults, patterns, useIDDQ)
+		case EnginePacked:
+			return s.runTransistorPacked(ctx, faults, patterns, useIDDQ)
 		}
 		return s.runTransistorCompiled(ctx, faults, patterns, useIDDQ)
 	}
 
 	// Good-circuit responses are computed once and shared read-only:
 	// hooked maps for the reference engine, dense baselines for the
-	// compiled one (each worker carries its own cone scratch).
+	// compiled engine, packed chunk planes for the packed one (each
+	// worker carries its own scratch).
 	var goods []map[string]logic.V
 	var base [][]logic.V
-	if s.Engine == EngineReference {
+	var packedBases []packedBase
+	switch s.Engine {
+	case EngineReference:
 		goods = make([]map[string]logic.V, len(patterns))
 		for k, p := range patterns {
 			goods[k] = s.C.Eval(map[string]logic.V(p))
 		}
-	} else {
+	case EnginePacked:
+		packedBases = s.packedBaselines(patterns)
+	default:
 		base = s.evalBaselines(patterns)
 	}
 
@@ -111,7 +119,12 @@ func (s *Simulator) RunTransistorParallel(ctx context.Context, faults []core.Fau
 		go func() {
 			defer wg.Done()
 			var sc *coneScratch
-			if s.Engine != EngineReference {
+			var psc *packedScratch
+			switch s.Engine {
+			case EngineReference:
+			case EnginePacked:
+				psc = s.packedScratchOf()
+			default:
 				sc = newConeScratch(s.compiled())
 			}
 			for i := range jobs {
@@ -120,9 +133,12 @@ func (s *Simulator) RunTransistorParallel(ctx context.Context, faults []core.Fau
 				}
 				var d Detection
 				var err error
-				if s.Engine == EngineReference {
+				switch s.Engine {
+				case EngineReference:
 					d, err = s.simulateTransistorFault(faults[i], patterns, goods, useIDDQ)
-				} else {
+				case EnginePacked:
+					d, err = s.simulateTransistorFaultPacked(faults[i], packedBases, psc, useIDDQ)
+				default:
 					d, err = s.simulateTransistorFaultCompiled(faults[i], patterns, base, sc, useIDDQ)
 				}
 				if err != nil {
@@ -134,6 +150,9 @@ func (s *Simulator) RunTransistorParallel(ctx context.Context, faults []core.Fau
 					continue
 				}
 				out[i] = d
+			}
+			if psc != nil {
+				s.putPackedScratch(psc)
 			}
 		}()
 	}

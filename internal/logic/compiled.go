@@ -1,6 +1,11 @@
 package logic
 
-import "sort"
+import (
+	"sort"
+	"sync"
+
+	"cpsinw/internal/gates"
+)
 
 // CompiledCircuit is a Circuit lowered to dense integer net ids with a
 // per-gate ternary LUT: the form the fault-simulation engines evaluate.
@@ -15,13 +20,17 @@ type CompiledCircuit struct {
 	OutputID []int          // per primary output, in circuit output order
 	IsOutput []bool         // net id -> drives a primary output
 
-	Fanin   [][]int   // gate -> fanin net ids, in pin order
-	GateOut []int     // gate -> output net id
-	LUT     []GateLUT // gate -> compiled ternary table (shared per kind)
+	Fanin   [][]int      // gate -> fanin net ids, in pin order
+	GateOut []int        // gate -> output net id
+	LUT     []GateLUT    // gate -> compiled ternary table (shared per kind)
+	Kinds   []gates.Kind // gate -> kind (packed evaluation specializes per kind)
 
 	Order   []int   // levelized gate evaluation order
 	Pos     []int   // gate -> position in Order (cone scheduling priority)
 	Fanouts [][]int // net id -> gate indices reading the net
+
+	conesOnce sync.Once
+	cones     [][]int // gate -> downstream cone, topologically sorted
 }
 
 // Compile lowers the circuit. The result is immutable and safe for
@@ -38,6 +47,7 @@ func (c *Circuit) Compile() *CompiledCircuit {
 		Fanin:    make([][]int, len(c.Gates)),
 		GateOut:  make([]int, len(c.Gates)),
 		LUT:      make([]GateLUT, len(c.Gates)),
+		Kinds:    make([]gates.Kind, len(c.Gates)),
 		Order:    c.Levelized(),
 		Pos:      make([]int, len(c.Gates)),
 		Fanouts:  make([][]int, len(names)),
@@ -62,6 +72,7 @@ func (c *Circuit) Compile() *CompiledCircuit {
 		cc.Fanin[gi] = fin
 		cc.GateOut[gi] = cc.NetID[g.Output]
 		cc.LUT[gi] = CompileGateLUT(g.Kind)
+		cc.Kinds[gi] = g.Kind
 	}
 	for pos, gi := range cc.Order {
 		cc.Pos[gi] = pos
@@ -103,4 +114,64 @@ func (cc *CompiledCircuit) GateInputIndex(gi int, vals []V) int {
 		idx += int(vals[nid]) * pow3[k]
 	}
 	return idx
+}
+
+// EvalPacked simulates 64 ternary patterns at once: in[i] is the packed
+// plane of primary input i (circuit input order; X lanes model missing
+// assignments), vals the per-net result planes (length NumNets).
+// Lane k of the result is bit-identical to EvalInto on pattern k, which
+// the differential and fuzz suites in internal/faultsim and this
+// package enforce.
+func (cc *CompiledCircuit) EvalPacked(in []PackedVec, vals []PackedVec) []PackedVec {
+	for i, id := range cc.InputID {
+		vals[id] = in[i].Canon()
+	}
+	for _, gi := range cc.Order {
+		vals[cc.GateOut[gi]] = cc.EvalGatePlanes(gi, vals)
+	}
+	return vals
+}
+
+// Cone returns the structural fanout cone of gate gi — every gate a
+// value change at gi's output can reach, excluding gi itself, in
+// topological evaluation order. Built lazily for all gates at once and
+// cached (the packed engine walks cones instead of scheduling a heap:
+// with 64 lanes in flight nearly the whole cone is active anyway).
+func (cc *CompiledCircuit) Cone(gi int) []int {
+	cc.conesOnce.Do(func() {
+		n := len(cc.C.Gates)
+		cc.cones = make([][]int, n)
+		mark := make([]int, n)
+		for i := range mark {
+			mark[i] = -1
+		}
+		for seed := 0; seed < n; seed++ {
+			var cone []int
+			stack := append([]int(nil), cc.Fanouts[cc.GateOut[seed]]...)
+			for len(stack) > 0 {
+				g := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if mark[g] == seed || g == seed {
+					continue
+				}
+				mark[g] = seed
+				cone = append(cone, g)
+				stack = append(stack, cc.Fanouts[cc.GateOut[g]]...)
+			}
+			sort.Slice(cone, func(a, b int) bool { return cc.Pos[cone[a]] < cc.Pos[cone[b]] })
+			cc.cones[seed] = cone
+		}
+	})
+	return cc.cones[gi]
+}
+
+// EvalGatePlanes evaluates one gate across all 64 lanes from the net
+// planes.
+func (cc *CompiledCircuit) EvalGatePlanes(gi int, vals []PackedVec) PackedVec {
+	var in [3]PackedVec
+	fin := cc.Fanin[gi]
+	for k, nid := range fin {
+		in[k] = vals[nid]
+	}
+	return EvalKindPacked(cc.Kinds[gi], cc.LUT[gi], in[:len(fin)])
 }

@@ -1,0 +1,209 @@
+package logic
+
+import (
+	"math/bits"
+
+	"cpsinw/internal/gates"
+)
+
+// Bit-parallel ternary simulation (parallel-pattern single-fault
+// propagation, PPSFP): 64 ternary patterns are packed into two bitplane
+// words per net, and every gate evaluates all 64 lanes with a handful of
+// word operations. The encoding is canonical — a lane's value bit is
+// only set when its known bit is — so two planes are ternary-equal
+// exactly when the structs are equal.
+
+// PackedVec holds 64 ternary lanes as two bitplanes: lane k is X when
+// Known bit k is clear, otherwise 0/1 per the Val bit. The canonical
+// form keeps Val a subset of Known; Canon restores it for planes built
+// from arbitrary words.
+type PackedVec struct {
+	Val   uint64
+	Known uint64
+}
+
+// Canon clears value bits of unknown lanes, restoring the canonical
+// encoding (ternary-equal planes compare equal as structs).
+func (p PackedVec) Canon() PackedVec {
+	p.Val &= p.Known
+	return p
+}
+
+// Get returns lane k's ternary value.
+func (p PackedVec) Get(k int) V {
+	if p.Known>>uint(k)&1 == 0 {
+		return LX
+	}
+	if p.Val>>uint(k)&1 == 1 {
+		return L1
+	}
+	return L0
+}
+
+// WithLane returns the plane with lane k set to v (canonical).
+func (p PackedVec) WithLane(k int, v V) PackedVec {
+	bit := uint64(1) << uint(k)
+	switch v {
+	case L0:
+		p.Val &^= bit
+		p.Known |= bit
+	case L1:
+		p.Val |= bit
+		p.Known |= bit
+	default:
+		p.Val &^= bit
+		p.Known &^= bit
+	}
+	return p
+}
+
+// ConstPacked broadcasts one ternary value to all 64 lanes.
+func ConstPacked(v V) PackedVec {
+	switch v {
+	case L0:
+		return PackedVec{Val: 0, Known: ^uint64(0)}
+	case L1:
+		return PackedVec{Val: ^uint64(0), Known: ^uint64(0)}
+	}
+	return PackedVec{}
+}
+
+// PackVec packs up to 64 ternary values, lane k from vs[k]; lanes
+// beyond len(vs) are X.
+func PackVec(vs []V) PackedVec {
+	var p PackedVec
+	for k, v := range vs {
+		p = p.WithLane(k, v)
+	}
+	return p
+}
+
+// UnpackVec expands the first n lanes back into ternary values.
+func UnpackVec(p PackedVec, n int) []V {
+	out := make([]V, n)
+	for k := range out {
+		out[k] = p.Get(k)
+	}
+	return out
+}
+
+// EqMask returns the lanes where the two planes hold the same ternary
+// value.
+func EqMask(a, b PackedVec) uint64 {
+	a, b = a.Canon(), b.Canon()
+	return ^((a.Val ^ b.Val) | (a.Known ^ b.Known))
+}
+
+// DefiniteDiffMask returns the lanes where both planes are defined and
+// different — the packed counterpart of a definite good/faulty
+// primary-output mismatch (X never counts).
+func DefiniteDiffMask(a, b PackedVec) uint64 {
+	return (a.Val ^ b.Val) & a.Known & b.Known
+}
+
+// FirstLane returns the lowest set lane of a mask, or 64 when empty.
+func FirstLane(m uint64) int { return bits.TrailingZeros64(m) }
+
+// TernaryLaneMasks decomposes up to 3 input planes into per-digit lane
+// masks: masks[i][d] holds the lanes where input i equals V(d). The
+// three masks of one input partition the 64 lanes.
+func TernaryLaneMasks(in []PackedVec) [3][3]uint64 {
+	var masks [3][3]uint64
+	for i, p := range in {
+		p = p.Canon()
+		masks[i][0] = p.Known &^ p.Val
+		masks[i][1] = p.Val
+		masks[i][2] = ^p.Known
+	}
+	return masks
+}
+
+// EvalLUTPacked evaluates an arbitrary ternary LUT across all 64 lanes
+// by accumulating the lane mask of every LUT entry: extensionally equal
+// to a per-lane scalar lookup, for any table shape (gate LUTs and the
+// per-fault behaviour tables of internal/faultsim alike).
+func EvalLUTPacked(lut GateLUT, in []PackedVec) PackedVec {
+	masks := TernaryLaneMasks(in)
+	var out PackedVec
+	for idx, o := range lut {
+		if o == LX {
+			continue // unknown lanes carry no plane bits (canonical)
+		}
+		m := ^uint64(0)
+		rem := idx
+		for i := range in {
+			m &= masks[i][rem%3]
+			rem /= 3
+		}
+		if m == 0 {
+			continue
+		}
+		out.Known |= m
+		if o == L1 {
+			out.Val |= m
+		}
+	}
+	return out
+}
+
+// EvalKindPacked evaluates one gate kind over packed ternary lanes.
+// The common kinds lower to direct Kleene bitplane formulas (a few word
+// ops per gate instead of a 3^n mask loop); anything else falls back to
+// the generic LUT path. Inputs must be canonical; the output always is.
+// Extensional equality with CompileGateLUT per lane is enforced by the
+// packed property tests and FuzzPackedRoundTrip.
+func EvalKindPacked(kind gates.Kind, lut GateLUT, in []PackedVec) PackedVec {
+	switch kind {
+	case gates.BUF:
+		return in[0]
+	case gates.INV:
+		return PackedVec{Val: in[0].Known &^ in[0].Val, Known: in[0].Known}
+	case gates.NAND2:
+		a, b := in[0], in[1]
+		val := a.Val & b.Val
+		known := a.Known&b.Known | (a.Known &^ a.Val) | (b.Known &^ b.Val)
+		return PackedVec{Val: known &^ val, Known: known}
+	case gates.NAND3:
+		a, b, c := in[0], in[1], in[2]
+		val := a.Val & b.Val & c.Val
+		known := a.Known&b.Known&c.Known |
+			(a.Known &^ a.Val) | (b.Known &^ b.Val) | (c.Known &^ c.Val)
+		return PackedVec{Val: known &^ val, Known: known}
+	case gates.NOR2:
+		a, b := in[0], in[1]
+		val := a.Val | b.Val
+		known := a.Known&b.Known | val
+		return PackedVec{Val: known &^ val, Known: known}
+	case gates.NOR3:
+		a, b, c := in[0], in[1], in[2]
+		val := a.Val | b.Val | c.Val
+		known := a.Known&b.Known&c.Known | val
+		return PackedVec{Val: known &^ val, Known: known}
+	case gates.XOR2:
+		a, b := in[0], in[1]
+		known := a.Known & b.Known
+		return PackedVec{Val: (a.Val ^ b.Val) & known, Known: known}
+	case gates.XOR3:
+		a, b, c := in[0], in[1], in[2]
+		known := a.Known & b.Known & c.Known
+		return PackedVec{Val: (a.Val ^ b.Val ^ c.Val) & known, Known: known}
+	case gates.MAJ3:
+		a, b, c := in[0], in[1], in[2]
+		ones := a.Val&b.Val | b.Val&c.Val | a.Val&c.Val
+		za, zb, zc := a.Known&^a.Val, b.Known&^b.Val, c.Known&^c.Val
+		zeros := za&zb | zb&zc | za&zc
+		return PackedVec{Val: ones, Known: ones | zeros}
+	}
+	return EvalLUTPacked(lut, in)
+}
+
+// EvalGatePacked is the standalone packed evaluation of one gate kind
+// (inputs need not be canonical) — the form the fuzz and property tests
+// compare against the scalar LUT lane by lane.
+func EvalGatePacked(kind gates.Kind, in []PackedVec) PackedVec {
+	canon := make([]PackedVec, len(in))
+	for i, p := range in {
+		canon[i] = p.Canon()
+	}
+	return EvalKindPacked(kind, CompileGateLUT(kind), canon)
+}

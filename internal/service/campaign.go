@@ -92,7 +92,7 @@ func RunCampaign(ctx context.Context, c *logic.Circuit, req CampaignRequest) (*C
 
 	if req.Faults.Bridges {
 		bridges := core.NeighborBridges(c, req.Faults.BridgeWindow)
-		ds, err := sim.RunBridgesContext(ctx, bridges, pats)
+		ds, err := sim.RunBridgesObserved(ctx, bridges, pats, req.Faults.IDDQ)
 		if err != nil {
 			return nil, err
 		}

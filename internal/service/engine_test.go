@@ -6,18 +6,18 @@ import (
 )
 
 // TestCampaignEngineSelection runs the same benchmark campaign through
-// both fault-simulation engines over the wire: both must succeed, tag
-// their report with the engine used, produce identical coverage (the
+// all three fault-simulation engines over the wire: each must succeed,
+// tag its report with the engine used, produce identical coverage (the
 // engines are differentially proven bit-identical), land in distinct
 // cache entries, and show up in the per-engine job counters.
 func TestCampaignEngineSelection(t *testing.T) {
 	_, ts := newTestServer(t)
 	reports := map[string]*CampaignReport{}
 	keys := map[string]string{}
-	for _, engine := range []string{"compiled", "reference"} {
+	for _, engine := range []string{"compiled", "reference", "packed"} {
 		st, code := postCampaign(t, ts, CampaignRequest{
 			Benchmark: "fa_cp",
-			Faults:    FaultConfig{StuckAt: true, Polarity: true, StuckOpen: true, IDDQ: true},
+			Faults:    FaultConfig{StuckAt: true, Polarity: true, StuckOpen: true, Bridges: true, IDDQ: true},
 			Engine:    engine,
 		})
 		if code != http.StatusAccepted {
@@ -36,24 +36,33 @@ func TestCampaignEngineSelection(t *testing.T) {
 		}
 		reports[engine] = &rep
 	}
-	if keys["compiled"] == keys["reference"] {
-		t.Errorf("engine missing from the cache key: both map to %s", keys["compiled"])
+	if keys["compiled"] == keys["reference"] || keys["compiled"] == keys["packed"] || keys["reference"] == keys["packed"] {
+		t.Errorf("engine missing from the cache key: %v", keys)
 	}
-	c, r := reports["compiled"], reports["reference"]
-	if c.StuckAt.Detected != r.StuckAt.Detected ||
-		c.TransistorIDDQ.Detected != r.TransistorIDDQ.Detected ||
-		c.TransistorIDDQ.Percent != r.TransistorIDDQ.Percent {
-		t.Errorf("engines disagree: compiled %+v/%+v vs reference %+v/%+v",
-			c.StuckAt, c.TransistorIDDQ, r.StuckAt, r.TransistorIDDQ)
+	c := reports["compiled"]
+	for _, other := range []string{"reference", "packed"} {
+		r := reports[other]
+		if c.StuckAt.Detected != r.StuckAt.Detected ||
+			c.TransistorIDDQ.Detected != r.TransistorIDDQ.Detected ||
+			c.TransistorIDDQ.Percent != r.TransistorIDDQ.Percent ||
+			c.Bridges.Detected != r.Bridges.Detected ||
+			c.Bridges.ByIDDQ != r.Bridges.ByIDDQ {
+			t.Errorf("engines disagree: compiled %+v/%+v/%+v vs %s %+v/%+v/%+v",
+				c.StuckAt, c.TransistorIDDQ, c.Bridges, other, r.StuckAt, r.TransistorIDDQ, r.Bridges)
+		}
 	}
 
 	var metrics map[string]float64
 	if code := getJSON(t, ts.URL+"/metrics", &metrics); code != http.StatusOK {
 		t.Fatalf("metrics: HTTP %d", code)
 	}
-	if metrics["jobs_engine_compiled"] < 1 || metrics["jobs_engine_reference"] < 1 {
-		t.Errorf("engine job counters = %v compiled / %v reference, want >= 1 each",
-			metrics["jobs_engine_compiled"], metrics["jobs_engine_reference"])
+	if metrics["jobs_engine_compiled"] < 1 || metrics["jobs_engine_reference"] < 1 || metrics["jobs_engine_packed"] < 1 {
+		t.Errorf("engine job counters = %v compiled / %v reference / %v packed, want >= 1 each",
+			metrics["jobs_engine_compiled"], metrics["jobs_engine_reference"], metrics["jobs_engine_packed"])
+	}
+	if metrics["faultsim_packed_fault_runs"] < 1 || metrics["faultsim_packed_bridge_runs"] < 1 {
+		t.Errorf("packed faultsim counters missing: %v fault runs, %v bridge runs",
+			metrics["faultsim_packed_fault_runs"], metrics["faultsim_packed_bridge_runs"])
 	}
 	// The engine counters are process-wide, so only sanity-check shape:
 	// the compiled engine must have run faults and skipped gate evals.

@@ -263,9 +263,12 @@ func (m *Manager) run(job *Job) {
 	job.started = time.Now()
 	job.mu.Unlock()
 
-	if job.req.Engine == "reference" {
+	switch job.req.Engine {
+	case "reference":
 		m.metrics.ReferenceJobs.Add(1)
-	} else {
+	case "packed":
+		m.metrics.PackedJobs.Add(1)
+	default:
 		m.metrics.CompiledJobs.Add(1)
 	}
 	rep, err := runCampaign(ctx, job.circuit, job.req)

@@ -23,10 +23,11 @@ type Metrics struct {
 	Failed    expvar.Int
 	Canceled  expvar.Int
 
-	// Per-engine job accounting: which transistor-fault engine each
+	// Per-engine job accounting: which fault-simulation engine each
 	// executed campaign selected (compiled is the default).
 	CompiledJobs  expvar.Int
 	ReferenceJobs expvar.Int
+	PackedJobs    expvar.Int
 
 	mu      sync.Mutex
 	samples []float64 // job latencies in ms, ring buffer
@@ -97,6 +98,7 @@ func (m *Metrics) Snapshot(queueDepth, workers int, cache *Cache) map[string]int
 		"jobs_canceled":                 m.Canceled.Value(),
 		"jobs_engine_compiled":          m.CompiledJobs.Value(),
 		"jobs_engine_reference":         m.ReferenceJobs.Value(),
+		"jobs_engine_packed":            m.PackedJobs.Value(),
 		"cache_hits":                    hits,
 		"cache_misses":                  misses,
 		"cache_size":                    size,
@@ -110,5 +112,9 @@ func (m *Metrics) Snapshot(queueDepth, workers int, cache *Cache) map[string]int
 		"faultsim_gate_evals_skipped":   es.GateEvalsSkipped,
 		"faultsim_fault_luts_compiled":  es.FaultLUTsCompiled,
 		"faultsim_two_pattern_runs":     es.TwoPatternRuns,
+		"faultsim_packed_fault_runs":    es.PackedFaultRuns,
+		"faultsim_packed_gate_evals":    es.PackedGateEvals,
+		"faultsim_packed_bridge_runs":   es.PackedBridgeRuns,
+		"faultsim_compiled_bridge_runs": es.CompiledBridgeRuns,
 	}
 }

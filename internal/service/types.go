@@ -46,13 +46,13 @@ type CampaignRequest struct {
 	Patterns int   `json:"patterns,omitempty"`
 	Seed     int64 `json:"seed,omitempty"` // random pattern seed (default 1)
 	ATPG     bool  `json:"atpg,omitempty"` // also run the test-generation campaign
-	// Engine selects the transistor-fault simulation engine: "compiled"
-	// (default; ternary LUTs + cone-restricted propagation) or
-	// "reference" (the serial switch-level oracle). The engines are
-	// differentially tested to return identical results, so the choice
-	// only affects speed — but it is kept in the cache key so a
-	// cross-check of one engine against the other's cached report is
-	// always a real re-simulation.
+	// Engine selects the fault-simulation engine: "compiled" (default;
+	// ternary LUTs + cone-restricted propagation), "packed" (bit-parallel
+	// PPSFP: 64 ternary patterns per bitplane word) or "reference" (the
+	// serial switch-level oracle). The engines are differentially tested
+	// to return identical results, so the choice only affects speed —
+	// but it is kept in the cache key so a cross-check of one engine
+	// against another's cached report is always a real re-simulation.
 	Engine string `json:"engine,omitempty"`
 	// Workers and TimeoutMS tune execution without affecting results, so
 	// they are excluded from the cache key.
