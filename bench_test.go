@@ -255,6 +255,7 @@ func BenchmarkTransistorCampaign(b *testing.B) {
 		sim.Engine = engine
 		var last []faultsim.Detection
 		b.ResetTimer()
+		evals0 := engineGateEvals(engine)
 		for i := 0; i < b.N; i++ {
 			ds, err := sim.RunTransistor(faults, patterns, true)
 			if err != nil {
@@ -262,6 +263,7 @@ func BenchmarkTransistorCampaign(b *testing.B) {
 			}
 			last = ds
 		}
+		reportGateEvals(b, engine, evals0)
 		return last
 	}
 
@@ -297,6 +299,7 @@ func BenchmarkBridgeCampaign(b *testing.B) {
 		sim.Engine = engine
 		var last []faultsim.BridgeDetection
 		b.ResetTimer()
+		evals0 := engineGateEvals(engine)
 		for i := 0; i < b.N; i++ {
 			ds, err := sim.RunBridgesObserved(context.Background(), bridges, patterns, true)
 			if err != nil {
@@ -304,6 +307,7 @@ func BenchmarkBridgeCampaign(b *testing.B) {
 			}
 			last = ds
 		}
+		reportGateEvals(b, engine, evals0)
 		return last
 	}
 
@@ -325,6 +329,33 @@ func BenchmarkBridgeCampaign(b *testing.B) {
 			}
 		}
 	}
+}
+
+// engineGateEvals reads the engine-native gate-evaluation counter for
+// one engine from the process-wide faultsim stats. The units differ per
+// engine (scalar LUT lookups, packed 64-lane evaluations, full hooked
+// switch-level maps), so the throughput figures below compare an engine
+// only against itself over time.
+func engineGateEvals(engine faultsim.Engine) uint64 {
+	s := faultsim.ReadEngineStats()
+	switch engine {
+	case faultsim.EngineReference:
+		return s.ReferenceGateEvals
+	case faultsim.EnginePacked:
+		return s.PackedGateEvals
+	default:
+		return s.ConeGateEvals
+	}
+}
+
+// reportGateEvals attaches engine-native gate-evals/sec (and per op) to
+// the benchmark result, from the counter delta across the timed loop.
+func reportGateEvals(b *testing.B, engine faultsim.Engine, evals0 uint64) {
+	delta := engineGateEvals(engine) - evals0
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(delta)/sec, "gate_evals/s")
+	}
+	b.ReportMetric(float64(delta)/float64(b.N), "gate_evals/op")
 }
 
 // BenchmarkSwitchLevelXOR2 times one switch-level evaluation of the XOR2

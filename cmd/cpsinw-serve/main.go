@@ -1,19 +1,30 @@
 // Command cpsinw-serve runs the fault-campaign service: an HTTP/JSON
 // API over the reproduction's fault simulation and ATPG engines with a
-// bounded job queue, a worker pool and a content-addressed result
-// cache.
+// bounded job queue, a worker pool, a content-addressed result cache
+// and full observability (Prometheus metrics, SSE progress streams,
+// per-campaign span traces, pprof).
 //
 // Usage:
 //
-//	cpsinw-serve [-addr :8080] [-workers n] [-queue n] [-cache n] [-job-timeout 60s]
+//	cpsinw-serve [-addr :8080] [-workers n] [-queue n] [-cache n]
+//	             [-job-timeout 60s] [-progress-interval 100ms]
+//	             [-log-level info] [-log-format text]
+//	             [-debug-addr 127.0.0.1:6060]
 //
-// Endpoints:
+// Endpoints (main listener):
 //
-//	POST /v1/campaigns             submit a campaign (netlist or benchmark + fault config)
-//	GET  /v1/campaigns/{id}        job status
-//	GET  /v1/campaigns/{id}/report finished report as JSON
-//	GET  /healthz                  liveness
-//	GET  /metrics                  queue depth, cache hit rate, latency percentiles
+//	POST /v1/campaigns                submit a campaign (netlist or benchmark + fault config)
+//	GET  /v1/campaigns/{id}           job status (includes live progress)
+//	GET  /v1/campaigns/{id}/report    finished report as JSON
+//	GET  /v1/campaigns/{id}/events    SSE progress stream, ends with the terminal state
+//	GET  /v1/campaigns/{id}/trace     per-campaign span tree (stage timings)
+//	GET  /healthz                     readiness: queue depth vs capacity, accepting flag
+//	GET  /metrics                     Prometheus text exposition (?format=json: legacy flat JSON)
+//
+// Debug listener (-debug-addr, loopback only; empty disables):
+//
+//	GET  /debug/pprof/...             net/http/pprof profiles
+//	GET  /debug/vars                  expvar, including the cpsinw metrics snapshot
 package main
 
 import (
@@ -21,13 +32,17 @@ import (
 	"errors"
 	"expvar"
 	"flag"
+	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"cpsinw/internal/obs"
 	"cpsinw/internal/service"
 )
 
@@ -40,13 +55,31 @@ func main() {
 	queue := flag.Int("queue", 64, "bounded submission queue depth")
 	cacheSize := flag.Int("cache", 128, "result cache entries (LRU)")
 	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "per-job deadline")
+	progressEvery := flag.Duration("progress-interval", 100*time.Millisecond,
+		"minimum spacing between streamed progress events (negative: unthrottled)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text (logfmt) or json")
+	debugAddr := flag.String("debug-addr", "127.0.0.1:6060",
+		"debug listener (pprof, expvar); loopback only; empty disables")
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	format, err := obs.ParseFormat(*logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger := obs.New(os.Stderr, level, format).With("service", "cpsinw-serve")
+
 	srv := service.NewServer(service.ManagerConfig{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheSize:  *cacheSize,
-		JobTimeout: *jobTimeout,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheSize:        *cacheSize,
+		JobTimeout:       *jobTimeout,
+		ProgressInterval: *progressEvery,
+		Logger:           logger,
 	})
 	defer srv.Close()
 
@@ -55,22 +88,38 @@ func main() {
 		return mgr.Metrics().Snapshot(mgr.QueueDepth(), mgr.Workers(), mgr.Cache())
 	}))
 
-	mux := http.NewServeMux()
-	mux.Handle("/", srv.Handler())
-	mux.Handle("GET /debug/vars", expvar.Handler())
-
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           obs.AccessLog(logger, srv.Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		if err := requireLoopback(*debugAddr); err != nil {
+			log.Fatal(err)
+		}
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errc <- fmt.Errorf("debug listener: %w", err)
+			}
+		}()
+		logger.Info("debug listener up", "addr", *debugAddr)
+	}
+
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s (workers=%d queue=%d cache=%d)", *addr, mgr.Workers(), *queue, *cacheSize)
+	logger.Info("listening",
+		"addr", *addr, "workers", mgr.Workers(), "queue", *queue, "cache", *cacheSize,
+		"job_timeout", jobTimeout.String(), "progress_interval", progressEvery.String())
 
 	select {
 	case err := <-errc:
@@ -78,10 +127,44 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	log.Print("shutting down")
+	logger.Info("shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "error", err.Error())
 	}
+	if debugSrv != nil {
+		debugSrv.Shutdown(shutCtx)
+	}
+}
+
+// debugMux serves the pprof profile handlers and expvar. It lives on
+// its own listener so profiling endpoints never share the campaign
+// API's exposure.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// requireLoopback refuses a debug address that would expose the pprof
+// and expvar handlers beyond the local machine.
+func requireLoopback(addr string) error {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("-debug-addr %q: %w", addr, err)
+	}
+	if host == "localhost" {
+		return nil
+	}
+	ip := net.ParseIP(host)
+	if ip == nil || !ip.IsLoopback() {
+		return fmt.Errorf("-debug-addr %q is not loopback; profiling endpoints must stay local", addr)
+	}
+	return nil
 }

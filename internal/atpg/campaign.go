@@ -39,6 +39,25 @@ type CampaignResult struct {
 	Untestable                        []core.Fault
 }
 
+// Progress is a per-fault-class snapshot of a running generation
+// campaign: Done counts finished generation attempts in the class
+// (including faults skipped because an earlier vector already dropped
+// them), Covered the class faults covered so far, Untestable the ones
+// given up on, and Vectors the total vector applications the test set
+// requires so far (across all classes). Snapshots are monotone within
+// a class and classes run in order: stuck_at, polarity, channel_break.
+type Progress struct {
+	Class      string
+	Done       int
+	Total      int
+	Covered    int
+	Untestable int
+	Vectors    int
+}
+
+// ProgressFunc receives campaign snapshots; see Options.Progress.
+type ProgressFunc func(Progress)
+
 // Coverage returns the overall covered/targeted ratio in percent.
 func (r *CampaignResult) Coverage() float64 {
 	targeted := r.StuckAtTargeted + r.PolarityTargeted + r.CBSPTargeted + r.CBDPTargeted
@@ -70,6 +89,22 @@ func GenerateContext(ctx context.Context, c *logic.Circuit, faults []core.Fault,
 	sim := faultsim.New(c)
 	sim.Engine = opt.Engine
 
+	// report emits one per-class snapshot after each generation attempt.
+	classUntestable := 0
+	report := func(class string, done, total, covered int) {
+		if opt.Progress == nil {
+			return
+		}
+		opt.Progress(Progress{
+			Class:      class,
+			Done:       done,
+			Total:      total,
+			Covered:    covered,
+			Untestable: classUntestable,
+			Vectors:    res.Set.TotalVectors(),
+		})
+	}
+
 	// --- Line stuck-at faults with fault dropping. ---
 	var saFaults []core.Fault
 	for _, f := range faults {
@@ -79,26 +114,33 @@ func GenerateContext(ctx context.Context, c *logic.Circuit, faults []core.Fault,
 	}
 	res.StuckAtTargeted = len(saFaults)
 	detected := make([]bool, len(saFaults))
+	covered := 0
+	report("stuck_at", 0, len(saFaults), 0)
 	for i, f := range saFaults {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
 		if detected[i] {
+			report("stuck_at", i+1, len(saFaults), covered)
 			continue
 		}
 		pat, ok := GenerateStuckAt(c, f, opt)
 		if !ok {
 			res.Untestable = append(res.Untestable, f)
+			classUntestable++
+			report("stuck_at", i+1, len(saFaults), covered)
 			continue
 		}
 		res.Set.Patterns = append(res.Set.Patterns, pat)
 		// Fault dropping: mark everything the new pattern catches.
 		ds := sim.RunStuckAt(saFaults, []faultsim.Pattern{pat})
 		for j, d := range ds {
-			if d.Detected() {
+			if d.Detected() && !detected[j] {
 				detected[j] = true
+				covered++
 			}
 		}
+		report("stuck_at", i+1, len(saFaults), covered)
 	}
 	for _, d := range detected {
 		if d {
@@ -161,17 +203,22 @@ func GenerateContext(ctx context.Context, c *logic.Circuit, faults []core.Fault,
 		}
 	}
 	markDetected(0, res.Set.Patterns)
+	classUntestable = 0
+	report("polarity", 0, len(polFaults), 0)
 	for i, f := range polFaults {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
 		if polDetected[i] {
 			res.PolarityCovered++
+			report("polarity", i+1, len(polFaults), res.PolarityCovered)
 			continue
 		}
 		t, ok := GeneratePolarity(c, f, opt)
 		if !ok {
 			res.Untestable = append(res.Untestable, f)
+			classUntestable++
+			report("polarity", i+1, len(polFaults), res.PolarityCovered)
 			continue
 		}
 		res.PolarityCovered++
@@ -181,19 +228,28 @@ func GenerateContext(ctx context.Context, c *logic.Circuit, faults []core.Fault,
 			res.Set.Patterns = append(res.Set.Patterns, t.Pattern)
 			markDetected(i+1, res.Set.Patterns[len(res.Set.Patterns)-1:])
 		}
+		report("polarity", i+1, len(polFaults), res.PolarityCovered)
 	}
 
 	// --- Channel breaks. ---
+	var cbFaults []core.Fault
 	for _, f := range faults {
-		if f.Kind != core.FaultChannelBreak {
-			continue
+		if f.Kind == core.FaultChannelBreak {
+			cbFaults = append(cbFaults, f)
 		}
+	}
+	classUntestable = 0
+	report("channel_break", 0, len(cbFaults), 0)
+	for i, f := range cbFaults {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
+		cbCovered := res.CBSPCovered + res.CBDPCovered
 		gi, err := gateIndexByName(c, f.Gate)
 		if err != nil {
 			res.Untestable = append(res.Untestable, f)
+			classUntestable++
+			report("channel_break", i+1, len(cbFaults), cbCovered)
 			continue
 		}
 		if gates.Get(c.Gates[gi].Kind).Class == gates.DynamicPolarity {
@@ -201,6 +257,8 @@ func GenerateContext(ctx context.Context, c *logic.Circuit, faults []core.Fault,
 			plan, ok := GenerateChannelBreakDP(c, f, opt)
 			if !ok {
 				res.Untestable = append(res.Untestable, f)
+				classUntestable++
+				report("channel_break", i+1, len(cbFaults), cbCovered)
 				continue
 			}
 			res.CBDPCovered++
@@ -210,11 +268,14 @@ func GenerateContext(ctx context.Context, c *logic.Circuit, faults []core.Fault,
 			tp, ok := GenerateTwoPattern(c, f, opt)
 			if !ok {
 				res.Untestable = append(res.Untestable, f)
+				classUntestable++
+				report("channel_break", i+1, len(cbFaults), cbCovered)
 				continue
 			}
 			res.CBSPCovered++
 			res.Set.TwoPattern = append(res.Set.TwoPattern, tp)
 		}
+		report("channel_break", i+1, len(cbFaults), res.CBSPCovered+res.CBDPCovered)
 	}
 	return res, nil
 }

@@ -19,6 +19,11 @@ type Options struct {
 	// Engine selects the fault-simulation engine the campaign uses for
 	// fault dropping and verification (default: the compiled engine).
 	Engine faultsim.Engine
+	// Progress, when set, receives a snapshot after every per-fault
+	// generation attempt of GenerateContext. Calls are made from the
+	// generating goroutine; the callback must not call back into the
+	// campaign.
+	Progress ProgressFunc
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,68 @@
+package atpg
+
+import (
+	"testing"
+
+	"cpsinw/internal/core"
+)
+
+// TestCampaignProgress checks the GenerateContext progress stream:
+// every class is announced, Done climbs monotonically by one to Total
+// within each class, and the final class snapshots agree with the
+// returned CampaignResult.
+func TestCampaignProgress(t *testing.T) {
+	c := parse(t, mixedCircuit)
+	faults := core.Universe(c, core.AllFaults())
+
+	var snaps []Progress
+	res := Generate(c, faults, Options{Progress: func(p Progress) {
+		snaps = append(snaps, p)
+	}})
+
+	last := map[string]Progress{}
+	seenOrder := []string{}
+	for _, p := range snaps {
+		prev, seen := last[p.Class]
+		if !seen {
+			seenOrder = append(seenOrder, p.Class)
+			if p.Done != 0 {
+				t.Errorf("%s: first snapshot Done = %d, want 0", p.Class, p.Done)
+			}
+		} else {
+			if p.Done != prev.Done+1 {
+				t.Errorf("%s: Done jumped %d -> %d", p.Class, prev.Done, p.Done)
+			}
+			if p.Covered < prev.Covered || p.Untestable < prev.Untestable || p.Vectors < prev.Vectors {
+				t.Errorf("%s: non-monotone snapshot %+v after %+v", p.Class, p, prev)
+			}
+		}
+		if p.Total != last[p.Class].Total && seen {
+			t.Errorf("%s: Total changed mid-class", p.Class)
+		}
+		last[p.Class] = p
+	}
+	want := []string{"stuck_at", "polarity", "channel_break"}
+	if len(seenOrder) != 3 || seenOrder[0] != want[0] || seenOrder[1] != want[1] || seenOrder[2] != want[2] {
+		t.Fatalf("class order = %v, want %v", seenOrder, want)
+	}
+	for _, class := range want {
+		if p := last[class]; p.Done != p.Total {
+			t.Errorf("%s: final Done = %d, Total = %d", class, p.Done, p.Total)
+		}
+	}
+	if got := last["stuck_at"]; got.Total != res.StuckAtTargeted || got.Covered != res.StuckAtCovered {
+		t.Errorf("stuck_at final %+v disagrees with result (%d targeted, %d covered)",
+			got, res.StuckAtTargeted, res.StuckAtCovered)
+	}
+	if got := last["polarity"]; got.Total != res.PolarityTargeted || got.Covered != res.PolarityCovered {
+		t.Errorf("polarity final %+v disagrees with result (%d targeted, %d covered)",
+			got, res.PolarityTargeted, res.PolarityCovered)
+	}
+	cbCovered := res.CBSPCovered + res.CBDPCovered
+	if got := last["channel_break"]; got.Covered != cbCovered {
+		t.Errorf("channel_break final %+v disagrees with result (%d covered)", got, cbCovered)
+	}
+	if final := snaps[len(snaps)-1]; final.Vectors != res.Set.TotalVectors() {
+		t.Errorf("final Vectors = %d, want %d", final.Vectors, res.Set.TotalVectors())
+	}
+}

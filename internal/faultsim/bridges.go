@@ -22,10 +22,15 @@ type BridgeDetection struct {
 // evaluation iterates the stem override to a fixpoint (the bridged value
 // of each net is computed from the previous iteration's partner value).
 // This is the reference oracle; the compiled and packed paths below are
-// defined to be bit-identical to it.
-func evalBridged(c *logic.Circuit, p Pattern, b core.Bridge) map[string]logic.V {
+// defined to be bit-identical to it. evals, when non-nil, accumulates
+// the full-circuit gate evaluations performed (one circuit pass per
+// fixpoint iteration plus the open-bridge pass).
+func evalBridged(c *logic.Circuit, p Pattern, b core.Bridge, evals *uint64) map[string]logic.V {
 	// Pass 1: plain values (bridge open).
 	vals := c.Eval(map[string]logic.V(p))
+	if evals != nil {
+		*evals += uint64(len(c.Gates))
+	}
 	for iter := 0; iter < 4; iter++ {
 		prev := vals
 		hooks := logic.TernaryHooks{Stem: func(net string, v logic.V) logic.V {
@@ -40,6 +45,9 @@ func evalBridged(c *logic.Circuit, p Pattern, b core.Bridge) map[string]logic.V 
 			return v
 		}}
 		vals = c.EvalHooked(map[string]logic.V(p), hooks)
+		if evals != nil {
+			*evals += uint64(len(c.Gates))
+		}
 		stable := true
 		for _, po := range c.Outputs {
 			if vals[po] != prev[po] {
@@ -99,16 +107,20 @@ func (s *Simulator) RunBridgesObserved(ctx context.Context, bridges []core.Bridg
 
 // runBridgesReference is the hooked-map oracle driver.
 func (s *Simulator) runBridgesReference(ctx context.Context, bridges []core.Bridge, patterns []Pattern, useIDDQ bool) ([]BridgeDetection, error) {
+	sink := s.progressSink("bridges", len(bridges))
 	out := make([]BridgeDetection, len(bridges))
 	goods := make([]map[string]logic.V, len(patterns))
 	for k, p := range patterns {
 		goods[k] = s.C.Eval(map[string]logic.V(p))
 	}
+	sink.add(0, 0, 0, uint64(len(patterns))*uint64(len(s.C.Gates)))
 	for i, b := range bridges {
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
 		out[i] = BridgeDetection{Bridge: b, Pattern: -1}
+		engineStats.referenceBridgeRuns.Add(1)
+		var evals uint64
 		for k, p := range patterns {
 			if useIDDQ && bridgeLeak(goods[k], b) {
 				out[i].Detected = true
@@ -116,7 +128,7 @@ func (s *Simulator) runBridgesReference(ctx context.Context, bridges []core.Brid
 				out[i].Pattern = k
 				break
 			}
-			faulty := evalBridged(s.C, p, b)
+			faulty := evalBridged(s.C, p, b, &evals)
 			if s.outputsDiffer(goods[k], faulty) {
 				out[i].Detected = true
 				out[i].Method = ByOutput
@@ -124,6 +136,8 @@ func (s *Simulator) runBridgesReference(ctx context.Context, bridges []core.Brid
 				break
 			}
 		}
+		engineStats.referenceGateEvals.Add(evals)
+		sink.add(1, b2i(out[i].Detected), 0, evals)
 	}
 	return out, nil
 }
@@ -174,7 +188,7 @@ func (e *bridgeEnds) stemValue(nid int, v logic.V, prev []logic.V) logic.V {
 // the memoized plain baseline, then up to 4 stem-override iterations
 // with the same outputs-stable early exit. vals and prev are scratch
 // buffers; the returned slice is whichever holds the final iteration.
-func (s *Simulator) evalBridgedCompiled(p Pattern, e *bridgeEnds, base, vals, prev []logic.V) []logic.V {
+func (s *Simulator) evalBridgedCompiled(p Pattern, e *bridgeEnds, base, vals, prev []logic.V, evals *uint64) []logic.V {
 	cc := s.compiled()
 	copy(vals, base) // pass 1: bridge open
 	for iter := 0; iter < 4; iter++ {
@@ -191,6 +205,7 @@ func (s *Simulator) evalBridgedCompiled(p Pattern, e *bridgeEnds, base, vals, pr
 			on := cc.GateOut[gi]
 			vals[on] = e.stemValue(on, cc.LUT[gi][cc.GateInputIndex(gi, vals)], prev)
 		}
+		*evals += uint64(len(cc.Order))
 		stable := true
 		for _, po := range cc.OutputID {
 			if vals[po] != prev[po] {
@@ -227,10 +242,12 @@ func bridgeLeakDense(base []logic.V, e *bridgeEnds) bool {
 // the transistor engines' one-lookup skip) lives in the packed engine,
 // the performance path.
 func (s *Simulator) runBridgesCompiled(ctx context.Context, bridges []core.Bridge, patterns []Pattern, useIDDQ bool) ([]BridgeDetection, error) {
+	sink := s.progressSink("bridges", len(bridges))
 	cc := s.compiled()
 	base := s.evalBaselines(patterns)
 	vals := make([]logic.V, cc.NumNets())
 	prev := make([]logic.V, cc.NumNets())
+	sink.add(0, 0, 0, uint64(len(patterns))*uint64(len(s.C.Gates)))
 	out := make([]BridgeDetection, len(bridges))
 	for i, b := range bridges {
 		if err := ctx.Err(); err != nil {
@@ -239,6 +256,7 @@ func (s *Simulator) runBridgesCompiled(ctx context.Context, bridges []core.Bridg
 		out[i] = BridgeDetection{Bridge: b, Pattern: -1}
 		e := s.bridgeEnds(b)
 		engineStats.compiledBridgeRuns.Add(1)
+		var evals uint64
 		for k, p := range patterns {
 			if useIDDQ && bridgeLeakDense(base[k], &e) {
 				out[i].Detected = true
@@ -246,7 +264,7 @@ func (s *Simulator) runBridgesCompiled(ctx context.Context, bridges []core.Bridg
 				out[i].Pattern = k
 				break
 			}
-			faulty := s.evalBridgedCompiled(p, &e, base[k], vals, prev)
+			faulty := s.evalBridgedCompiled(p, &e, base[k], vals, prev, &evals)
 			diff := false
 			for _, po := range cc.OutputID {
 				if definiteDiff(base[k][po], faulty[po]) {
@@ -261,6 +279,8 @@ func (s *Simulator) runBridgesCompiled(ctx context.Context, bridges []core.Bridg
 				break
 			}
 		}
+		engineStats.coneGateEvals.Add(evals)
+		sink.add(1, b2i(out[i].Detected), 0, evals)
 	}
 	return out, nil
 }
@@ -411,7 +431,7 @@ func (s *Simulator) bridgeAffected(e *bridgeEnds, bs *bridgeConeScratch) (gates 
 // the captured response is exactly evalBridged's. Only the affected
 // gate set is re-evaluated per iteration; both plane buffers start as
 // baseline copies so unaffected nets read correctly from either.
-func (s *Simulator) bridgedDiffPacked(pb *packedBase, e *bridgeEnds, lut *bridgeLUT, affected []int, piA, piB int, vals, prev, outPO []logic.PackedVec) uint64 {
+func (s *Simulator) bridgedDiffPacked(pb *packedBase, e *bridgeEnds, lut *bridgeLUT, affected []int, piA, piB int, vals, prev, outPO []logic.PackedVec, evals *uint64) uint64 {
 	cc := s.compiled()
 	copy(vals, pb.vals) // pass 1: bridge open = the good baseline
 	copy(prev, pb.vals)
@@ -428,6 +448,7 @@ func (s *Simulator) bridgedDiffPacked(pb *packedBase, e *bridgeEnds, lut *bridge
 			on := cc.GateOut[gi]
 			vals[on] = e.stemPlane(lut, on, cc.EvalGatePlanes(gi, vals), prev)
 		}
+		*evals += uint64(len(affected))
 		stable := ^uint64(0)
 		for _, po := range cc.OutputID {
 			stable &= logic.EqMask(vals[po], prev[po])
@@ -502,12 +523,14 @@ func exciteMaskPacked(pb *packedBase, e *bridgeEnds, lut *bridgeLUT) uint64 {
 // runBridgesPacked drives the 64-way bridged fixpoint per bridge per
 // chunk.
 func (s *Simulator) runBridgesPacked(ctx context.Context, bridges []core.Bridge, patterns []Pattern, useIDDQ bool) ([]BridgeDetection, error) {
+	sink := s.progressSink("bridges", len(bridges))
 	cc := s.compiled()
 	bases := s.packedBaselines(patterns)
 	vals := make([]logic.PackedVec, cc.NumNets())
 	prev := make([]logic.PackedVec, cc.NumNets())
 	outPO := make([]logic.PackedVec, len(cc.OutputID))
 	bs := newBridgeConeScratch(cc)
+	sink.add(0, 0, 0, uint64(len(bases))*uint64(len(s.C.Gates)))
 	out := make([]BridgeDetection, len(bridges))
 	for i, b := range bridges {
 		if err := ctx.Err(); err != nil {
@@ -519,6 +542,7 @@ func (s *Simulator) runBridgesPacked(ctx context.Context, bridges []core.Bridge,
 		var affected []int // computed lazily: leak-decided bridges never need it
 		piA, piB := -1, -1
 		engineStats.packedBridgeRuns.Add(1)
+		var evals uint64
 		for ci := range bases {
 			pb := &bases[ci]
 			var leak uint64
@@ -535,7 +559,7 @@ func (s *Simulator) runBridgesPacked(ctx context.Context, bridges []core.Bridge,
 				if affected == nil {
 					affected, piA, piB = s.bridgeAffected(&e, bs)
 				}
-				diff = s.bridgedDiffPacked(pb, &e, lut, affected, piA, piB, vals, prev, outPO) & pb.valid
+				diff = s.bridgedDiffPacked(pb, &e, lut, affected, piA, piB, vals, prev, outPO, &evals) & pb.valid
 			}
 			m := leak | diff
 			if m == 0 {
@@ -551,6 +575,8 @@ func (s *Simulator) runBridgesPacked(ctx context.Context, bridges []core.Bridge,
 			out[i].Pattern = pb.start + lane
 			break
 		}
+		engineStats.packedGateEvals.Add(evals)
+		sink.add(1, b2i(out[i].Detected), 0, evals)
 	}
 	return out, nil
 }

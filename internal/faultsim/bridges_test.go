@@ -114,7 +114,7 @@ func TestBridgeOnC17(t *testing.T) {
 		}
 		p := patterns[d.Pattern]
 		good := c.Eval(map[string]logic.V(p))
-		faulty := evalBridged(c, p, d.Bridge)
+		faulty := evalBridged(c, p, d.Bridge, nil)
 		if !sim.outputsDiffer(good, faulty) {
 			t.Errorf("%v: detection not reproducible", d.Bridge)
 		}

@@ -64,44 +64,50 @@ func ParseEngine(s string) (Engine, error) {
 // surfaced by the service /metrics endpoint to quantify what the
 // compiled engine saves over full re-simulation.
 type EngineStats struct {
-	CompiledFaultRuns  uint64 // fault x campaign units through the compiled engine
-	ReferenceFaultRuns uint64 // same through the reference engine
-	ConeGateEvals      uint64 // gate LUT lookups the cone engine performed
-	GateEvalsSkipped   uint64 // gate evaluations avoided vs full re-simulation
-	FaultLUTsCompiled  uint64 // distinct per-fault behaviour tables built
-	TwoPatternRuns     uint64 // fault x pair units through the compiled/packed engines
-	PackedFaultRuns    uint64 // fault x campaign units through the packed engine
-	PackedGateEvals    uint64 // packed gate evaluations (each covers up to 64 lanes)
-	PackedBridgeRuns   uint64 // bridge x campaign units through the packed engine
-	CompiledBridgeRuns uint64 // bridge x campaign units through the compiled engine
+	CompiledFaultRuns   uint64 // fault x campaign units through the compiled engine
+	ReferenceFaultRuns  uint64 // same through the reference engine
+	ConeGateEvals       uint64 // gate LUT lookups the cone engine performed
+	GateEvalsSkipped    uint64 // gate evaluations avoided vs full re-simulation
+	FaultLUTsCompiled   uint64 // distinct per-fault behaviour tables built
+	TwoPatternRuns      uint64 // fault x pair units through the compiled/packed engines
+	PackedFaultRuns     uint64 // fault x campaign units through the packed engine
+	PackedGateEvals     uint64 // packed gate evaluations (each covers up to 64 lanes)
+	PackedBridgeRuns    uint64 // bridge x campaign units through the packed engine
+	CompiledBridgeRuns  uint64 // bridge x campaign units through the compiled engine
+	ReferenceGateEvals  uint64 // hooked-map gate evaluations by the reference oracle
+	ReferenceBridgeRuns uint64 // bridge x campaign units through the reference oracle
 }
 
 var engineStats struct {
-	compiledFaultRuns  atomic.Uint64
-	referenceFaultRuns atomic.Uint64
-	coneGateEvals      atomic.Uint64
-	gateEvalsSkipped   atomic.Uint64
-	faultLUTsCompiled  atomic.Uint64
-	twoPatternRuns     atomic.Uint64
-	packedFaultRuns    atomic.Uint64
-	packedGateEvals    atomic.Uint64
-	packedBridgeRuns   atomic.Uint64
-	compiledBridgeRuns atomic.Uint64
+	compiledFaultRuns   atomic.Uint64
+	referenceFaultRuns  atomic.Uint64
+	coneGateEvals       atomic.Uint64
+	gateEvalsSkipped    atomic.Uint64
+	faultLUTsCompiled   atomic.Uint64
+	twoPatternRuns      atomic.Uint64
+	packedFaultRuns     atomic.Uint64
+	packedGateEvals     atomic.Uint64
+	packedBridgeRuns    atomic.Uint64
+	compiledBridgeRuns  atomic.Uint64
+	referenceGateEvals  atomic.Uint64
+	referenceBridgeRuns atomic.Uint64
 }
 
 // ReadEngineStats snapshots the engine counters.
 func ReadEngineStats() EngineStats {
 	return EngineStats{
-		CompiledFaultRuns:  engineStats.compiledFaultRuns.Load(),
-		ReferenceFaultRuns: engineStats.referenceFaultRuns.Load(),
-		ConeGateEvals:      engineStats.coneGateEvals.Load(),
-		GateEvalsSkipped:   engineStats.gateEvalsSkipped.Load(),
-		FaultLUTsCompiled:  engineStats.faultLUTsCompiled.Load(),
-		TwoPatternRuns:     engineStats.twoPatternRuns.Load(),
-		PackedFaultRuns:    engineStats.packedFaultRuns.Load(),
-		PackedGateEvals:    engineStats.packedGateEvals.Load(),
-		PackedBridgeRuns:   engineStats.packedBridgeRuns.Load(),
-		CompiledBridgeRuns: engineStats.compiledBridgeRuns.Load(),
+		CompiledFaultRuns:   engineStats.compiledFaultRuns.Load(),
+		ReferenceFaultRuns:  engineStats.referenceFaultRuns.Load(),
+		ConeGateEvals:       engineStats.coneGateEvals.Load(),
+		GateEvalsSkipped:    engineStats.gateEvalsSkipped.Load(),
+		FaultLUTsCompiled:   engineStats.faultLUTsCompiled.Load(),
+		TwoPatternRuns:      engineStats.twoPatternRuns.Load(),
+		PackedFaultRuns:     engineStats.packedFaultRuns.Load(),
+		PackedGateEvals:     engineStats.packedGateEvals.Load(),
+		PackedBridgeRuns:    engineStats.packedBridgeRuns.Load(),
+		CompiledBridgeRuns:  engineStats.compiledBridgeRuns.Load(),
+		ReferenceGateEvals:  engineStats.referenceGateEvals.Load(),
+		ReferenceBridgeRuns: engineStats.referenceBridgeRuns.Load(),
 	}
 }
 
@@ -265,9 +271,15 @@ type coneScratch struct {
 
 	// Local eval counters, flushed to the global atomics once per fault
 	// (not per pattern) to keep cross-worker cache-line contention off
-	// the hot path.
-	evals, skipped uint64
+	// the hot path. life accumulates the flushed evals so that
+	// life + evals is a monotone lifetime total the progress sinks can
+	// difference per fault without racing the flush.
+	evals, skipped, life uint64
 }
+
+// lifetimeEvals is the monotone eval count of this scratch (flushed
+// plus pending), used by drivers to attribute per-fault deltas.
+func (sc *coneScratch) lifetimeEvals() uint64 { return sc.life + sc.evals }
 
 func newConeScratch(cc *logic.CompiledCircuit) *coneScratch {
 	return &coneScratch{
@@ -389,6 +401,7 @@ func (sc *coneScratch) propagateCone(gi int, fout logic.V, base []logic.V) bool 
 func (sc *coneScratch) flushStats() {
 	if sc.evals > 0 {
 		engineStats.coneGateEvals.Add(sc.evals)
+		sc.life += sc.evals
 		sc.evals = 0
 	}
 	if sc.skipped > 0 {
@@ -403,6 +416,17 @@ func (sc *coneScratch) flushStats() {
 func (s *Simulator) compiled() *logic.CompiledCircuit {
 	s.ccOnce.Do(func() { s.cc = s.C.Compile() })
 	return s.cc
+}
+
+// EnsureCompiled forces the lazy circuit compilation now, so callers
+// that trace campaign stages can time it as its own step instead of
+// folding it into the first simulation call. It is a no-op for work
+// the reference engine will run (which never compiles) and when the
+// circuit is already compiled.
+func (s *Simulator) EnsureCompiled() {
+	if s.Engine != EngineReference {
+		s.compiled()
+	}
 }
 
 // evalBaselines memoizes the good-circuit dense responses per pattern.
@@ -457,20 +481,32 @@ func (s *Simulator) simulateTransistorFaultCompiled(f core.Fault, patterns []Pat
 
 // runTransistorCompiled is the serial compiled campaign driver.
 func (s *Simulator) runTransistorCompiled(ctx context.Context, faults []core.Fault, patterns []Pattern, useIDDQ bool) ([]Detection, error) {
+	sink := s.progressSink("transistor", len(faults))
 	base := s.evalBaselines(patterns)
 	sc := newConeScratch(s.compiled())
+	sink.add(0, 0, 0, uint64(len(patterns))*uint64(len(s.C.Gates))) // baseline evals
 	out := make([]Detection, len(faults))
 	for i, f := range faults {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		before := sc.lifetimeEvals()
 		d, err := s.simulateTransistorFaultCompiled(f, patterns, base, sc, useIDDQ)
 		if err != nil {
 			return nil, err
 		}
 		out[i] = d
+		sink.add(1, b2i(d.Detected()), b2i(!transistorSimulable(f)), sc.lifetimeEvals()-before)
 	}
 	return out, nil
+}
+
+// b2i is the progress-delta helper: true -> 1.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // runTwoPatternCompiled replays pattern pairs through the stuck-open

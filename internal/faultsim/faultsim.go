@@ -48,6 +48,12 @@ type Simulator struct {
 	// is the compiled LUT/cone engine, EngineReference the serial oracle.
 	Engine Engine
 
+	// Progress, when set, receives monotone per-stage campaign snapshots
+	// from every engine driver (see ProgressFunc for the delivery
+	// contract). Set it before starting a campaign; drivers capture it
+	// once at entry.
+	Progress ProgressFunc
+
 	gateIdx map[string]int // instance name -> index
 
 	ccOnce sync.Once
@@ -90,12 +96,19 @@ func (s *Simulator) RunStuckAt(faults []core.Fault, patterns []Pattern) []Detect
 
 // RunStuckAtContext is RunStuckAt with cooperative cancellation checked
 // once per 64-pattern chunk; on cancellation the detections so far are
-// returned with the context's error.
+// returned with the context's error. Progress is reported per chunk
+// (the sweep is pattern-outer, so Done counts patterns).
 func (s *Simulator) RunStuckAtContext(ctx context.Context, faults []core.Fault, patterns []Pattern) ([]Detection, error) {
 	out := make([]Detection, len(faults))
+	dropped := 0
 	for i, f := range faults {
 		out[i] = Detection{Fault: f, Pattern: -1}
+		if !f.Kind.IsLineFault() {
+			dropped++
+		}
 	}
+	sink := s.progressSink("stuck_at", len(patterns))
+	nGates := uint64(len(s.C.Gates))
 	for base := 0; base < len(patterns); base += 64 {
 		if err := ctx.Err(); err != nil {
 			return out, err
@@ -107,6 +120,8 @@ func (s *Simulator) RunStuckAtContext(ctx context.Context, faults []core.Fault, 
 			valid = (1 << uint(len(chunk))) - 1
 		}
 		good := s.C.EvalPackedHooked(assign, logic.PackedHooks{})
+		chunkEvals := nGates // the good-circuit packed evaluation
+		chunkDetected := 0
 		for i := range out {
 			if out[i].Detected() || !out[i].Fault.Kind.IsLineFault() {
 				continue
@@ -133,6 +148,7 @@ func (s *Simulator) RunStuckAtContext(ctx context.Context, faults []core.Fault, 
 				}
 			}
 			faulty := s.C.EvalPackedHooked(assign, hooks)
+			chunkEvals += nGates
 			var diff uint64
 			for _, po := range s.C.Outputs {
 				diff |= (good[po] ^ faulty[po]) & valid
@@ -140,8 +156,12 @@ func (s *Simulator) RunStuckAtContext(ctx context.Context, faults []core.Fault, 
 			if diff != 0 {
 				out[i].Method = ByOutput
 				out[i].Pattern = base + trailingZeros(diff)
+				chunkDetected++
 			}
 		}
+		// Dropped (non-line) faults are reported once, with the first chunk.
+		sink.add(len(chunk), chunkDetected, dropped, chunkEvals)
+		dropped = 0
 	}
 	return out, nil
 }

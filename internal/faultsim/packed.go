@@ -179,7 +179,11 @@ type packedScratch struct {
 	luts      [16]map[string]*[8]*faultLUT // [kind][transistor][tfault]
 
 	evals, runs uint64 // packed gate evals / fault runs, flushed per campaign
+	life        uint64 // flushed evals, so life + evals is monotone for progress
 }
+
+// lifetimeEvals is the monotone packed-eval count of this scratch.
+func (sc *packedScratch) lifetimeEvals() uint64 { return sc.life + sc.evals }
 
 // packedScratchOf hands out a reusable scratch (the per-net plane and
 // stamp slices dominate the allocation cost of small campaigns).
@@ -287,6 +291,7 @@ func (sc *packedScratch) propagateCone(gi int, fout logic.PackedVec, base []logi
 func (sc *packedScratch) flushStats() {
 	if sc.evals > 0 {
 		engineStats.packedGateEvals.Add(sc.evals)
+		sc.life += sc.evals
 		sc.evals = 0
 	}
 	if sc.runs > 0 {
@@ -388,19 +393,23 @@ func (s *Simulator) simulateTransistorFaultPacked(f core.Fault, bases []packedBa
 
 // runTransistorPacked is the serial packed campaign driver.
 func (s *Simulator) runTransistorPacked(ctx context.Context, faults []core.Fault, patterns []Pattern, useIDDQ bool) ([]Detection, error) {
+	sink := s.progressSink("transistor", len(faults))
 	bases := s.packedBaselines(patterns)
 	sc := s.packedScratchOf()
 	defer s.putPackedScratch(sc)
+	sink.add(0, 0, 0, uint64(len(bases))*uint64(len(s.C.Gates))) // baseline packed evals
 	out := make([]Detection, len(faults))
 	for i, f := range faults {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		before := sc.lifetimeEvals()
 		d, err := s.simulateTransistorFaultPacked(f, bases, sc, useIDDQ)
 		if err != nil {
 			return nil, err
 		}
 		out[i] = d
+		sink.add(1, b2i(d.Detected()), b2i(!transistorSimulable(f)), sc.lifetimeEvals()-before)
 	}
 	return out, nil
 }

@@ -21,6 +21,7 @@ func (s *Simulator) simulateTransistorFault(f core.Fault, patterns []Pattern, go
 		return d, nil // analog-only faults are out of scope here
 	}
 	engineStats.referenceFaultRuns.Add(1)
+	nGates := uint64(len(s.C.Gates))
 	for k, p := range patterns {
 		leak := false
 		hooks, err := s.transistorHooks(f, &leak)
@@ -28,6 +29,7 @@ func (s *Simulator) simulateTransistorFault(f core.Fault, patterns []Pattern, go
 			return d, err
 		}
 		faulty := s.C.EvalHooked(map[string]logic.V(p), hooks)
+		engineStats.referenceGateEvals.Add(nGates)
 		if useIDDQ && leak {
 			d.Method = ByIDDQ
 			d.Pattern = k
@@ -42,15 +44,34 @@ func (s *Simulator) simulateTransistorFault(f core.Fault, patterns []Pattern, go
 	return d, nil
 }
 
+// referenceFaultEvals reconstructs the hooked gate evaluations one
+// reference fault run performed: one full-circuit pass per swept
+// pattern, stopping at the detecting pattern.
+func (s *Simulator) referenceFaultEvals(f core.Fault, d Detection, nPatterns int) uint64 {
+	if !transistorSimulable(f) {
+		return 0
+	}
+	swept := nPatterns
+	if d.Detected() {
+		swept = d.Pattern + 1
+	}
+	return uint64(swept) * uint64(len(s.C.Gates))
+}
+
 // runTransistorSerial is the context-aware serial engine behind both
 // RunTransistor and the single-worker parallel fallback. Cancellation is
 // checked between faults: a fault's pattern sweep is the unit of work.
 func (s *Simulator) runTransistorSerial(ctx context.Context, faults []core.Fault, patterns []Pattern, useIDDQ bool) ([]Detection, error) {
+	sink := s.progressSink("transistor", len(faults))
 	out := make([]Detection, len(faults))
 	goods := make([]map[string]logic.V, len(patterns))
 	for k, p := range patterns {
 		goods[k] = s.C.Eval(map[string]logic.V(p))
 	}
+	// Baseline (good-circuit) evals count toward campaign progress but
+	// not the per-engine faulty-evaluation counters, mirroring the
+	// compiled and packed engines.
+	sink.add(0, 0, 0, uint64(len(patterns))*uint64(len(s.C.Gates)))
 	for i, f := range faults {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -60,6 +81,7 @@ func (s *Simulator) runTransistorSerial(ctx context.Context, faults []core.Fault
 			return nil, err
 		}
 		out[i] = d
+		sink.add(1, b2i(d.Detected()), b2i(!transistorSimulable(f)), s.referenceFaultEvals(f, d, len(patterns)))
 	}
 	return out, nil
 }
@@ -94,9 +116,11 @@ func (s *Simulator) RunTransistorParallel(ctx context.Context, faults []core.Fau
 	// hooked maps for the reference engine, dense baselines for the
 	// compiled engine, packed chunk planes for the packed one (each
 	// worker carries its own scratch).
+	sink := s.progressSink("transistor", len(faults))
 	var goods []map[string]logic.V
 	var base [][]logic.V
 	var packedBases []packedBase
+	baseEvals := uint64(len(patterns)) * uint64(len(s.C.Gates))
 	switch s.Engine {
 	case EngineReference:
 		goods = make([]map[string]logic.V, len(patterns))
@@ -105,9 +129,11 @@ func (s *Simulator) RunTransistorParallel(ctx context.Context, faults []core.Fau
 		}
 	case EnginePacked:
 		packedBases = s.packedBaselines(patterns)
+		baseEvals = uint64(len(packedBases)) * uint64(len(s.C.Gates))
 	default:
 		base = s.evalBaselines(patterns)
 	}
+	sink.add(0, 0, 0, baseEvals)
 
 	out := make([]Detection, len(faults))
 	jobs := make(chan int)
@@ -133,13 +159,19 @@ func (s *Simulator) RunTransistorParallel(ctx context.Context, faults []core.Fau
 				}
 				var d Detection
 				var err error
+				var evals uint64
 				switch s.Engine {
 				case EngineReference:
 					d, err = s.simulateTransistorFault(faults[i], patterns, goods, useIDDQ)
+					evals = s.referenceFaultEvals(faults[i], d, len(patterns))
 				case EnginePacked:
+					before := psc.lifetimeEvals()
 					d, err = s.simulateTransistorFaultPacked(faults[i], packedBases, psc, useIDDQ)
+					evals = psc.lifetimeEvals() - before
 				default:
+					before := sc.lifetimeEvals()
 					d, err = s.simulateTransistorFaultCompiled(faults[i], patterns, base, sc, useIDDQ)
+					evals = sc.lifetimeEvals() - before
 				}
 				if err != nil {
 					mu.Lock()
@@ -150,6 +182,7 @@ func (s *Simulator) RunTransistorParallel(ctx context.Context, faults []core.Fau
 					continue
 				}
 				out[i] = d
+				sink.add(1, b2i(d.Detected()), b2i(!transistorSimulable(faults[i])), evals)
 			}
 			if psc != nil {
 				s.putPackedScratch(psc)

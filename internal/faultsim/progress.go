@@ -1,0 +1,81 @@
+package faultsim
+
+import (
+	"sync"
+
+	"cpsinw/internal/core"
+)
+
+// Progress is a monotone snapshot of one running campaign stage. Done
+// counts completed work units (faults for transistor and bridge
+// campaigns, patterns for the chunked stuck-at sweep); Detected the
+// units that ended in a detection; Dropped the faults skipped without
+// simulation because their kind is out of scope for the stage (line
+// faults handed to a transistor campaign, analog-only kinds). GateEvals
+// counts engine-native gate evaluations attributable to the stage so
+// far — scalar LUT lookups for the compiled engine, packed evaluations
+// (each covering up to 64 pattern lanes) for the packed engine, full
+// hooked-map gate evaluations for the reference oracle — so rates are
+// comparable within an engine, not across engines.
+type Progress struct {
+	Stage     string
+	Done      int
+	Total     int
+	Detected  int
+	Dropped   int
+	GateEvals uint64
+}
+
+// ProgressFunc receives campaign progress snapshots. Invocations are
+// serialized by the simulator (even under RunTransistorParallel) and
+// snapshots are monotone in every field; the callback must not call
+// back into the simulator.
+type ProgressFunc func(Progress)
+
+// progressSink folds concurrent per-unit deltas into monotone
+// snapshots. The callback runs under the sink mutex: delivery order is
+// total, and a slow consumer backpressures the reporting workers
+// instead of reordering or dropping updates. A nil sink is inert, so
+// drivers thread it unconditionally.
+type progressSink struct {
+	mu  sync.Mutex
+	fn  ProgressFunc
+	cur Progress
+}
+
+// progressSink builds the stage sink, emitting an initial zero-done
+// snapshot so consumers learn the stage total before the first unit
+// lands.
+func (s *Simulator) progressSink(stage string, total int) *progressSink {
+	if s.Progress == nil {
+		return nil
+	}
+	ps := &progressSink{fn: s.Progress, cur: Progress{Stage: stage, Total: total}}
+	ps.fn(ps.cur)
+	return ps
+}
+
+// add folds one delta and delivers the resulting snapshot.
+func (ps *progressSink) add(done, detected, dropped int, evals uint64) {
+	if ps == nil {
+		return
+	}
+	ps.mu.Lock()
+	ps.cur.Done += done
+	ps.cur.Detected += detected
+	ps.cur.Dropped += dropped
+	ps.cur.GateEvals += evals
+	snap := ps.cur
+	ps.fn(snap)
+	ps.mu.Unlock()
+}
+
+// transistorSimulable reports whether the transistor campaigns simulate
+// this fault kind at all (the complement is counted as Dropped).
+func transistorSimulable(f core.Fault) bool {
+	if f.Kind.IsLineFault() {
+		return false
+	}
+	_, ok := f.Kind.TFault()
+	return ok
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"net/http"
+	"time"
+)
+
+// statusWriter captures the response code and size while preserving
+// http.Flusher, which the service's SSE streaming depends on.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLog wraps next with structured request logging: one line per
+// request with method, path, status, response bytes, duration and the
+// remote address.
+func AccessLog(l *Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		l.Info("http request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"bytes", sw.bytes,
+			"duration_ms", float64(time.Since(start))/float64(time.Millisecond),
+			"remote", r.RemoteAddr,
+		)
+	})
+}

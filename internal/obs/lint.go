@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// sampleRE matches one exposition sample line: name, optional label
+// block, value, optional timestamp.
+var sampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (NaN|[+-]Inf|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?)( [0-9]+)?$`)
+
+var labelRE = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+
+// LintExposition parses Prometheus text exposition from r and returns
+// the first structural error: malformed sample or comment lines,
+// samples whose family lacks a preceding # TYPE, unknown metric types,
+// duplicate series, counters that can't parse as numbers, histograms
+// with non-cumulative buckets or a missing +Inf bucket, and histogram
+// _count samples that disagree with the +Inf bucket. It is the
+// well-formedness check behind the CI scrape smoke and the exposition
+// tests.
+func LintExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	types := map[string]string{}
+	seen := map[string]bool{}
+	// Per histogram series (family+labels sans "le"): cumulative check.
+	type histState struct {
+		last    float64 // bucket count of the previous le
+		lastLe  float64
+		hasInf  bool
+		infCnt  float64
+		count   float64
+		hasCnt  bool
+		started bool
+	}
+	hists := map[string]*histState{}
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			if len(fields) < 3 {
+				return fmt.Errorf("line %d: malformed %s comment", lineNo, fields[1])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE wants <name> <type>", lineNo)
+				}
+				name, typ := fields[2], fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		name, labelBlock, valStr := m[1], m[2], m[3]
+		labels, err := parseLabels(labelBlock)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if seen[name+labelBlock] {
+			return fmt.Errorf("line %d: duplicate series %s%s", lineNo, name, labelBlock)
+		}
+		seen[name+labelBlock] = true
+
+		base, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, sfx)
+			if trimmed != name && types[trimmed] == "histogram" {
+				base, suffix = trimmed, sfx
+				break
+			}
+		}
+		typ, ok := types[base]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+
+		val, err := parseValue(valStr)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if typ == "counter" && (val < 0 || val != val) {
+			return fmt.Errorf("line %d: counter %s has invalid value %s", lineNo, name, valStr)
+		}
+
+		if typ == "histogram" {
+			key := base + signatureWithout(labels, "le")
+			st := hists[key]
+			if st == nil {
+				st = &histState{}
+				hists[key] = st
+			}
+			switch suffix {
+			case "_bucket":
+				le, hasLe := labels["le"]
+				if !hasLe {
+					return fmt.Errorf("line %d: histogram bucket %s lacks le label", lineNo, name)
+				}
+				if le == "+Inf" {
+					st.hasInf, st.infCnt = true, val
+				} else {
+					b, err := strconv.ParseFloat(le, 64)
+					if err != nil {
+						return fmt.Errorf("line %d: bad le %q", lineNo, le)
+					}
+					if st.started && b <= st.lastLe {
+						return fmt.Errorf("line %d: histogram %s buckets not ascending", lineNo, base)
+					}
+					st.lastLe = b
+				}
+				if st.started && val < st.last {
+					return fmt.Errorf("line %d: histogram %s buckets not cumulative", lineNo, base)
+				}
+				st.last, st.started = val, true
+			case "_count":
+				st.count, st.hasCnt = val, true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, st := range hists {
+		if !st.hasInf {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", key)
+		}
+		if st.hasCnt && st.count != st.infCnt {
+			return fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", key, st.count, st.infCnt)
+		}
+	}
+	return nil
+}
+
+func parseLabels(block string) (map[string]string, error) {
+	out := map[string]string{}
+	if block == "" {
+		return out, nil
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return out, nil
+	}
+	for _, part := range splitLabels(inner) {
+		m := labelRE.FindStringSubmatch(part)
+		if m == nil {
+			return nil, fmt.Errorf("malformed label %q", part)
+		}
+		if _, dup := out[m[1]]; dup {
+			return nil, fmt.Errorf("duplicate label %q", m[1])
+		}
+		out[m[1]] = unescapeLabelValue(m[2])
+	}
+	return out, nil
+}
+
+// splitLabels splits k="v" pairs on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if depth {
+				i++
+			}
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+func unescapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\"`, `"`)
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// signatureWithout renders labels minus one key, canonically sorted.
+func signatureWithout(labels map[string]string, drop string) string {
+	ls := make([]Label, 0, len(labels))
+	for k, v := range labels {
+		if k != drop {
+			ls = append(ls, Label{k, v})
+		}
+	}
+	return signature(ls)
+}

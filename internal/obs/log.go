@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	// levelOff sits above every real level; the nop logger uses it.
+	levelOff
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "off"
+}
+
+// ParseLevel resolves a level name.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (have: debug, info, warn, error)", s)
+}
+
+// Format selects the line encoding.
+type Format int8
+
+const (
+	// FormatText renders logfmt-style key=value lines.
+	FormatText Format = iota
+	// FormatJSON renders one JSON object per line.
+	FormatJSON
+)
+
+// ParseFormat resolves a format name.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "text", "logfmt", "":
+		return FormatText, nil
+	case "json":
+		return FormatJSON, nil
+	}
+	return FormatText, fmt.Errorf("obs: unknown log format %q (have: text, json)", s)
+}
+
+// Logger is a minimal structured leveled logger: every line carries a
+// timestamp, level, message and ordered key=value attributes. With()
+// derives loggers sharing the sink and prepending bound attributes.
+// Safe for concurrent use.
+type Logger struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	level  Level
+	format Format
+	bound  []Label
+	now    func() time.Time
+}
+
+// New builds a logger writing at or above level to w.
+func New(w io.Writer, level Level, format Format) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, level: level, format: format, now: time.Now}
+}
+
+// Nop returns a logger that discards everything.
+func Nop() *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: io.Discard, level: levelOff, format: FormatText, now: time.Now}
+}
+
+// With derives a logger with extra bound attributes (alternating
+// key, value pairs; values are rendered with the same rules as call
+// site attributes).
+func (l *Logger) With(kv ...any) *Logger {
+	d := *l
+	d.bound = append(append([]Label(nil), l.bound...), fields(kv)...)
+	return &d
+}
+
+// Enabled reports whether the level would be written.
+func (l *Logger) Enabled(level Level) bool { return level >= l.level }
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	attrs := fields(kv)
+	ts := l.now().UTC().Format(time.RFC3339Nano)
+	var line []byte
+	switch l.format {
+	case FormatJSON:
+		var sb strings.Builder
+		sb.WriteString(`{"ts":`)
+		sb.Write(jsonValue(ts))
+		sb.WriteString(`,"level":`)
+		sb.Write(jsonValue(level.String()))
+		sb.WriteString(`,"msg":`)
+		sb.Write(jsonValue(msg))
+		for _, a := range append(append([]Label(nil), l.bound...), attrs...) {
+			sb.WriteByte(',')
+			sb.Write(jsonValue(a.Key))
+			sb.WriteByte(':')
+			sb.Write(jsonValue(a.Value))
+		}
+		sb.WriteString("}\n")
+		line = []byte(sb.String())
+	default:
+		var sb strings.Builder
+		sb.WriteString("ts=")
+		sb.WriteString(ts)
+		sb.WriteString(" level=")
+		sb.WriteString(level.String())
+		sb.WriteString(" msg=")
+		sb.WriteString(textValue(msg))
+		for _, a := range append(append([]Label(nil), l.bound...), attrs...) {
+			sb.WriteByte(' ')
+			sb.WriteString(a.Key)
+			sb.WriteByte('=')
+			sb.WriteString(textValue(a.Value))
+		}
+		sb.WriteByte('\n')
+		line = []byte(sb.String())
+	}
+	l.mu.Lock()
+	_, _ = l.w.Write(line)
+	l.mu.Unlock()
+}
+
+// fields folds alternating key, value arguments into labels; a dangling
+// key gets the value "(MISSING)" and non-string keys are stringified,
+// so malformed call sites degrade loudly instead of panicking.
+func fields(kv []any) []Label {
+	if len(kv) == 0 {
+		return nil
+	}
+	out := make([]Label, 0, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		key := fmt.Sprint(kv[i])
+		val := "(MISSING)"
+		if i+1 < len(kv) {
+			val = fmt.Sprint(kv[i+1])
+		}
+		out = append(out, Label{key, val})
+	}
+	return out
+}
+
+// textValue quotes values that would break key=value tokenization.
+func textValue(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+func jsonValue(s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for strings; keep the line well-formed
+		return []byte(`"?"`)
+	}
+	return b
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time {
+	return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+}
+
+func TestLoggerText(t *testing.T) {
+	var sb strings.Builder
+	l := New(&sb, LevelInfo, FormatText)
+	l.now = fixedClock
+	l.Debug("hidden")
+	l.Info("job done", "id", "j1", "dur", 1.5, "msg text", `quote"me`)
+	want := `ts=2026-08-08T12:00:00Z level=info msg="job done" id=j1 dur=1.5 msg text="quote\"me"` + "\n"
+	if sb.String() != want {
+		t.Errorf("got  %q\nwant %q", sb.String(), want)
+	}
+}
+
+func TestLoggerJSON(t *testing.T) {
+	var sb strings.Builder
+	l := New(&sb, LevelDebug, FormatJSON).With("component", "jobs")
+	l.now = fixedClock
+	l.Warn("queue full", "depth", 8)
+	var got map[string]string
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("line not valid JSON: %v\n%s", err, sb.String())
+	}
+	for k, want := range map[string]string{
+		"ts": "2026-08-08T12:00:00Z", "level": "warn", "msg": "queue full",
+		"component": "jobs", "depth": "8",
+	} {
+		if got[k] != want {
+			t.Errorf("%s = %q, want %q", k, got[k], want)
+		}
+	}
+}
+
+func TestLoggerLevelsAndNop(t *testing.T) {
+	var sb strings.Builder
+	l := New(&sb, LevelError, FormatText)
+	l.Info("no")
+	l.Warn("no")
+	l.Error("yes")
+	if n := strings.Count(sb.String(), "\n"); n != 1 {
+		t.Errorf("wrote %d lines, want 1", n)
+	}
+	if !l.Enabled(LevelError) || l.Enabled(LevelWarn) {
+		t.Error("Enabled disagrees with level")
+	}
+	Nop().Error("discarded", "k", "v") // must not panic or write anywhere visible
+}
+
+func TestFieldsDanglingKey(t *testing.T) {
+	var sb strings.Builder
+	l := New(&sb, LevelInfo, FormatText)
+	l.now = fixedClock
+	l.Info("m", "lonely")
+	if !strings.Contains(sb.String(), `lonely=(MISSING)`) {
+		t.Errorf("dangling key not flagged: %q", sb.String())
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if lv, err := ParseLevel("WARN"); err != nil || lv != LevelWarn {
+		t.Errorf("ParseLevel(WARN) = %v, %v", lv, err)
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted junk")
+	}
+	if f, err := ParseFormat("json"); err != nil || f != FormatJSON {
+		t.Errorf("ParseFormat(json) = %v, %v", f, err)
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("ParseFormat accepted junk")
+	}
+}

@@ -1,0 +1,379 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format (version 0.0.4). Families appear in
+// registration order, series within a family in their own registration
+// order, so scrapes are deterministic and can be pinned by golden
+// tests. Registration is idempotent: asking for a name+labels pair that
+// already exists returns the existing instrument.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+type family struct {
+	name, help, typ string
+
+	mu     sync.Mutex
+	order  []string
+	series map[string]series
+}
+
+// series is one labelled instrument inside a family.
+type series interface {
+	write(w io.Writer, name, sig string)
+}
+
+func (r *Registry) family(name, help, typ string) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, typ, f.typ))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, series: map[string]series{}}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// getOrAdd returns the series for the label signature, creating it with
+// mk on first use.
+func (f *family) getOrAdd(labels []Label, mk func() series) series {
+	sig := signature(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[sig]; ok {
+		return s
+	}
+	s := mk()
+	f.series[sig] = s
+	f.order = append(f.order, sig)
+	return s
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count. The int64 return keeps existing
+// comparison sites (and JSON snapshots) simple; counters overflowing
+// int64 are out of scope.
+func (c *Counter) Value() int64 { return int64(c.v.Load()) }
+
+func (c *Counter) write(w io.Writer, name, sig string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, sig, c.v.Load())
+}
+
+// Counter registers (or returns) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	f := r.family(name, help, "counter")
+	return f.getOrAdd(labels, func() series { return &Counter{} }).(*Counter)
+}
+
+// counterFunc is a counter whose value is read from a callback at
+// scrape time (process-wide atomics owned elsewhere). The callback must
+// be monotone.
+type counterFunc func() uint64
+
+func (fn counterFunc) write(w io.Writer, name, sig string) {
+	fmt.Fprintf(w, "%s%s %d\n", name, sig, fn())
+}
+
+// CounterFunc registers a counter series backed by fn; fn must return a
+// monotonically increasing value and be safe for concurrent calls.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	f := r.family(name, help, "counter")
+	f.getOrAdd(labels, func() series { return counterFunc(fn) })
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (negative to decrease).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) write(w io.Writer, name, sig string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, sig, formatFloat(g.Value()))
+}
+
+// Gauge registers (or returns) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	f := r.family(name, help, "gauge")
+	return f.getOrAdd(labels, func() series { return &Gauge{} }).(*Gauge)
+}
+
+// gaugeFunc is a gauge read from a callback at scrape time.
+type gaugeFunc func() float64
+
+func (fn gaugeFunc) write(w io.Writer, name, sig string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, sig, formatFloat(fn()))
+}
+
+// GaugeFunc registers a gauge series backed by fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	f := r.family(name, help, "gauge")
+	f.getOrAdd(labels, func() series { return gaugeFunc(fn) })
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Observations are
+// lock-free; rendering and quantile estimation read the atomics
+// directly, so a scrape concurrent with observations may see a bucket
+// one observation ahead of the sum — the usual Prometheus histogram
+// semantics.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation inside the owning bucket — the standard fixed-bucket
+// estimate. Observations in the +Inf bucket clamp to the largest finite
+// bound; an empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) { // +Inf bucket
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (h.bounds[i]-lo)*frac
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+func (h *Histogram) write(w io.Writer, name, sig string) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(sig, "{"), "}")
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketSig(inner, formatFloat(b)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketSig(inner, "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, sig, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, sig, h.count.Load())
+}
+
+func bucketSig(inner, le string) string {
+	if inner == "" {
+		return `{le="` + le + `"}`
+	}
+	return "{" + inner + `,le="` + le + `"}`
+}
+
+// DefBuckets is a general-purpose latency bucket layout in seconds,
+// 1ms to 60s.
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+
+// Histogram registers (or returns) a histogram series with the given
+// ascending upper bounds (nil: DefBuckets). A trailing +Inf bound is
+// implicit and must not be passed.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+		}
+	}
+	if len(buckets) > 0 && math.IsInf(buckets[len(buckets)-1], +1) {
+		panic(fmt.Sprintf("obs: histogram %q: +Inf bound is implicit", name))
+	}
+	f := r.family(name, help, "histogram")
+	return f.getOrAdd(labels, func() series {
+		bounds := append([]float64(nil), buckets...)
+		return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	}).(*Histogram)
+}
+
+// WritePrometheus renders every family in the text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.mu.Lock()
+		order := append([]string(nil), f.order...)
+		snap := make([]series, len(order))
+		for i, sig := range order {
+			snap[i] = f.series[sig]
+		}
+		f.mu.Unlock()
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for i, s := range snap {
+			s.write(w, f.name, order[i])
+		}
+	}
+}
+
+// signature renders labels as a canonical (sorted) exposition block, ""
+// for no labels.
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if !validLabelName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l.Key))
+		}
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, r := range s {
+		alpha := r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

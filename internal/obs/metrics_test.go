@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact text exposition of a small
+// registry: family ordering, label canonicalization, histogram bucket
+// rendering. A change here is a breaking change for every scraper.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs accepted.")
+	c.Add(3)
+	r.Counter("engine_jobs_total", "Per-engine jobs.", L("engine", "packed")).Inc()
+	r.Counter("engine_jobs_total", "Per-engine jobs.", L("engine", "compiled")).Add(2)
+	g := r.Gauge("queue_depth", "Jobs waiting.")
+	g.Set(4)
+	h := r.Histogram("latency_seconds", "Job latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	want := `# HELP jobs_total Jobs accepted.
+# TYPE jobs_total counter
+jobs_total 3
+# HELP engine_jobs_total Per-engine jobs.
+# TYPE engine_jobs_total counter
+engine_jobs_total{engine="packed"} 1
+engine_jobs_total{engine="compiled"} 2
+# HELP queue_depth Jobs waiting.
+# TYPE queue_depth gauge
+queue_depth 4
+# HELP latency_seconds Job latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 1
+latency_seconds_bucket{le="1"} 2
+latency_seconds_bucket{le="+Inf"} 3
+latency_seconds_sum 5.55
+latency_seconds_count 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if err := LintExposition(strings.NewReader(sb.String())); err != nil {
+		t.Errorf("own exposition fails lint: %v", err)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", L("k", "v"))
+	b := r.Counter("x_total", "x", L("k", "v"))
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	if c := r.Counter("x_total", "x", L("k", "w")); c == a {
+		t.Error("different labels share a counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("type change on re-registration did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g", "g", L("path", `a"b\c`+"\n")).Set(1)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	want := `g{path="a\"b\\c\n"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("escaped label missing: got %q, want to contain %q", sb.String(), want)
+	}
+	if err := LintExposition(strings.NewReader(sb.String())); err != nil {
+		t.Errorf("lint rejects escaped labels: %v", err)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "h", []float64{10, 20, 40})
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", q)
+	}
+	// 10 observations in (10, 20]: p50 interpolates inside that bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	if q := h.Quantile(0.5); q < 10 || q > 20 {
+		t.Errorf("p50 = %v, want within (10, 20]", q)
+	}
+	h.Observe(1000) // +Inf bucket clamps to the largest finite bound
+	if q := h.Quantile(1); q != 40 {
+		t.Errorf("p100 with overflow = %v, want clamp to 40", q)
+	}
+	if h.Count() != 11 {
+		t.Errorf("count = %d, want 11", h.Count())
+	}
+}
+
+func TestCounterAndGaugeFuncs(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(7)
+	r.CounterFunc("cf_total", "cf", func() uint64 { return n })
+	r.GaugeFunc("gf", "gf", func() float64 { return 2.5 })
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "cf_total 7\n") || !strings.Contains(out, "gf 2.5\n") {
+		t.Errorf("func-backed series missing:\n%s", out)
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":        "orphan 1\n",
+		"bad sample":     "# TYPE x counter\nx{ 1\n",
+		"dup series":     "# TYPE x counter\nx 1\nx 1\n",
+		"negative ctr":   "# TYPE x counter\nx -1\n",
+		"non-cumulative": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"missing +Inf":   "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"count mismatch": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 6\n",
+		"bad type":       "# TYPE x flummox\nx 1\n",
+	}
+	for name, in := range cases {
+		if err := LintExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: lint accepted malformed input", name)
+		}
+	}
+	ok := "# HELP x fine\n# TYPE x counter\nx 1\n\n# some comment\n# TYPE g gauge\ng{a=\"b\"} +Inf\n"
+	if err := LintExposition(strings.NewReader(ok)); err != nil {
+		t.Errorf("lint rejected valid input: %v", err)
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Set(1.5)
+	g.Add(2)
+	g.Add(-0.5)
+	if v := g.Value(); math.Abs(v-3) > 1e-12 {
+		t.Errorf("gauge = %v, want 3", v)
+	}
+}

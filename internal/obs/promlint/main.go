@@ -1,0 +1,35 @@
+// Command promlint validates Prometheus text exposition read from
+// stdin (or the files named as arguments) with obs.LintExposition. It
+// exits non-zero on the first malformed line, so CI can pipe a
+// /metrics scrape through it.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cpsinw/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		if err := obs.LintExposition(os.Stdin); err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: stdin: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, name := range os.Args[1:] {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+			os.Exit(1)
+		}
+		err = obs.LintExposition(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer keeps per-trace (per-campaign) span trees in process: each
+// trace ID owns one root span with nested children. Finished or not,
+// trees stay queryable until evicted; the tracer retains at most
+// maxTraces trees, evicting the oldest.
+//
+// All Span methods are nil-safe no-ops, so instrumented code can thread
+// spans unconditionally and run untraced when no tracer is wired.
+type Tracer struct {
+	mu        sync.Mutex
+	maxTraces int
+	traces    map[string]*Span
+	order     []string
+}
+
+// NewTracer builds a tracer retaining up to maxTraces span trees
+// (default 256 when <= 0).
+func NewTracer(maxTraces int) *Tracer {
+	if maxTraces <= 0 {
+		maxTraces = 256
+	}
+	return &Tracer{maxTraces: maxTraces, traces: map[string]*Span{}}
+}
+
+// Span is one timed operation, possibly with children. The zero End
+// time marks a span still in flight.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    []Label
+	children []*Span
+}
+
+// Start opens (and retains) the root span of a new trace, replacing any
+// existing trace under the same ID.
+func (t *Tracer) Start(trace, name string) *Span {
+	return t.StartAt(trace, name, time.Now())
+}
+
+// StartAt is Start with an explicit start time, for callers that must
+// open the trace retroactively (e.g. after an ID is allocated).
+func (t *Tracer) StartAt(trace, name string, start time.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{name: name, start: start}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.traces[trace]; !exists {
+		t.order = append(t.order, trace)
+	}
+	t.traces[trace] = sp
+	for len(t.order) > t.maxTraces {
+		delete(t.traces, t.order[0])
+		t.order = t.order[1:]
+	}
+	return sp
+}
+
+// Tree snapshots a trace's span tree.
+func (t *Tracer) Tree(trace string) (*SpanTree, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	sp, ok := t.traces[trace]
+	t.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return sp.tree(), true
+}
+
+// Len reports the retained trace count.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.traces)
+}
+
+// Child opens a child span starting now.
+func (s *Span) Child(name string) *Span {
+	return s.ChildAt(name, time.Now())
+}
+
+// ChildAt opens a child span with an explicit start time.
+func (s *Span) ChildAt(name string, start time.Time) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: start}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Record attaches an already-finished child span (for phases timed
+// before the trace existed, like request parsing ahead of ID
+// allocation).
+func (s *Span) Record(name string, start, end time.Time, attrs ...Label) *Span {
+	c := s.ChildAt(name, start)
+	if c != nil {
+		c.attrs = append(c.attrs, attrs...)
+		c.EndAt(end)
+	}
+	return c
+}
+
+// SetAttr attaches one attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Label{key, value})
+	s.mu.Unlock()
+}
+
+// End closes the span now; closing twice keeps the first end time.
+func (s *Span) End() { s.EndAt(time.Now()) }
+
+// EndAt closes the span at the given time.
+func (s *Span) EndAt(t time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = t
+	}
+	s.mu.Unlock()
+}
+
+// Duration reports the span's length so far (to now while open).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// SpanTree is the JSON-able snapshot of a span and its descendants.
+type SpanTree struct {
+	Name       string            `json:"name"`
+	Start      string            `json:"start"`
+	End        string            `json:"end,omitempty"`
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []*SpanTree       `json:"children,omitempty"`
+}
+
+func (s *Span) tree() *SpanTree {
+	s.mu.Lock()
+	node := &SpanTree{
+		Name:  s.name,
+		Start: s.start.UTC().Format(time.RFC3339Nano),
+	}
+	if !s.end.IsZero() {
+		node.End = s.end.UTC().Format(time.RFC3339Nano)
+		node.DurationMS = float64(s.end.Sub(s.start)) / float64(time.Millisecond)
+	} else {
+		node.DurationMS = float64(time.Since(s.start)) / float64(time.Millisecond)
+	}
+	if len(s.attrs) > 0 {
+		node.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			node.Attrs[a.Key] = a.Value
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		node.Children = append(node.Children, c.tree())
+	}
+	return node
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTracerTree(t *testing.T) {
+	tr := NewTracer(4)
+	t0 := time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC)
+	root := tr.StartAt("job-1", "campaign", t0)
+	root.Record("parse", t0, t0.Add(2*time.Millisecond), L("circuit", "c17"))
+	sim := root.ChildAt("simulate", t0.Add(2*time.Millisecond))
+	sim.ChildAt("stuck_at", t0.Add(2*time.Millisecond)).EndAt(t0.Add(5 * time.Millisecond))
+	sim.EndAt(t0.Add(5 * time.Millisecond))
+	root.SetAttr("engine", "compiled")
+	root.EndAt(t0.Add(6 * time.Millisecond))
+	root.EndAt(t0.Add(99 * time.Millisecond)) // second end ignored
+
+	tree, ok := tr.Tree("job-1")
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	if tree.Name != "campaign" || tree.DurationMS != 6 {
+		t.Errorf("root = %q %vms, want campaign 6ms", tree.Name, tree.DurationMS)
+	}
+	if tree.Attrs["engine"] != "compiled" {
+		t.Errorf("root attrs = %v", tree.Attrs)
+	}
+	if len(tree.Children) != 2 || tree.Children[0].Name != "parse" || tree.Children[1].Name != "simulate" {
+		t.Fatalf("children = %+v", tree.Children)
+	}
+	if tree.Children[0].Attrs["circuit"] != "c17" || tree.Children[0].DurationMS != 2 {
+		t.Errorf("parse span = %+v", tree.Children[0])
+	}
+	if len(tree.Children[1].Children) != 1 || tree.Children[1].Children[0].Name != "stuck_at" {
+		t.Errorf("simulate children = %+v", tree.Children[1].Children)
+	}
+}
+
+func TestTracerEviction(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Start("a", "a")
+	tr.Start("b", "b")
+	tr.Start("c", "c")
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tr.Len())
+	}
+	if _, ok := tr.Tree("a"); ok {
+		t.Error("oldest trace not evicted")
+	}
+	if _, ok := tr.Tree("c"); !ok {
+		t.Error("newest trace missing")
+	}
+	// Restarting an ID replaces the tree without growing the order list.
+	tr.Start("c", "c2")
+	if tree, _ := tr.Tree("c"); tree.Name != "c2" {
+		t.Errorf("restarted trace = %q, want c2", tree.Name)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("len after restart = %d, want 2", tr.Len())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x", "x")
+	if sp != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	// none of these may panic
+	sp.Child("c").SetAttr("k", "v")
+	sp.Record("r", time.Now(), time.Now())
+	sp.End()
+	if d := sp.Duration(); d != 0 {
+		t.Errorf("nil span duration = %v", d)
+	}
+	if _, ok := tr.Tree("x"); ok {
+		t.Error("nil tracer has trees")
+	}
+	if tr.Len() != 0 {
+		t.Error("nil tracer non-empty")
+	}
+}

@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"cpsinw/internal/atpg"
 	"cpsinw/internal/core"
 	"cpsinw/internal/faultsim"
 	"cpsinw/internal/logic"
+	"cpsinw/internal/obs"
 	"cpsinw/internal/report"
 )
 
@@ -35,18 +37,91 @@ func BuildPatterns(c *logic.Circuit, n int, seed int64) []faultsim.Pattern {
 	return out
 }
 
+// RunObserver threads observability into one campaign execution. Every
+// field is optional; a nil observer (or nil fields) runs the campaign
+// unobserved at full speed.
+type RunObserver struct {
+	// Span is the parent span; each campaign stage becomes a child.
+	Span *obs.Span
+	// Progress receives live snapshots from the simulation and ATPG
+	// stages. Calls are serialized; the callback must not re-enter the
+	// campaign.
+	Progress func(JobProgress)
+	// OnStage receives each finished stage's wall-clock duration.
+	OnStage func(stage string, d time.Duration)
+}
+
+// stage opens one observed campaign stage under parent; the returned
+// func closes the span and reports the duration.
+func (ro *RunObserver) stage(parent *obs.Span, name string) (*obs.Span, func()) {
+	sp := parent.Child(name)
+	start := time.Now()
+	return sp, func() {
+		sp.End()
+		if ro.OnStage != nil {
+			ro.OnStage(name, time.Since(start))
+		}
+	}
+}
+
 // RunCampaign executes one normalized campaign request against the
 // batch engines, honouring the context between phases and inside the
 // parallel transistor simulation and the ATPG generators.
 func RunCampaign(ctx context.Context, c *logic.Circuit, req CampaignRequest) (*CampaignReport, error) {
+	return RunCampaignObserved(ctx, c, req, nil)
+}
+
+// RunCampaignObserved is RunCampaign with per-stage span tracing and
+// live progress reporting. Stages (and their span names) are: patterns,
+// compile, simulate (with per-fault-class children), report; request
+// parsing happens before the campaign and is recorded by the job
+// manager.
+func RunCampaignObserved(ctx context.Context, c *logic.Circuit, req CampaignRequest, ro *RunObserver) (*CampaignReport, error) {
+	if ro == nil {
+		ro = &RunObserver{}
+	}
 	start := time.Now()
-	pats := BuildPatterns(c, req.Patterns, req.Seed)
+
 	engine, err := faultsim.ParseEngine(req.Engine)
 	if err != nil {
 		return nil, err
 	}
+
+	patSpan, patDone := ro.stage(ro.Span, "patterns")
+	pats := BuildPatterns(c, req.Patterns, req.Seed)
+	patSpan.SetAttr("count", strconv.Itoa(len(pats)))
+	patDone()
+
 	sim := faultsim.New(c)
 	sim.Engine = engine
+
+	// The stage the simulator progress callback attributes snapshots
+	// to: the simulator names its own stages, but the voltage-only and
+	// +IDDQ transistor sweeps both run under its "transistor" stage and
+	// only the campaign can tell them apart. faultCount is the stage's
+	// targeted fault universe, the coverage denominator (the stuck-at
+	// sweep progresses per pattern, so its Done/Total are not fault
+	// counts).
+	currentStage := ""
+	faultCount := 0
+	if ro.Progress != nil {
+		sim.Progress = func(p faultsim.Progress) {
+			ro.Progress(JobProgress{
+				Stage:     currentStage,
+				Done:      p.Done,
+				Total:     p.Total,
+				Detected:  p.Detected,
+				Dropped:   p.Dropped,
+				Faults:    faultCount,
+				GateEvals: p.GateEvals,
+			})
+		}
+	}
+
+	_, compileDone := ro.stage(ro.Span, "compile")
+	sim.EnsureCompiled()
+	compileDone()
+
 	stats := c.Statistics()
 	rep := &CampaignReport{
 		Circuit: CircuitInfo{
@@ -60,12 +135,17 @@ func RunCampaign(ctx context.Context, c *logic.Circuit, req CampaignRequest) (*C
 		Engine:   engine.String(),
 	}
 
+	simSpan, simDone := ro.stage(ro.Span, "simulate")
+
 	if req.Faults.StuckAt {
 		faults := core.Universe(c, core.ClassicalOnly())
+		currentStage, faultCount = "stuck_at", len(faults)
+		_, done := ro.stage(simSpan, "stuck_at")
 		ds, err := sim.RunStuckAtContext(ctx, faults, pats)
 		if err != nil {
 			return nil, err
 		}
+		done()
 		rep.StuckAt = coverageJSON(faultsim.Summarise(ds))
 	}
 
@@ -76,26 +156,35 @@ func RunCampaign(ctx context.Context, c *logic.Circuit, req CampaignRequest) (*C
 	}
 	if uopt.ChannelBreak || uopt.StuckOn || uopt.Polarity {
 		trFaults := core.Universe(c, uopt)
+		currentStage, faultCount = "transistor", len(trFaults)
+		_, done := ro.stage(simSpan, "transistor")
 		ds, err := sim.RunTransistorParallel(ctx, trFaults, pats, false, req.Workers)
 		if err != nil {
 			return nil, err
 		}
+		done()
 		rep.Transistor = coverageJSON(faultsim.Summarise(ds))
 		if req.Faults.IDDQ {
+			currentStage = "transistor_iddq"
+			_, done := ro.stage(simSpan, "transistor_iddq")
 			ds, err = sim.RunTransistorParallel(ctx, trFaults, pats, true, req.Workers)
 			if err != nil {
 				return nil, err
 			}
+			done()
 			rep.TransistorIDDQ = coverageJSON(faultsim.Summarise(ds))
 		}
 	}
 
 	if req.Faults.Bridges {
 		bridges := core.NeighborBridges(c, req.Faults.BridgeWindow)
+		currentStage, faultCount = "bridges", len(bridges)
+		_, done := ro.stage(simSpan, "bridges")
 		ds, err := sim.RunBridgesObserved(ctx, bridges, pats, req.Faults.IDDQ)
 		if err != nil {
 			return nil, err
 		}
+		done()
 		rep.Bridges = coverageJSON(faultsim.BridgeCoverage(ds))
 	}
 
@@ -103,10 +192,27 @@ func RunCampaign(ctx context.Context, c *logic.Circuit, req CampaignRequest) (*C
 		genOpt := uopt
 		genOpt.LineStuckAt = req.Faults.StuckAt
 		universe := core.Universe(c, genOpt)
-		res, err := atpg.GenerateContext(ctx, c, universe, atpg.Options{Engine: engine})
+		atpgOpt := atpg.Options{Engine: engine}
+		if ro.Progress != nil {
+			atpgOpt.Progress = func(p atpg.Progress) {
+				ro.Progress(JobProgress{
+					Stage:      "atpg",
+					Class:      p.Class,
+					Done:       p.Done,
+					Total:      p.Total,
+					Detected:   p.Covered,
+					Faults:     p.Total,
+					Untestable: p.Untestable,
+					Vectors:    p.Vectors,
+				})
+			}
+		}
+		_, done := ro.stage(simSpan, "atpg")
+		res, err := atpg.GenerateContext(ctx, c, universe, atpgOpt)
 		if err != nil {
 			return nil, err
 		}
+		done()
 		rep.ATPG = &ATPGJSON{
 			StuckAtTargeted:  res.StuckAtTargeted,
 			StuckAtCovered:   res.StuckAtCovered,
@@ -121,8 +227,11 @@ func RunCampaign(ctx context.Context, c *logic.Circuit, req CampaignRequest) (*C
 			Untestable:       len(res.Untestable),
 		}
 	}
+	simDone()
 
+	_, reportDone := ro.stage(ro.Span, "report")
 	rep.Tables = buildTables(rep)
+	reportDone()
 	rep.ElapsedMS = time.Since(start).Milliseconds()
 	return rep, nil
 }

@@ -53,7 +53,7 @@ func TestCampaignEngineSelection(t *testing.T) {
 	}
 
 	var metrics map[string]float64
-	if code := getJSON(t, ts.URL+"/metrics", &metrics); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/metrics?format=json", &metrics); code != http.StatusOK {
 		t.Fatalf("metrics: HTTP %d", code)
 	}
 	if metrics["jobs_engine_compiled"] < 1 || metrics["jobs_engine_reference"] < 1 || metrics["jobs_engine_packed"] < 1 {

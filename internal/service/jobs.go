@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cpsinw/internal/logic"
+	"cpsinw/internal/obs"
 )
 
 // ErrQueueFull is returned by Submit when the bounded queue cannot
@@ -20,8 +22,13 @@ var ErrQueueFull = errors.New("service: job queue full")
 var ErrClosed = errors.New("service: manager closed")
 
 // runCampaign is the worker's execution function, a seam for tests that
-// need deterministic blocking or cancellation.
-var runCampaign = RunCampaign
+// need deterministic blocking, cancellation or synthetic progress.
+var runCampaign = RunCampaignObserved
+
+// subscriberBuffer is the per-subscriber event channel depth; a slow
+// consumer drops intermediate frames (each frame is a full snapshot)
+// and always receives the terminal state via channel close.
+const subscriberBuffer = 64
 
 // Job is one campaign submission moving through the queue.
 type Job struct {
@@ -36,6 +43,17 @@ type Job struct {
 	finished time.Time
 	report *CampaignReport
 
+	// Live observability: the latest progress snapshot, the SSE
+	// subscriber channels, and the broadcast throttle state.
+	progress   *JobProgress
+	subs       []chan JobStatus
+	lastEmit   time.Time
+	stageKey   string
+	stageStart time.Time
+
+	// parse timing from Submit, recorded into the trace by run.
+	parseStart, parseEnd time.Time
+
 	circuit *logic.Circuit
 	req     CampaignRequest
 }
@@ -44,6 +62,10 @@ type Job struct {
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+func (j *Job) statusLocked() JobStatus {
 	return JobStatus{
 		ID:        j.ID,
 		State:     j.state,
@@ -53,6 +75,7 @@ func (j *Job) Status() JobStatus {
 		Submitted: rfc3339(j.submitted),
 		Started:   rfc3339(j.started),
 		Finished:  rfc3339(j.finished),
+		Progress:  j.progress,
 	}
 }
 
@@ -63,6 +86,28 @@ func (j *Job) Report() (*CampaignReport, JobState, string) {
 	return j.report, j.state, j.err
 }
 
+// broadcastLocked delivers one snapshot to every subscriber without
+// blocking: a full consumer misses this frame (every frame is a
+// self-contained snapshot) and learns the terminal state from the
+// channel close. Callers hold j.mu.
+func (j *Job) broadcastLocked(st JobStatus) {
+	for _, ch := range j.subs {
+		select {
+		case ch <- st:
+		default:
+		}
+	}
+}
+
+// closeSubsLocked ends every subscription; buffered frames still drain
+// to the consumers before they observe the close. Callers hold j.mu.
+func (j *Job) closeSubsLocked() {
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+}
+
 // ManagerConfig tunes the job manager.
 type ManagerConfig struct {
 	Workers    int           // worker pool size (default GOMAXPROCS)
@@ -70,6 +115,15 @@ type ManagerConfig struct {
 	CacheSize  int           // LRU result cache entries (default 128)
 	MaxJobs    int           // retained job records; oldest finished are pruned (default 4096)
 	JobTimeout time.Duration // per-job deadline (default 60s)
+
+	// Logger receives structured job lifecycle lines (default: discard).
+	Logger *obs.Logger
+	// ProgressInterval throttles progress broadcasts per job: at most
+	// one frame per interval, plus every stage-completing frame
+	// (default 100ms; negative disables throttling).
+	ProgressInterval time.Duration
+	// MaxTraces bounds the retained span trees (default 256).
+	MaxTraces int
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -88,19 +142,31 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 60 * time.Second
 	}
+	if c.Logger == nil {
+		c.Logger = obs.Nop()
+	}
+	if c.ProgressInterval == 0 {
+		c.ProgressInterval = 100 * time.Millisecond
+	}
 	return c
 }
 
-// Manager owns the queue, the worker pool and the result cache.
+// Manager owns the queue, the worker pool, the result cache and the
+// observability surfaces (metrics registry, span tracer, logger).
 type Manager struct {
 	cfg     ManagerConfig
 	cache   *Cache
 	metrics *Metrics
+	reg     *obs.Registry
+	tracer  *obs.Tracer
+	log     *obs.Logger
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	queue  chan *Job
 	wg     sync.WaitGroup
+
+	subscribers atomic.Int64 // connected SSE event subscribers
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -113,15 +179,20 @@ type Manager struct {
 func NewManager(cfg ManagerConfig) *Manager {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	reg := obs.NewRegistry()
 	m := &Manager{
 		cfg:     cfg,
 		cache:   NewCache(cfg.CacheSize),
-		metrics: &Metrics{},
+		metrics: NewMetrics(reg),
+		reg:     reg,
+		tracer:  obs.NewTracer(cfg.MaxTraces),
+		log:     cfg.Logger,
 		ctx:     ctx,
 		cancel:  cancel,
 		queue:   make(chan *Job, cfg.QueueDepth),
 		jobs:    map[string]*Job{},
 	}
+	registerManagerMetrics(reg, m)
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -131,29 +202,37 @@ func NewManager(cfg ManagerConfig) *Manager {
 
 // Submit validates the request and either answers it from the cache
 // (the job is born terminal, marked as a hit) or enqueues it. Returns
-// ErrQueueFull when the bounded queue is saturated.
+// ErrQueueFull when the bounded queue is saturated. Only accepted
+// submissions count as submitted; rejections increment the rejected
+// counter with their reason.
 func (m *Manager) Submit(req CampaignRequest) (*Job, error) {
+	parseStart := time.Now()
 	norm, circuit, err := req.normalize()
 	if err != nil {
+		m.metrics.RejectedInvalid.Inc()
 		return nil, err
 	}
 	key := CanonicalKey(circuit, norm)
+	parseEnd := time.Now()
+	m.metrics.ObserveStage("parse", parseEnd.Sub(parseStart))
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
+		m.metrics.RejectedClosed.Inc()
 		return nil, ErrClosed
 	}
 	m.seq++
 	job := &Job{
-		ID:        fmt.Sprintf("c-%06d", m.seq),
-		Key:       key,
-		state:     StateQueued,
-		submitted: time.Now(),
-		circuit:   circuit,
-		req:       norm,
+		ID:         fmt.Sprintf("c-%06d", m.seq),
+		Key:        key,
+		state:      StateQueued,
+		submitted:  time.Now(),
+		parseStart: parseStart,
+		parseEnd:   parseEnd,
+		circuit:    circuit,
+		req:        norm,
 	}
-	m.metrics.Submitted.Add(1)
 
 	if rep, ok := m.cache.Get(key); ok {
 		job.cacheHit = true
@@ -164,6 +243,8 @@ func (m *Manager) Submit(req CampaignRequest) (*Job, error) {
 		job.circuit, job.req.Netlist = nil, "" // nothing left to run
 		m.jobs[job.ID] = job
 		m.noteTerminalLocked(job.ID)
+		m.metrics.Submitted.Inc()
+		m.log.Debug("campaign answered from cache", "job", job.ID, "key", job.Key)
 		return job, nil
 	}
 
@@ -171,10 +252,12 @@ func (m *Manager) Submit(req CampaignRequest) (*Job, error) {
 	case m.queue <- job:
 	default:
 		m.seq-- // the rejected job never existed
-		m.metrics.Submitted.Add(-1)
+		m.metrics.RejectedQueueFull.Inc()
 		return nil, ErrQueueFull
 	}
 	m.jobs[job.ID] = job
+	m.metrics.Submitted.Inc()
+	m.log.Debug("campaign queued", "job", job.ID, "engine", job.req.Engine, "key", job.Key)
 	return job, nil
 }
 
@@ -184,6 +267,70 @@ func (m *Manager) Get(id string) (*Job, bool) {
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
 	return j, ok
+}
+
+// Subscribe registers a live event channel on the job. Every frame is a
+// full JobStatus snapshot; the channel closes when the job reaches a
+// terminal state (read the final status from the job afterwards). On an
+// already-terminal job the returned channel is closed immediately. The
+// cancel func is idempotent and must be called to release the
+// subscription.
+func (m *Manager) Subscribe(j *Job) (<-chan JobStatus, func()) {
+	ch := make(chan JobStatus, subscriberBuffer)
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	j.subs = append(j.subs, ch)
+	j.mu.Unlock()
+	m.subscribers.Add(1)
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			j.mu.Lock()
+			for i, c := range j.subs {
+				if c == ch {
+					j.subs = append(j.subs[:i], j.subs[i+1:]...)
+					break
+				}
+			}
+			j.mu.Unlock()
+			m.subscribers.Add(-1)
+		})
+	}
+	return ch, cancel
+}
+
+// noteProgress folds one campaign snapshot into the job: it derives
+// coverage and a per-stage ETA, stores the snapshot for Status, and
+// broadcasts to subscribers under the configured throttle (stage
+// starts and completions always broadcast).
+func (m *Manager) noteProgress(job *Job, p JobProgress) {
+	m.metrics.ProgressEvents.Inc()
+	now := time.Now()
+	if p.Faults > 0 {
+		p.Coverage = 100 * float64(p.Detected) / float64(p.Faults)
+	}
+
+	job.mu.Lock()
+	key := p.Stage + "\x00" + p.Class
+	if key != job.stageKey {
+		job.stageKey = key
+		job.stageStart = now
+	}
+	if p.Done > 0 && p.Done < p.Total {
+		perUnit := now.Sub(job.stageStart).Seconds() / float64(p.Done)
+		p.ETASeconds = perUnit * float64(p.Total-p.Done)
+	}
+	job.progress = &p
+	boundary := p.Done == 0 || (p.Total > 0 && p.Done >= p.Total)
+	if m.cfg.ProgressInterval < 0 || boundary || now.Sub(job.lastEmit) >= m.cfg.ProgressInterval {
+		job.lastEmit = now
+		job.broadcastLocked(job.statusLocked())
+	}
+	job.mu.Unlock()
 }
 
 // noteTerminalLocked records a finished job and prunes the oldest
@@ -207,14 +354,30 @@ func (m *Manager) noteTerminal(id string) {
 // QueueDepth reports the jobs waiting for a worker.
 func (m *Manager) QueueDepth() int { return len(m.queue) }
 
+// QueueCapacity reports the bounded queue size.
+func (m *Manager) QueueCapacity() int { return m.cfg.QueueDepth }
+
 // Metrics exposes the counters for the /metrics handler.
 func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// Registry exposes the metrics registry (Prometheus exposition).
+func (m *Manager) Registry() *obs.Registry { return m.reg }
+
+// Tracer exposes the span tracer (the /trace endpoint).
+func (m *Manager) Tracer() *obs.Tracer { return m.tracer }
 
 // Cache exposes the result cache (read-mostly: stats and keys).
 func (m *Manager) Cache() *Cache { return m.cache }
 
 // Workers reports the pool size.
 func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// Closed reports whether Close has begun.
+func (m *Manager) Closed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
 
 // Close cancels in-flight jobs and stops the workers.
 func (m *Manager) Close() {
@@ -239,8 +402,9 @@ func (m *Manager) worker() {
 			job.err = "service shutting down"
 			job.finished = time.Now()
 			job.circuit, job.req.Netlist = nil, ""
+			job.closeSubsLocked()
 			job.mu.Unlock()
-			m.metrics.Canceled.Add(1)
+			m.metrics.Canceled.Inc()
 			m.noteTerminal(job.ID)
 			continue
 		}
@@ -261,17 +425,35 @@ func (m *Manager) run(job *Job) {
 	job.mu.Lock()
 	job.state = StateRunning
 	job.started = time.Now()
+	job.broadcastLocked(job.statusLocked())
 	job.mu.Unlock()
+
+	// One span tree per executed job, keyed by the job ID. The root
+	// covers submission to completion; parse and queue wait are
+	// recorded retroactively from the timestamps Submit captured.
+	root := m.tracer.StartAt(job.ID, "campaign", job.submitted)
+	root.SetAttr("engine", job.req.Engine)
+	root.SetAttr("key", job.Key)
+	root.Record("parse", job.parseStart, job.parseEnd)
+	root.Record("queued", job.submitted, job.started)
 
 	switch job.req.Engine {
 	case "reference":
-		m.metrics.ReferenceJobs.Add(1)
+		m.metrics.ReferenceJobs.Inc()
 	case "packed":
-		m.metrics.PackedJobs.Add(1)
+		m.metrics.PackedJobs.Inc()
 	default:
-		m.metrics.CompiledJobs.Add(1)
+		m.metrics.CompiledJobs.Inc()
 	}
-	rep, err := runCampaign(ctx, job.circuit, job.req)
+	m.log.Info("campaign started", "job", job.ID, "engine", job.req.Engine)
+
+	observer := &RunObserver{
+		Span:     root,
+		OnStage:  m.metrics.ObserveStage,
+		Progress: func(p JobProgress) { m.noteProgress(job, p) },
+	}
+	rep, err := runCampaign(ctx, job.circuit, job.req, observer)
+	root.End()
 
 	job.mu.Lock()
 	job.finished = time.Now()
@@ -281,20 +463,30 @@ func (m *Manager) run(job *Job) {
 		job.state = StateDone
 		job.report = rep
 		m.cache.Put(job.Key, rep)
-		m.metrics.Completed.Add(1)
+		m.metrics.Completed.Inc()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		job.state = StateCanceled
 		job.err = err.Error()
-		m.metrics.Canceled.Add(1)
+		m.metrics.Canceled.Inc()
 	default:
 		job.state = StateFailed
 		job.err = err.Error()
-		m.metrics.Failed.Add(1)
+		m.metrics.Failed.Inc()
 	}
+	state, errMsg := job.state, job.err
 	// Release the parsed circuit and netlist text: terminal jobs only
-	// serve status and report reads.
+	// serve status and report reads. Subscribers learn the terminal
+	// state from the channel close.
 	job.circuit, job.req.Netlist = nil, ""
+	job.closeSubsLocked()
 	job.mu.Unlock()
 	m.metrics.ObserveLatency(elapsed)
 	m.noteTerminal(job.ID)
+	if state == StateDone {
+		m.log.Info("campaign finished", "job", job.ID, "state", string(state),
+			"duration_ms", float64(elapsed)/float64(time.Millisecond))
+	} else {
+		m.log.Warn("campaign finished", "job", job.ID, "state", string(state), "error", errMsg,
+			"duration_ms", float64(elapsed)/float64(time.Millisecond))
+	}
 }

@@ -10,8 +10,18 @@ import (
 )
 
 // withFakeRunner swaps the worker execution function for the test and
-// restores it afterwards.
+// restores it afterwards (observer-less form; use withObservedRunner
+// when the fake needs to emit progress).
 func withFakeRunner(t *testing.T, fn func(context.Context, *logic.Circuit, CampaignRequest) (*CampaignReport, error)) {
+	t.Helper()
+	withObservedRunner(t, func(ctx context.Context, c *logic.Circuit, req CampaignRequest, _ *RunObserver) (*CampaignReport, error) {
+		return fn(ctx, c, req)
+	})
+}
+
+// withObservedRunner swaps the worker execution function, observer
+// included, and restores it afterwards.
+func withObservedRunner(t *testing.T, fn func(context.Context, *logic.Circuit, CampaignRequest, *RunObserver) (*CampaignReport, error)) {
 	t.Helper()
 	old := runCampaign
 	runCampaign = fn

@@ -23,6 +23,8 @@ func NewServer(cfg ManagerConfig) *Server {
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -84,23 +86,121 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	switch state {
 	case StateDone:
 		writeJSON(w, http.StatusOK, rep)
-	case StateFailed, StateCanceled:
-		writeError(w, http.StatusInternalServerError, fmt.Sprintf("campaign %s: %s", state, errMsg))
+	case StateFailed:
+		// Only an execution failure is a server error.
+		writeStateError(w, http.StatusInternalServerError, state,
+			fmt.Sprintf("campaign %s: %s", state, errMsg))
+	case StateCanceled:
+		// A canceled campaign has no report and never will; the job is
+		// in a well-understood terminal state, so answer 409 with a
+		// machine-readable state instead of pretending a server fault.
+		writeStateError(w, http.StatusConflict, state,
+			fmt.Sprintf("campaign %s: %s", state, errMsg))
 	default:
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusConflict, fmt.Sprintf("campaign still %s", state))
+		writeStateError(w, http.StatusConflict, state, fmt.Sprintf("campaign still %s", state))
 	}
 }
 
+// handleEvents streams job lifecycle and progress snapshots as
+// server-sent events. Frames are named "state" (lifecycle, including
+// the initial snapshot and the guaranteed terminal frame) or
+// "progress"; every data payload is a full JobStatus JSON object. The
+// stream always ends with a terminal-state frame.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch, cancel := s.mgr.Subscribe(job)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	writeEvent := func(name string, st JobStatus) {
+		data, _ := json.Marshal(st)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
+		fl.Flush()
+	}
+
+	st := job.Status()
+	writeEvent("state", st)
+	if st.State.Terminal() {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				// Terminal: the channel closed after the job finished;
+				// the final state comes from the job itself so the
+				// last frame is always terminal.
+				writeEvent("state", job.Status())
+				return
+			}
+			name := "state"
+			if ev.Progress != nil && ev.State == StateRunning {
+				name = "progress"
+			}
+			writeEvent(name, ev)
+		}
+	}
+}
+
+// handleTrace serves the job's span tree. Cache-answered jobs never
+// execute, so they have no trace; evicted traces are also gone.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.mgr.Get(id); !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	tree, ok := s.mgr.Tracer().Tree(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no trace recorded (cache hit, not started, or evicted)")
+		return
+	}
+	writeJSON(w, http.StatusOK, tree)
+}
+
+// handleHealthz reports real readiness: 200 while the manager accepts
+// work, 503 once it is shutting down or the submission queue is
+// saturated (a submission right now would be rejected).
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status":  "ok",
-		"workers": s.mgr.Workers(),
+	depth, capacity := s.mgr.QueueDepth(), s.mgr.QueueCapacity()
+	ready := !s.mgr.Closed() && depth < capacity
+	status, code := "ok", http.StatusOK
+	if !ready {
+		status, code = "unavailable", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]interface{}{
+		"status":         status,
+		"ready":          ready,
+		"workers":        s.mgr.Workers(),
+		"queue_depth":    depth,
+		"queue_capacity": capacity,
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.mgr.Metrics().Snapshot(s.mgr.QueueDepth(), s.mgr.Workers(), s.mgr.Cache()))
+// handleMetrics serves the Prometheus text exposition; the legacy flat
+// JSON form remains available as /metrics?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, s.mgr.Metrics().Snapshot(s.mgr.QueueDepth(), s.mgr.Workers(), s.mgr.Cache()))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.mgr.Registry().WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -113,4 +213,9 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 
 func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// writeStateError is writeError with the job's machine-readable state.
+func writeStateError(w http.ResponseWriter, code int, state JobState, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg, "state": string(state)})
 }

@@ -176,7 +176,7 @@ func TestEndToEndC17PolarityCampaign(t *testing.T) {
 	}
 
 	var metrics map[string]float64
-	if code := getJSON(t, ts.URL+"/metrics", &metrics); code != http.StatusOK {
+	if code := getJSON(t, ts.URL+"/metrics?format=json", &metrics); code != http.StatusOK {
 		t.Fatalf("metrics: HTTP %d", code)
 	}
 	if metrics["cache_hits"] != 1 || metrics["cache_misses"] != 1 {

@@ -183,16 +183,38 @@ func (s JobState) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
-// JobStatus is the GET /v1/campaigns/{id} body.
+// JobProgress is a live snapshot of a running campaign stage, carried
+// in JobStatus and streamed over /v1/campaigns/{id}/events. Done/Total
+// count the stage's work units (faults, or patterns for the chunked
+// stuck-at sweep); Faults is the stage's targeted fault universe (the
+// coverage denominator); GateEvals counts engine-native gate
+// evaluations, so rates compare within an engine, not across engines.
+type JobProgress struct {
+	Stage      string  `json:"stage"`
+	Class      string  `json:"class,omitempty"` // ATPG fault class
+	Done       int     `json:"done"`
+	Total      int     `json:"total"`
+	Detected   int     `json:"detected"`
+	Dropped    int     `json:"dropped,omitempty"`
+	Untestable int     `json:"untestable,omitempty"` // ATPG only
+	Vectors    int     `json:"vectors,omitempty"`    // ATPG only
+	Faults     int     `json:"faults,omitempty"`
+	GateEvals  uint64  `json:"gate_evals,omitempty"`
+	Coverage   float64 `json:"coverage_percent"`
+	ETASeconds float64 `json:"eta_seconds,omitempty"`
+}
+
+// JobStatus is the GET /v1/campaigns/{id} body (and the SSE frame).
 type JobStatus struct {
-	ID        string   `json:"id"`
-	State     JobState `json:"state"`
-	CacheHit  bool     `json:"cache_hit"`
-	Key       string   `json:"key"` // content address of (netlist, config)
-	Error     string   `json:"error,omitempty"`
-	Submitted string   `json:"submitted,omitempty"`
-	Started   string   `json:"started,omitempty"`
-	Finished  string   `json:"finished,omitempty"`
+	ID        string       `json:"id"`
+	State     JobState     `json:"state"`
+	CacheHit  bool         `json:"cache_hit"`
+	Key       string       `json:"key"` // content address of (netlist, config)
+	Error     string       `json:"error,omitempty"`
+	Submitted string       `json:"submitted,omitempty"`
+	Started   string       `json:"started,omitempty"`
+	Finished  string       `json:"finished,omitempty"`
+	Progress  *JobProgress `json:"progress,omitempty"`
 }
 
 func rfc3339(t time.Time) string {

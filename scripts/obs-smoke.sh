@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# obs-smoke.sh — end-to-end observability smoke test.
+#
+# Builds cpsinw-serve (race detector on), boots it, submits a real
+# campaign, follows the SSE stream to its terminal frame, checks
+# /healthz, the trace endpoint and the legacy JSON metrics form, and
+# pipes the final /metrics scrape through the exposition linter. Any
+# malformed exposition line, missing progress frame or non-terminal
+# stream end fails the script. CI runs this as the obs-smoke job.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+addr="127.0.0.1:18080"
+debug="127.0.0.1:16060"
+
+cleanup() {
+    [[ -n "${server_pid:-}" ]] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build (race) =="
+go build -race -o "$workdir/cpsinw-serve" ./cmd/cpsinw-serve
+go build -o "$workdir/promlint" ./internal/obs/promlint
+
+echo "== boot =="
+"$workdir/cpsinw-serve" -addr "$addr" -debug-addr "$debug" \
+    -log-format json -progress-interval 10ms >"$workdir/serve.log" 2>&1 &
+server_pid=$!
+
+for _ in $(seq 1 100); do
+    curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -sf "http://$addr/healthz" | grep -q '"ready": *true' || {
+    echo "server never became ready" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+}
+
+echo "== submit campaign =="
+id=$(curl -sf -X POST "http://$addr/v1/campaigns" \
+    -d '{"benchmark":"mult3","faults":{"stuck_at":true,"polarity":true,"stuck_open":true,"bridges":true,"iddq":true},"atpg":true}' \
+    | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1)
+[[ -n "$id" ]] || { echo "no campaign id in submit response" >&2; exit 1; }
+echo "campaign $id"
+
+echo "== follow SSE to the terminal frame =="
+curl -sN --max-time 60 "http://$addr/v1/campaigns/$id/events" >"$workdir/events.txt"
+grep -q '^event: progress$' "$workdir/events.txt" || {
+    echo "no progress frame streamed" >&2
+    cat "$workdir/events.txt" >&2
+    exit 1
+}
+tail -5 "$workdir/events.txt" | grep -q '"state":"done"' || {
+    echo "stream did not end with a terminal done state" >&2
+    tail -5 "$workdir/events.txt" >&2
+    exit 1
+}
+
+echo "== trace =="
+curl -sf "http://$addr/v1/campaigns/$id/trace" | grep -q '"name": *"campaign"' || {
+    echo "trace endpoint missing the campaign root span" >&2
+    exit 1
+}
+
+echo "== metrics (prometheus + lint) =="
+curl -sf "http://$addr/metrics" >"$workdir/metrics.txt"
+"$workdir/promlint" "$workdir/metrics.txt"
+grep -q '^cpsinw_jobs_completed_total 1$' "$workdir/metrics.txt" || {
+    echo "completed counter missing from the scrape" >&2
+    grep cpsinw_jobs "$workdir/metrics.txt" >&2 || true
+    exit 1
+}
+grep -q 'cpsinw_faultsim_gate_evals_total{engine="compiled"}' "$workdir/metrics.txt" || {
+    echo "per-engine gate-eval counter missing" >&2
+    exit 1
+}
+
+echo "== metrics (legacy json) =="
+curl -sf "http://$addr/metrics?format=json" | grep -q '"jobs_completed": *1' || {
+    echo "legacy JSON metrics missing jobs_completed" >&2
+    exit 1
+}
+
+echo "== pprof debug listener =="
+curl -sf "http://$debug/debug/pprof/" >/dev/null
+curl -sf "http://$debug/debug/vars" | grep -q '"cpsinw"' || {
+    echo "expvar snapshot missing" >&2
+    exit 1
+}
+
+echo "== access log =="
+grep -q '"msg":"http request"' "$workdir/serve.log" || {
+    echo "no structured access-log lines" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+}
+
+echo "obs smoke OK"
