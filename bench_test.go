@@ -358,6 +358,79 @@ func reportGateEvals(b *testing.B, engine faultsim.Engine, evals0 uint64) {
 	b.ReportMetric(float64(delta)/float64(b.N), "gate_evals/op")
 }
 
+// BenchmarkFaultSimScaling is the gates x faults x patterns scaling
+// sweep over the generated corpus: array multipliers at ~100, ~1k and
+// ~10k gates (mult5 / mult16 / mult50, sizes pinned by
+// internal/bench's TestCorpusScales), a fixed 64-fault sample of the
+// CP transistor universe and 64 random patterns, per engine. The fault
+// and pattern budgets are held constant across sizes so the per-op
+// time isolates how each engine's cost grows with gate count;
+// gate_evals/s shows whether the cone restriction and bitplane packing
+// hold their throughput as circuits grow. Dated results live in
+// BENCH_faultsim.json ("scaling" entries). -short keeps only the
+// ~100-gate row (the CI bench-smoke budget):
+//
+//	go test -bench=BenchmarkFaultSimScaling -benchtime=3x
+func BenchmarkFaultSimScaling(b *testing.B) {
+	const nFaults, nPatterns = 64, 64
+	for _, name := range []string{"mult5", "mult16", "mult50"} {
+		if testing.Short() && name != "mult5" {
+			continue
+		}
+		c, err := bench.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		all := core.Universe(c, core.UniverseOptions{
+			ChannelBreak: true, StuckOn: true, Polarity: true,
+		})
+		// Deterministic stride sample: same faults every run, spread
+		// across the whole circuit rather than clustered at its inputs.
+		faults := all
+		if len(all) > nFaults {
+			faults = make([]core.Fault, 0, nFaults)
+			for i := 0; i < nFaults; i++ {
+				faults = append(faults, all[i*len(all)/nFaults])
+			}
+		}
+		patterns := randomPatterns(c, nPatterns)
+
+		results := map[string][]faultsim.Detection{}
+		for _, engine := range []faultsim.Engine{faultsim.EngineReference, faultsim.EngineCompiled, faultsim.EnginePacked} {
+			engine := engine
+			b.Run(fmt.Sprintf("%s/%s", name, engine), func(b *testing.B) {
+				sim := faultsim.New(c)
+				sim.Engine = engine
+				var last []faultsim.Detection
+				b.ResetTimer()
+				evals0 := engineGateEvals(engine)
+				for i := 0; i < b.N; i++ {
+					ds, err := sim.RunTransistor(faults, patterns, true)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = ds
+				}
+				reportGateEvals(b, engine, evals0)
+				b.ReportMetric(float64(c.Statistics().Gates), "gates")
+				results[engine.String()] = last
+			})
+		}
+		ref := results["reference"]
+		for ename, cmp := range results {
+			if len(ref) != len(cmp) {
+				continue // a -bench filter skipped an engine
+			}
+			for i := range ref {
+				if ref[i].Method != cmp[i].Method || ref[i].Pattern != cmp[i].Pattern {
+					b.Fatalf("%s: %s disagrees on %v: (%q, %d) vs (%q, %d)",
+						name, ename, ref[i].Fault, ref[i].Method, ref[i].Pattern, cmp[i].Method, cmp[i].Pattern)
+				}
+			}
+		}
+	}
+}
+
 // BenchmarkSwitchLevelXOR2 times one switch-level evaluation of the XOR2
 // with an injected polarity fault.
 func BenchmarkSwitchLevelXOR2(b *testing.B) {

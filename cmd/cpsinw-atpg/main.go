@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
 	"strings"
 
 	"cpsinw/internal/atpg"
@@ -36,15 +35,10 @@ func main() {
 
 	var c *logic.Circuit
 	if *circuitName != "" {
-		var ok bool
-		c, ok = bench.Suite()[*circuitName]
-		if !ok {
-			names := make([]string, 0)
-			for n := range bench.Suite() {
-				names = append(names, n)
-			}
-			sort.Strings(names)
-			log.Fatalf("unknown benchmark %q; built-ins: %s", *circuitName, strings.Join(names, ", "))
+		var err error
+		c, err = bench.Get(*circuitName)
+		if err != nil {
+			log.Fatal(err)
 		}
 	} else {
 		var err error

@@ -14,9 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"os"
-	"sort"
 
 	"cpsinw/internal/bench"
 	"cpsinw/internal/core"
@@ -24,6 +22,7 @@ import (
 	"cpsinw/internal/faultsim"
 	"cpsinw/internal/logic"
 	"cpsinw/internal/report"
+	"cpsinw/internal/service"
 )
 
 func main() {
@@ -38,13 +37,12 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		names := make([]string, 0)
-		for name := range bench.Suite() {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, n := range names {
+		for _, n := range bench.Names() {
 			fmt.Println(n)
+		}
+		fmt.Println("# parameterized families (any size):")
+		for _, f := range bench.Families() {
+			fmt.Println(f)
 		}
 		return
 	}
@@ -59,11 +57,10 @@ func main() {
 
 	var c *logic.Circuit
 	if *circuitName != "" {
-		suite := bench.Suite()
-		var ok bool
-		c, ok = suite[*circuitName]
-		if !ok {
-			log.Fatalf("unknown benchmark %q (use -list)", *circuitName)
+		var err error
+		c, err = bench.Get(*circuitName)
+		if err != nil {
+			log.Fatalf("%v (use -list)", err)
 		}
 	} else {
 		var err error
@@ -74,7 +71,7 @@ func main() {
 	}
 	fmt.Printf("circuit: %s  %s\n\n", c.Name, c.Statistics())
 
-	pats := buildPatterns(c, *patterns, *seed)
+	pats := service.BuildPatterns(c, *patterns, *seed)
 	sim := faultsim.New(c)
 
 	saFaults := core.Universe(c, core.ClassicalOnly())
@@ -111,20 +108,4 @@ func main() {
 			fmt.Printf("  %v\n", f)
 		}
 	}
-}
-
-func buildPatterns(c *logic.Circuit, n int, seed int64) []faultsim.Pattern {
-	if len(c.Inputs) <= 12 {
-		return faultsim.ExhaustivePatterns(c)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	out := make([]faultsim.Pattern, n)
-	for k := range out {
-		p := faultsim.Pattern{}
-		for _, pi := range c.Inputs {
-			p[pi] = logic.FromBool(rng.Intn(2) == 1)
-		}
-		out[k] = p
-	}
-	return out
 }

@@ -36,10 +36,10 @@ func main() {
 
 	var c *logic.Circuit
 	if *circuitName != "" {
-		var ok bool
-		c, ok = bench.Suite()[*circuitName]
-		if !ok {
-			log.Fatalf("unknown benchmark %q", *circuitName)
+		var err error
+		c, err = bench.Get(*circuitName)
+		if err != nil {
+			log.Fatal(err)
 		}
 	} else {
 		var err error

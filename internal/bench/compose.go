@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"cpsinw/internal/gates"
+	"cpsinw/internal/logic"
+)
+
+// Chip is a hierarchical circuit builder: flat gates plus named
+// instances of complete sub-circuits whose internal nets are namespaced
+// under the instance name ("<inst>.<net>"). It is the composition layer
+// every corpus generator is built on, so a 10k-gate benchmark is a tree
+// of the same verified cells (FullAdderCP, RippleCarryAdder, DecoderN,
+// ...) rather than a bespoke gate soup.
+//
+// Errors accumulate and surface once, from Build; the builder methods
+// are chainable-by-statement without per-call error handling.
+type Chip struct {
+	name    string
+	inputs  []string
+	outputs []string
+	insts   []logic.GateInst
+	errs    []error
+	tmp     int
+}
+
+// NewChip starts an empty chip.
+func NewChip(name string) *Chip { return &Chip{name: name} }
+
+// Input declares primary inputs, in order.
+func (ch *Chip) Input(names ...string) {
+	ch.inputs = append(ch.inputs, names...)
+}
+
+// Output declares primary outputs, in order.
+func (ch *Chip) Output(names ...string) {
+	ch.outputs = append(ch.outputs, names...)
+}
+
+// Gate adds one native-library gate driving out.
+func (ch *Chip) Gate(kind gates.Kind, out string, fanin ...string) {
+	ch.insts = append(ch.insts, logic.GateInst{
+		Name:   fmt.Sprintf("g%d_%s", len(ch.insts), out),
+		Kind:   kind,
+		Fanin:  fanin,
+		Output: out,
+	})
+}
+
+// Instance inlines sub under the given instance name. conn binds the
+// sub-circuit's port names (primary inputs and outputs) to parent nets:
+// every sub input must be bound; sub outputs are bound where mapped and
+// namespaced to "<inst>.<net>" otherwise (as are all internal nets), so
+// sibling instances can never collide. The returned map gives the
+// parent-side net of every sub output.
+func (ch *Chip) Instance(inst string, sub *logic.Circuit, conn map[string]string) map[string]string {
+	rename := make(map[string]string, len(sub.Inputs)+len(sub.Outputs))
+	for _, pi := range sub.Inputs {
+		parent, ok := conn[pi]
+		if !ok {
+			ch.errs = append(ch.errs, fmt.Errorf("instance %s of %s: input %q unbound", inst, sub.Name, pi))
+			parent = inst + "." + pi // keep building; Build reports the error
+		}
+		rename[pi] = parent
+	}
+	outs := make(map[string]string, len(sub.Outputs))
+	for _, po := range sub.Outputs {
+		parent, ok := conn[po]
+		if !ok {
+			parent = inst + "." + po
+		}
+		rename[po] = parent
+		outs[po] = parent
+	}
+	resolve := func(net string) string {
+		if r, ok := rename[net]; ok {
+			return r
+		}
+		return inst + "." + net
+	}
+	for _, g := range sub.Gates {
+		fanin := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			fanin[i] = resolve(f)
+		}
+		ch.insts = append(ch.insts, logic.GateInst{
+			Name:   inst + "." + g.Name,
+			Kind:   g.Kind,
+			Fanin:  fanin,
+			Output: resolve(g.Output),
+		})
+	}
+	return outs
+}
+
+// fresh returns a chip-unique scratch net name. Generators use plain
+// positional names for their own nets; the "~" prefix keeps macro
+// scratch nets out of their namespace.
+func (ch *Chip) fresh() string {
+	ch.tmp++
+	return fmt.Sprintf("~w%d", ch.tmp-1)
+}
+
+// AND drives out with the conjunction of the fanin, decomposed onto the
+// native library (NAND2/NAND3 + NOT tree) like the .bench importer.
+func (ch *Chip) AND(out string, fanin ...string) {
+	ch.reduceNeg(gates.NAND2, gates.NAND3, out, fanin)
+}
+
+// OR drives out with the disjunction (NOR2/NOR3 + NOT tree).
+func (ch *Chip) OR(out string, fanin ...string) {
+	ch.reduceNeg(gates.NOR2, gates.NOR3, out, fanin)
+}
+
+// XOR drives out with the parity of the fanin (XOR2/XOR3 tree).
+func (ch *Chip) XOR(out string, fanin ...string) {
+	for len(fanin) > 3 {
+		fanin = ch.reduceLevel(fanin, func(chunk []string) string {
+			o := ch.fresh()
+			ch.Gate(naryKind(gates.XOR2, gates.XOR3, len(chunk)), o, chunk...)
+			return o
+		})
+	}
+	if len(fanin) == 1 {
+		ch.Gate(gates.BUF, out, fanin[0])
+		return
+	}
+	ch.Gate(naryKind(gates.XOR2, gates.XOR3, len(fanin)), out, fanin...)
+}
+
+// MUX2 drives out with s ? a : b, in native cells:
+// out = NAND(NAND(s, a), NAND(NOT(s), b)).
+func (ch *Chip) MUX2(out, s, a, b string) {
+	sn, na, nb := ch.fresh(), ch.fresh(), ch.fresh()
+	ch.Gate(gates.INV, sn, s)
+	ch.Gate(gates.NAND2, na, s, a)
+	ch.Gate(gates.NAND2, nb, sn, b)
+	ch.Gate(gates.NAND2, out, na, nb)
+}
+
+// reduceNeg builds an AND- or OR-style tree from the inverting k2/k3
+// cells: inner nodes are <neg>+NOT, the root is <neg>+NOT into out.
+func (ch *Chip) reduceNeg(k2, k3 gates.Kind, out string, fanin []string) {
+	node := func(chunk []string) string {
+		m, o := ch.fresh(), ch.fresh()
+		ch.Gate(naryKind(k2, k3, len(chunk)), m, chunk...)
+		ch.Gate(gates.INV, o, m)
+		return o
+	}
+	for len(fanin) > 3 {
+		fanin = ch.reduceLevel(fanin, node)
+	}
+	if len(fanin) == 1 {
+		ch.Gate(gates.BUF, out, fanin[0])
+		return
+	}
+	m := ch.fresh()
+	ch.Gate(naryKind(k2, k3, len(fanin)), m, fanin...)
+	ch.Gate(gates.INV, out, m)
+}
+
+// reduceLevel performs one balanced reduction level, grouping into
+// chunks of 3 and preferring 2+2 over 3+1 at the tail.
+func (ch *Chip) reduceLevel(args []string, node func(chunk []string) string) []string {
+	var next []string
+	for i := 0; i < len(args); {
+		remain := len(args) - i
+		switch {
+		case remain >= 3 && remain != 4:
+			next = append(next, node(args[i:i+3]))
+			i += 3
+		case remain >= 2:
+			next = append(next, node(args[i:i+2]))
+			i += 2
+		default:
+			next = append(next, args[i])
+			i++
+		}
+	}
+	return next
+}
+
+func naryKind(k2, k3 gates.Kind, n int) gates.Kind {
+	if n == 3 {
+		return k3
+	}
+	return k2
+}
+
+// Build validates and returns the composed circuit.
+func (ch *Chip) Build() (*logic.Circuit, error) {
+	if len(ch.errs) > 0 {
+		msgs := make([]string, 0, len(ch.errs))
+		for _, e := range ch.errs {
+			msgs = append(msgs, e.Error())
+		}
+		sort.Strings(msgs)
+		return nil, fmt.Errorf("chip %s: %d composition errors, first: %s", ch.name, len(msgs), msgs[0])
+	}
+	return logic.NewCircuit(ch.name, ch.inputs, ch.outputs, ch.insts)
+}
+
+// MustBuild is Build for generators whose parameters are known-valid;
+// it panics on composition errors (a generator bug, not an input).
+func (ch *Chip) MustBuild() *logic.Circuit {
+	c, err := ch.Build()
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	return c
+}

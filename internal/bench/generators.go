@@ -1,0 +1,327 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cpsinw/internal/gates"
+	"cpsinw/internal/logic"
+)
+
+// This file holds the industrial-scale corpus generators, all built on
+// the Chip composition layer: parameterized multipliers (carry-save and
+// ripple-carry), a width-parameterized ALU, balanced decoder trees (the
+// crossbar-addressing shape of nanowire arrays) and a depth/width
+// controlled layered random family. Every generator is deterministic:
+// the same parameters (and seed) produce a byte-identical WriteBench
+// netlist.
+
+// HalfAdderCP returns a 1-bit half adder in native CP cells:
+// sum = XOR2, carry = AND (NAND2 + NOT).
+func HalfAdderCP() *logic.Circuit {
+	ch := NewChip("ha_cp")
+	ch.Input("a", "b")
+	ch.Output("sum", "cout")
+	ch.Gate(gates.XOR2, "sum", "a", "b")
+	ch.AND("cout", "a", "b")
+	return ch.MustBuild()
+}
+
+// MultN returns an n x n carry-save array multiplier composed from
+// FullAdderCP / HalfAdderCP instances: partial products feed a
+// column-wise carry-save reduction, every 3:2 compression one FA
+// instance. Inputs a0..a{n-1}, b0..b{n-1}; outputs m0..m{2n-1}.
+// Gate count grows as ~4n^2: n=5 is ~100 gates, n=16 ~1k, n=50 ~10k.
+func MultN(n int) *logic.Circuit {
+	if n < 2 {
+		n = 2
+	}
+	ch := NewChip(fmt.Sprintf("mult%d", n))
+	for i := 0; i < n; i++ {
+		ch.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		ch.Input(fmt.Sprintf("b%d", i))
+	}
+	fa, ha := FullAdderCP(), HalfAdderCP()
+	cols := make([][]string, 2*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			pp := fmt.Sprintf("pp%d_%d", i, j)
+			ch.AND(pp, fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", j))
+			cols[i+j] = append(cols[i+j], pp)
+		}
+	}
+	aux := 0
+	for col := 0; col < 2*n; col++ {
+		for len(cols[col]) > 1 {
+			if len(cols[col]) >= 3 {
+				x, y, z := cols[col][0], cols[col][1], cols[col][2]
+				cols[col] = cols[col][3:]
+				s, cy := fmt.Sprintf("cs%d", aux), fmt.Sprintf("cc%d", aux)
+				ch.Instance(fmt.Sprintf("fa%d", aux), fa,
+					map[string]string{"a": x, "b": y, "cin": z, "sum": s, "cout": cy})
+				aux++
+				cols[col] = append(cols[col], s)
+				if col+1 < 2*n {
+					cols[col+1] = append(cols[col+1], cy)
+				}
+			} else {
+				x, y := cols[col][0], cols[col][1]
+				cols[col] = cols[col][2:]
+				s, cy := fmt.Sprintf("hs%d", aux), fmt.Sprintf("hc%d", aux)
+				ch.Instance(fmt.Sprintf("ha%d", aux), ha,
+					map[string]string{"a": x, "b": y, "sum": s, "cout": cy})
+				aux++
+				cols[col] = append(cols[col], s)
+				if col+1 < 2*n {
+					cols[col+1] = append(cols[col+1], cy)
+				}
+			}
+		}
+		out := fmt.Sprintf("m%d", col)
+		if len(cols[col]) == 1 {
+			ch.Gate(gates.BUF, out, cols[col][0])
+		} else {
+			// Empty top column: a0 XOR a0 buffers a constant zero
+			// without needing constant nets.
+			z := fmt.Sprintf("z%d", aux)
+			aux++
+			ch.Gate(gates.XOR2, z, "a0", "a0")
+			ch.Gate(gates.BUF, out, z)
+		}
+		ch.Output(out)
+	}
+	return ch.MustBuild()
+}
+
+// MultRC returns an n x n ripple-carry array multiplier: each row adds
+// its partial products to the running sum with a row-internal carry
+// ripple (FA/HA instances), the topology that trades the carry-save
+// tree's depth for a longer carry chain. Inputs/outputs as MultN.
+func MultRC(n int) *logic.Circuit {
+	if n < 2 {
+		n = 2
+	}
+	ch := NewChip(fmt.Sprintf("rcmult%d", n))
+	for i := 0; i < n; i++ {
+		ch.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		ch.Input(fmt.Sprintf("b%d", i))
+	}
+	fa, ha := FullAdderCP(), HalfAdderCP()
+	pp := make([][]string, n)
+	for i := 0; i < n; i++ {
+		pp[i] = make([]string, n)
+		for j := 0; j < n; j++ {
+			net := fmt.Sprintf("pp%d_%d", i, j)
+			ch.AND(net, fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", j))
+			pp[i][j] = net
+		}
+	}
+	// Row 0 passes its partial products straight down.
+	s := append([]string(nil), pp[0]...)
+	ch.Gate(gates.BUF, "m0", s[0])
+	ch.Output("m0")
+	rowTop := "" // carry-out of the previous row's last cell ("" for row 0)
+	aux := 0
+	for i := 1; i < n; i++ {
+		next := make([]string, n)
+		carry := ""
+		for j := 0; j < n; j++ {
+			addB := rowTop
+			if j < n-1 {
+				addB = s[j+1]
+			}
+			sum, cy := fmt.Sprintf("rs%d", aux), fmt.Sprintf("rc%d", aux)
+			inst := fmt.Sprintf("r%d_%d", i, j)
+			switch {
+			case carry == "" && addB == "":
+				// Can only happen off the recurrence; keep the net.
+				next[j] = pp[i][j]
+				continue
+			case carry == "":
+				ch.Instance(inst, ha, map[string]string{"a": pp[i][j], "b": addB, "sum": sum, "cout": cy})
+			case addB == "":
+				ch.Instance(inst, ha, map[string]string{"a": pp[i][j], "b": carry, "sum": sum, "cout": cy})
+			default:
+				ch.Instance(inst, fa, map[string]string{"a": pp[i][j], "b": addB, "cin": carry, "sum": sum, "cout": cy})
+			}
+			aux++
+			next[j], carry = sum, cy
+		}
+		rowTop = carry
+		s = next
+		out := fmt.Sprintf("m%d", i)
+		ch.Gate(gates.BUF, out, s[0])
+		ch.Output(out)
+	}
+	for j := 1; j < n; j++ {
+		out := fmt.Sprintf("m%d", n-1+j)
+		ch.Gate(gates.BUF, out, s[j])
+		ch.Output(out)
+	}
+	out := fmt.Sprintf("m%d", 2*n-1)
+	ch.Gate(gates.BUF, out, rowTop)
+	ch.Output(out)
+	return ch.MustBuild()
+}
+
+// DecoderN returns the balanced n-to-2^n decoder tree: the
+// crossbar-addressing shape of nanowire array access. Output d<k> is
+// high iff the select inputs s0..s{n-1} spell k (s0 is the LSB). Built
+// recursively: DecoderN(n) instantiates two half-width decoders and
+// crosses their outputs with 2^n AND cells.
+func DecoderN(n int) *logic.Circuit {
+	if n < 1 {
+		n = 1
+	}
+	ch := NewChip(fmt.Sprintf("decoder%d", n))
+	for i := 0; i < n; i++ {
+		ch.Input(fmt.Sprintf("s%d", i))
+	}
+	if n == 1 {
+		ch.Output("d0", "d1")
+		ch.Gate(gates.INV, "d0", "s0")
+		ch.Gate(gates.BUF, "d1", "s0")
+		return ch.MustBuild()
+	}
+	lo := n / 2
+	hi := n - lo
+	loConn := map[string]string{}
+	for i := 0; i < lo; i++ {
+		loConn[fmt.Sprintf("s%d", i)] = fmt.Sprintf("s%d", i)
+	}
+	hiConn := map[string]string{}
+	for i := 0; i < hi; i++ {
+		hiConn[fmt.Sprintf("s%d", i)] = fmt.Sprintf("s%d", lo+i)
+	}
+	loOut := ch.Instance("lo", DecoderN(lo), loConn)
+	hiOut := ch.Instance("hi", DecoderN(hi), hiConn)
+	for k := 0; k < 1<<n; k++ {
+		out := fmt.Sprintf("d%d", k)
+		ch.AND(out,
+			loOut[fmt.Sprintf("d%d", k&(1<<lo-1))],
+			hiOut[fmt.Sprintf("d%d", k>>lo)])
+		ch.Output(out)
+	}
+	return ch.MustBuild()
+}
+
+// ALU returns a width-n ALU over the CP cell library: opcode
+// op2..op0 selects 0 add, 1 sub (two's complement), 2 and, 3 or,
+// 4 xor. The adder is one RippleCarryAdder instance (CP full-adder
+// cells), the opcode is decoded by a DecoderN(3) instance, and the
+// per-bit results are merged through AND/OR select cells. Inputs
+// a0..a{n-1}, b0..b{n-1}, op0..op2; outputs r0..r{n-1}, cout.
+func ALU(n int) *logic.Circuit {
+	if n < 1 {
+		n = 1
+	}
+	ch := NewChip(fmt.Sprintf("alu%d", n))
+	for i := 0; i < n; i++ {
+		ch.Input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		ch.Input(fmt.Sprintf("b%d", i))
+	}
+	ch.Input("op0", "op1", "op2")
+
+	// Subtraction reuses the adder: a + (b ^ op0) + op0.
+	addConn := map[string]string{"cin": "op0", "cout": "addc"}
+	for i := 0; i < n; i++ {
+		bx := fmt.Sprintf("bx%d", i)
+		ch.Gate(gates.XOR2, bx, fmt.Sprintf("b%d", i), "op0")
+		addConn[fmt.Sprintf("a%d", i)] = fmt.Sprintf("a%d", i)
+		addConn[fmt.Sprintf("b%d", i)] = bx
+		addConn[fmt.Sprintf("s%d", i)] = fmt.Sprintf("sum%d", i)
+	}
+	ch.Instance("add", RippleCarryAdder(n), addConn)
+
+	d := ch.Instance("dec", DecoderN(3),
+		map[string]string{"s0": "op0", "s1": "op1", "s2": "op2"})
+	ch.OR("seladd", d["d0"], d["d1"])
+
+	for i := 0; i < n; i++ {
+		a, b := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+		and, or, xor := fmt.Sprintf("and%d", i), fmt.Sprintf("or%d", i), fmt.Sprintf("xor%d", i)
+		ch.AND(and, a, b)
+		ch.OR(or, a, b)
+		ch.Gate(gates.XOR2, xor, a, b)
+		t0, t1, t2, t3 := fmt.Sprintf("t0_%d", i), fmt.Sprintf("t1_%d", i), fmt.Sprintf("t2_%d", i), fmt.Sprintf("t3_%d", i)
+		ch.AND(t0, "seladd", fmt.Sprintf("sum%d", i))
+		ch.AND(t1, d["d2"], and)
+		ch.AND(t2, d["d3"], or)
+		ch.AND(t3, d["d4"], xor)
+		r := fmt.Sprintf("r%d", i)
+		ch.OR(r, t0, t1, t2, t3)
+		ch.Output(r)
+	}
+	ch.AND("cout", "seladd", "addc")
+	ch.Output("cout")
+	return ch.MustBuild()
+}
+
+// RandomLayered returns a deterministic layered random circuit: width
+// primary inputs, depth layers of width gates each. A gate's fanins
+// come mostly from the previous layer (locality) with occasional
+// skip connections to any earlier net, so depth controls logic depth
+// and width controls parallelism independently — the knobs the flat
+// Random generator lacks.
+func RandomLayered(seed int64, width, depth int) *logic.Circuit {
+	if width < 3 {
+		width = 3
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ch := NewChip(fmt.Sprintf("randl%d_w%dxd%d", seed, width, depth))
+	prev := make([]string, width)
+	for i := 0; i < width; i++ {
+		in := fmt.Sprintf("x%d", i)
+		ch.Input(in)
+		prev[i] = in
+	}
+	all := append([]string(nil), prev...)
+	kinds := []gates.Kind{
+		gates.INV, gates.BUF, gates.NAND2, gates.NAND3, gates.NOR2, gates.NOR3,
+		gates.XOR2, gates.XOR3, gates.MAJ3,
+	}
+	used := map[string]bool{}
+	for l := 0; l < depth; l++ {
+		layer := make([]string, width)
+		for g := 0; g < width; g++ {
+			kind := kinds[rng.Intn(len(kinds))]
+			spec := gates.Get(kind)
+			fanin := make([]string, spec.NIn)
+			for p := range fanin {
+				if rng.Intn(10) < 7 {
+					fanin[p] = prev[rng.Intn(len(prev))]
+				} else {
+					fanin[p] = all[rng.Intn(len(all))]
+				}
+				used[fanin[p]] = true
+			}
+			out := fmt.Sprintf("l%d_%d", l, g)
+			ch.Gate(kind, out, fanin...)
+			layer[g] = out
+		}
+		prev = layer
+		all = append(all, layer...)
+	}
+	// Outputs: every net driving nothing (at least the last layer's
+	// unread gates; plus dead ends from earlier layers).
+	n := 0
+	for _, net := range all[width:] {
+		if !used[net] {
+			ch.Output(net)
+			n++
+		}
+	}
+	if n == 0 {
+		ch.Output(prev[len(prev)-1])
+	}
+	return ch.MustBuild()
+}

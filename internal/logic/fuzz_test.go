@@ -15,6 +15,16 @@ func FuzzBenchRoundTrip(f *testing.F) {
 	f.Add("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(s)\nOUTPUT(co)\ns = XOR(a, b, c)\nco = MAJ(a, b, c)\n")
 	f.Add("INPUT(x0)\nINPUT(x1)\nOUTPUT(p)\np = XOR(x0, x1)  # parity\n")
 	f.Add("INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\nm = BUFF(a)\ny = NOR(m, a)\nz = NOT(m)\n")
+	// ISCAS-85 dialect: AND/OR and wide fanin decompose into native CP
+	// cells at parse time, so the written form must still round-trip.
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")
+	f.Add("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = OR(a, b, c)\n")
+	f.Add("INPUT(g1)\nINPUT(g2)\nINPUT(g3)\nINPUT(g4)\nINPUT(g5)\nINPUT(g6)\nINPUT(g7)\nINPUT(g8)\nINPUT(g9)\n" +
+		"OUTPUT(y)\nOUTPUT(z)\ny = AND(g1, g2, g3, g4, g5, g6, g7, g8, g9)\nz = NOR(g1, g2, g3, g4, g5)\n")
+	f.Add("INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(p)\nOUTPUT(q)\np = XNOR(a, b, c, d)\nq = NAND(a, b, c, d)\n")
+	// Helper-net collision: the source already uses the y_d0 name the
+	// decomposer would otherwise pick first.
+	f.Add("INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\ny_d0 = NAND(a, b)\ny = AND(y_d0, c, d)\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		c, err := ParseBench("fuzz", strings.NewReader(src))
 		if err != nil {

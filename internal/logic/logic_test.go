@@ -222,7 +222,8 @@ func TestParseBenchFullAdder(t *testing.T) {
 func TestParseBenchErrors(t *testing.T) {
 	bad := []string{
 		"INPUT(a)\ny = FOO(a)\nOUTPUT(y)\n",
-		"INPUT(a)\ny = NAND(a)\nOUTPUT(y)\n",
+		"INPUT(a)\ny = NAND()\nOUTPUT(y)\n",
+		"INPUT(a)\ny = MAJ(a, a, a, a)\nOUTPUT(y)\n",  // MAJ has no wide form
 		"INPUT(a)\nOUTPUT(y)\n",                       // undriven output
 		"INPUT(a)\ny = NOT(a)\ny = BUF(a)\nOUTPUT(y)", // multiple drivers
 		"INPUT(a)\ny = NOT(z)\nOUTPUT(y)",             // undriven fanin

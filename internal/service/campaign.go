@@ -19,11 +19,21 @@ import (
 // simulate all 2^n patterns, ignoring the random-pattern budget.
 const exhaustiveInputLimit = 12
 
+// DefaultPatternBudget is the random-pattern count applied when a
+// campaign on a wide circuit leaves the budget unset: without it a
+// n <= 0 request would simulate zero patterns and report 0% coverage
+// as a successful campaign.
+const DefaultPatternBudget = 256
+
 // BuildPatterns mirrors the CLI pattern policy: exhaustive for circuits
-// with at most exhaustiveInputLimit inputs, seeded-random otherwise.
+// with at most exhaustiveInputLimit inputs, seeded-random otherwise
+// (DefaultPatternBudget patterns when n <= 0).
 func BuildPatterns(c *logic.Circuit, n int, seed int64) []faultsim.Pattern {
 	if len(c.Inputs) <= exhaustiveInputLimit {
 		return faultsim.ExhaustivePatterns(c)
+	}
+	if n <= 0 {
+		n = DefaultPatternBudget
 	}
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]faultsim.Pattern, n)

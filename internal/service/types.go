@@ -8,7 +8,6 @@ package service
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
@@ -71,7 +70,7 @@ func (r CampaignRequest) normalize() (CampaignRequest, *logic.Circuit, error) {
 		return r, nil, errors.New("at least one fault class must be enabled")
 	}
 	if r.Patterns <= 0 {
-		r.Patterns = 256
+		r.Patterns = DefaultPatternBudget
 	}
 	if r.Seed == 0 {
 		r.Seed = 1
@@ -89,16 +88,10 @@ func (r CampaignRequest) normalize() (CampaignRequest, *logic.Circuit, error) {
 	r.Engine = eng.String() // canonical name for the cache key
 	var c *logic.Circuit
 	if r.Benchmark != "" {
-		suite := bench.Suite()
-		var ok bool
-		c, ok = suite[r.Benchmark]
-		if !ok {
-			names := make([]string, 0, len(suite))
-			for n := range suite {
-				names = append(names, n)
-			}
-			sort.Strings(names)
-			return r, nil, fmt.Errorf("unknown benchmark %q (have: %s)", r.Benchmark, strings.Join(names, ", "))
+		var err error
+		c, err = bench.Get(r.Benchmark)
+		if err != nil {
+			return r, nil, err
 		}
 	} else {
 		var err error
