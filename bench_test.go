@@ -343,6 +343,9 @@ func engineGateEvals(engine faultsim.Engine) uint64 {
 		return s.ReferenceGateEvals
 	case faultsim.EnginePacked:
 		return s.PackedGateEvals
+	case faultsim.EngineAuto:
+		// Auto resolves to compiled or packed per campaign; charge both.
+		return s.ConeGateEvals + s.PackedGateEvals
 	default:
 		return s.ConeGateEvals
 	}
@@ -362,7 +365,10 @@ func reportGateEvals(b *testing.B, engine faultsim.Engine, evals0 uint64) {
 // sweep over the generated corpus: array multipliers at ~100, ~1k and
 // ~10k gates (mult5 / mult16 / mult50, sizes pinned by
 // internal/bench's TestCorpusScales), a fixed 64-fault sample of the
-// CP transistor universe and 64 random patterns, per engine. The fault
+// CP transistor universe and 64 random patterns, per engine (including
+// the auto chooser, which must match or beat the best single engine on
+// every row — that requirement is what calibrates ChooseEngine's
+// constants, see docs/benchmarks.md). The fault
 // and pattern budgets are held constant across sizes so the per-op
 // time isolates how each engine's cost grows with gate count;
 // gate_evals/s shows whether the cone restriction and bitplane packing
@@ -396,7 +402,7 @@ func BenchmarkFaultSimScaling(b *testing.B) {
 		patterns := randomPatterns(c, nPatterns)
 
 		results := map[string][]faultsim.Detection{}
-		for _, engine := range []faultsim.Engine{faultsim.EngineReference, faultsim.EngineCompiled, faultsim.EnginePacked} {
+		for _, engine := range []faultsim.Engine{faultsim.EngineReference, faultsim.EngineCompiled, faultsim.EnginePacked, faultsim.EngineAuto} {
 			engine := engine
 			b.Run(fmt.Sprintf("%s/%s", name, engine), func(b *testing.B) {
 				sim := faultsim.New(c)

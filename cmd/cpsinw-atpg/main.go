@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	cpsinw-atpg [-circuit name | < netlist.bench] [-classical] [-v]
+//	cpsinw-atpg [-circuit name | < netlist.bench] [-classical] [-engine auto] [-v]
 package main
 
 import (
@@ -30,8 +30,14 @@ func main() {
 
 	circuitName := flag.String("circuit", "", "built-in benchmark name (empty: read .bench from stdin)")
 	classical := flag.Bool("classical", false, "target only classical line stuck-at faults")
+	engineName := flag.String("engine", "compiled", "fault-dropping simulation engine: auto, compiled, packed or reference")
 	verbose := flag.Bool("v", false, "print every generated vector")
 	flag.Parse()
+
+	engine, err := faultsim.ParseEngine(*engineName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var c *logic.Circuit
 	if *circuitName != "" {
@@ -54,7 +60,7 @@ func main() {
 		opts = core.ClassicalOnly()
 	}
 	universe := core.Universe(c, opts)
-	res := atpg.Generate(c, universe, atpg.Options{})
+	res := atpg.Generate(c, universe, atpg.Options{Engine: engine})
 
 	t := report.Table{
 		Title:   "ATPG results",

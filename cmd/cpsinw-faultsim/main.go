@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	cpsinw-faultsim [-circuit name | < netlist.bench] [-patterns n]
+//	cpsinw-faultsim [-circuit name | < netlist.bench] [-patterns n] [-engine auto]
 //	cpsinw-faultsim -tableiii
 package main
 
@@ -33,8 +33,14 @@ func main() {
 	patterns := flag.Int("patterns", 256, "random patterns (exhaustive when inputs <= 12)")
 	tableIII := flag.Bool("tableiii", false, "run the paper's Table III polarity study on the XOR2 and exit")
 	seed := flag.Int64("seed", 1, "random pattern seed")
+	engineName := flag.String("engine", "compiled", "fault-simulation engine: auto, compiled, packed or reference")
 	list := flag.Bool("list", false, "list built-in benchmarks and exit")
 	flag.Parse()
+
+	engine, err := faultsim.ParseEngine(*engineName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *list {
 		for _, n := range bench.Names() {
@@ -73,6 +79,7 @@ func main() {
 
 	pats := service.BuildPatterns(c, *patterns, *seed)
 	sim := faultsim.New(c)
+	sim.Engine = engine
 
 	saFaults := core.Universe(c, core.ClassicalOnly())
 	saCov := faultsim.Summarise(sim.RunStuckAt(saFaults, pats))

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	cpsinw-timing [-circuit name | < netlist.bench] [-clock 500p]
-//	              [-slow gate=factor] [-transition]
+//	              [-slow gate=factor] [-transition] [-engine auto]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"cpsinw/internal/atpg"
 	"cpsinw/internal/bench"
 	"cpsinw/internal/circuit"
+	"cpsinw/internal/faultsim"
 	"cpsinw/internal/logic"
 	"cpsinw/internal/report"
 	"cpsinw/internal/timing"
@@ -32,7 +33,13 @@ func main() {
 	clock := flag.String("clock", "", "clock period for slack report (e.g. 500p)")
 	slow := flag.String("slow", "", "inject delay degradation: gate=factor (e.g. fa0_c=3.5)")
 	transition := flag.Bool("transition", false, "generate transition-fault tests")
+	engineName := flag.String("engine", "compiled", "transition-test simulation engine: auto, compiled, packed or reference")
 	flag.Parse()
+
+	engine, err := faultsim.ParseEngine(*engineName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var c *logic.Circuit
 	if *circuitName != "" {
@@ -95,7 +102,7 @@ func main() {
 	}
 
 	if *transition {
-		tests, covered, total, err := timing.TransitionCampaign(c, atpg.Options{})
+		tests, covered, total, err := timing.TransitionCampaign(c, atpg.Options{Engine: engine})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -238,6 +238,41 @@ func GenerateContext(ctx context.Context, c *logic.Circuit, faults []core.Fault,
 			cbFaults = append(cbFaults, f)
 		}
 	}
+	// Fault dropping for SP channel breaks: a break an earlier generated
+	// pair already exposes needs no dedicated two-pattern test. The check
+	// runs the newly generated pair through the simulator's two-pattern
+	// engine (context-threaded, so per-job deadlines cancel the drop pass
+	// too; its only error is cancellation, which the per-fault ctx check
+	// picks up).
+	cbDropped := make([]bool, len(cbFaults))
+	markCBDetected := func(from int, pair [2]faultsim.Pattern) {
+		var idxs []int
+		var sub []core.Fault
+		for i := from; i < len(cbFaults); i++ {
+			if cbDropped[i] {
+				continue
+			}
+			f := cbFaults[i]
+			gi, err := gateIndexByName(c, f.Gate)
+			if err != nil || gates.Get(c.Gates[gi].Kind).Class == gates.DynamicPolarity {
+				continue // DP breaks are tested by plans, not pairs
+			}
+			idxs = append(idxs, i)
+			sub = append(sub, f)
+		}
+		if len(sub) == 0 {
+			return
+		}
+		ds, err := sim.RunTwoPatternContext(ctx, sub, [][2]faultsim.Pattern{pair})
+		if err != nil {
+			return
+		}
+		for j, d := range ds {
+			if d.Detected() {
+				cbDropped[idxs[j]] = true
+			}
+		}
+	}
 	classUntestable = 0
 	report("channel_break", 0, len(cbFaults), 0)
 	for i, f := range cbFaults {
@@ -265,6 +300,11 @@ func GenerateContext(ctx context.Context, c *logic.Circuit, faults []core.Fault,
 			res.Set.CBPlans = append(res.Set.CBPlans, plan)
 		} else {
 			res.CBSPTargeted++
+			if cbDropped[i] {
+				res.CBSPCovered++
+				report("channel_break", i+1, len(cbFaults), cbCovered+1)
+				continue
+			}
 			tp, ok := GenerateTwoPattern(c, f, opt)
 			if !ok {
 				res.Untestable = append(res.Untestable, f)
@@ -274,6 +314,7 @@ func GenerateContext(ctx context.Context, c *logic.Circuit, faults []core.Fault,
 			}
 			res.CBSPCovered++
 			res.Set.TwoPattern = append(res.Set.TwoPattern, tp)
+			markCBDetected(i+1, [2]faultsim.Pattern{tp.Init, tp.Test})
 		}
 		report("channel_break", i+1, len(cbFaults), res.CBSPCovered+res.CBDPCovered)
 	}

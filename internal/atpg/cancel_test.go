@@ -1,0 +1,45 @@
+package atpg
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cpsinw/internal/core"
+)
+
+// TestGenerateContextCancelMidChannelBreak cancels the campaign from the
+// progress callback once the channel-break class is underway — the shape
+// of a service per-job deadline landing during the two-pattern phase.
+// GenerateContext must stop between faults, return the context error,
+// and hand back the partial accounting instead of losing it; the
+// context-threaded two-pattern drop passes must not mask the
+// cancellation.
+func TestGenerateContextCancelMidChannelBreak(t *testing.T) {
+	c := parse(t, mixedCircuit)
+	faults := core.Universe(c, core.UniverseOptions{ChannelBreak: true})
+	if len(faults) < 2 {
+		t.Fatalf("campaign needs >= 2 channel breaks, have %d", len(faults))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	lastDone := -1
+	res, err := GenerateContext(ctx, c, faults, Options{Progress: func(p Progress) {
+		if p.Class == "channel_break" {
+			lastDone = p.Done
+			if p.Done >= 1 {
+				cancel()
+			}
+		}
+	}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("no partial result returned on cancellation")
+	}
+	if lastDone < 1 || lastDone >= len(faults) {
+		t.Errorf("canceled after %d/%d channel breaks, want mid-class", lastDone, len(faults))
+	}
+}

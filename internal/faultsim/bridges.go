@@ -93,10 +93,11 @@ func (s *Simulator) RunBridgesContext(ctx context.Context, bridges []core.Bridge
 // mirroring the transistor-fault ordering. The simulator's Engine
 // selects the implementation — the hooked fixpoint oracle
 // (EngineReference), a compiled dense-net fixpoint (EngineCompiled,
-// default), or the 64-way packed fixpoint (EnginePacked) — all three
-// bit-identical, as the bridge differential suite enforces.
+// default), the 64-way packed fixpoint (EnginePacked), or a
+// per-campaign compiled/packed choice (EngineAuto) — all bit-identical,
+// as the bridge differential suite enforces.
 func (s *Simulator) RunBridgesObserved(ctx context.Context, bridges []core.Bridge, patterns []Pattern, useIDDQ bool) ([]BridgeDetection, error) {
-	switch s.Engine {
+	switch s.resolveEngine(len(bridges), len(patterns)) {
 	case EngineReference:
 		return s.runBridgesReference(ctx, bridges, patterns, useIDDQ)
 	case EnginePacked:
@@ -460,7 +461,7 @@ func (s *Simulator) bridgedDiffPacked(pb *packedBase, e *bridgeEnds, lut *bridge
 				}
 				done |= newly
 			}
-			if done&pb.valid == pb.valid {
+			if done&pb.valid[0] == pb.valid[0] {
 				break
 			}
 		}
@@ -525,7 +526,7 @@ func exciteMaskPacked(pb *packedBase, e *bridgeEnds, lut *bridgeLUT) uint64 {
 func (s *Simulator) runBridgesPacked(ctx context.Context, bridges []core.Bridge, patterns []Pattern, useIDDQ bool) ([]BridgeDetection, error) {
 	sink := s.progressSink("bridges", len(bridges))
 	cc := s.compiled()
-	bases := s.packedBaselines(patterns)
+	bases := s.packedBaselines(patterns, 1)
 	vals := make([]logic.PackedVec, cc.NumNets())
 	prev := make([]logic.PackedVec, cc.NumNets())
 	outPO := make([]logic.PackedVec, len(cc.OutputID))
@@ -547,19 +548,19 @@ func (s *Simulator) runBridgesPacked(ctx context.Context, bridges []core.Bridge,
 			pb := &bases[ci]
 			var leak uint64
 			if useIDDQ {
-				leak = bridgeLeakMaskPacked(pb, &e) & pb.valid
+				leak = bridgeLeakMaskPacked(pb, &e) & pb.valid[0]
 			}
 			// The fixpoint only matters when a voltage difference could
 			// come before the first leak: any output difference needs an
 			// excited lane, and at equal lanes the leak check wins (the
 			// per-pattern observation order of the scalar engines).
-			excite := exciteMaskPacked(pb, &e, lut) & pb.valid
+			excite := exciteMaskPacked(pb, &e, lut) & pb.valid[0]
 			var diff uint64
 			if excite != 0 && (leak == 0 || logic.FirstLane(excite) < logic.FirstLane(leak)) {
 				if affected == nil {
 					affected, piA, piB = s.bridgeAffected(&e, bs)
 				}
-				diff = s.bridgedDiffPacked(pb, &e, lut, affected, piA, piB, vals, prev, outPO, &evals) & pb.valid
+				diff = s.bridgedDiffPacked(pb, &e, lut, affected, piA, piB, vals, prev, outPO, &evals) & pb.valid[0]
 			}
 			m := leak | diff
 			if m == 0 {

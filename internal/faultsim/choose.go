@@ -1,0 +1,54 @@
+package faultsim
+
+// ChooseEngine picks between the compiled scalar engine and the packed
+// lane-block engine for one campaign, from the three quantities that
+// drive their cost models. The compiled engine pays one scalar cone
+// pass per fault per pattern but drops each fault at its first
+// detection; the packed engine pays one block pass per fault per 64w
+// patterns (amortised further by fault packing) but always sweeps whole
+// lane blocks. Packed therefore wins once the faults × patterns product
+// is large enough to amortise its per-block overhead, and compiled wins
+// the small and skinny campaigns. The constants are calibrated against
+// the recorded BenchmarkFaultSimScaling rows in BENCH_faultsim.json
+// (see docs/benchmarks.md for the recalibration procedure).
+//
+// The heuristic is a pure function so the service and CLIs can report
+// the choice without perturbing the auto-choice counters.
+func ChooseEngine(nGates, nFaults, nPatterns int) Engine {
+	// Degenerate campaigns: the per-block fixed costs (packing the
+	// baseline, seeding) dominate, and the compiled engine's first-hit
+	// early exit is unbeatable.
+	if nFaults < 4 || nPatterns <= 8 {
+		return EngineCompiled
+	}
+	// With many patterns per fault the packed engine covers 64w of them
+	// per pass; with few patterns it packs several faults per pass
+	// instead. Either way its advantage scales with the work product,
+	// while the compiled engine's early exit saves at most the pattern
+	// axis. The gate count enters because bigger circuits make each
+	// packed pass cover proportionally more scalar work per word.
+	work := nFaults * nPatterns
+	if nPatterns >= 32 && work >= 1024 {
+		return EnginePacked
+	}
+	if work >= 4096 && nGates <= 2048 {
+		return EnginePacked
+	}
+	return EngineCompiled
+}
+
+// resolveEngine maps the simulator's configured engine to the one a
+// campaign will actually run, counting auto choices for /metrics. Every
+// campaign entry point resolves exactly once.
+func (s *Simulator) resolveEngine(nFaults, nPatterns int) Engine {
+	if s.Engine != EngineAuto {
+		return s.Engine
+	}
+	e := ChooseEngine(len(s.C.Gates), nFaults, nPatterns)
+	if e == EnginePacked {
+		engineStats.autoChosenPacked.Add(1)
+	} else {
+		engineStats.autoChosenCompiled.Add(1)
+	}
+	return e
+}

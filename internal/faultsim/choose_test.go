@@ -1,0 +1,172 @@
+package faultsim
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"cpsinw/internal/bench"
+	"cpsinw/internal/core"
+)
+
+// TestChooseEngineBoundaries pins the chooser's decision surface at the
+// exact boundaries of its calibrated constants: one step to either side
+// of every threshold must flip (or hold) the choice as documented in
+// choose.go. When the constants are recalibrated from a new
+// BENCH_faultsim.json scaling run, this table is the place that must
+// move with them.
+func TestChooseEngineBoundaries(t *testing.T) {
+	cases := []struct {
+		name                    string
+		gates, faults, patterns int
+		want                    Engine
+	}{
+		{"few faults", 100, 3, 1024, EngineCompiled},
+		{"few patterns", 100, 1024, 8, EngineCompiled},
+		{"wide pattern block", 100, 32, 32, EnginePacked},
+		{"wide patterns, thin work", 100, 4, 32, EngineCompiled},
+		{"fault-packed small circuit", 1000, 512, 9, EnginePacked},
+		{"fault-packed boundary gates", 2048, 512, 9, EnginePacked},
+		{"big circuit, skinny patterns", 2049, 512, 9, EngineCompiled},
+		{"small everything", 10, 4, 9, EngineCompiled},
+	}
+	for _, tc := range cases {
+		if got := ChooseEngine(tc.gates, tc.faults, tc.patterns); got != tc.want {
+			t.Errorf("%s: ChooseEngine(%d, %d, %d) = %v, want %v",
+				tc.name, tc.gates, tc.faults, tc.patterns, got, tc.want)
+		}
+	}
+}
+
+// TestChooserBoundaryDifferential runs campaigns sized exactly at the
+// chooser's decision boundaries through the full engine set: whichever
+// side of a threshold a campaign lands on, auto must stay bit-identical
+// to the oracle (and to both engines it chooses between).
+func TestChooserBoundaryDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(8088))
+	sizes := []struct{ faults, patterns int }{
+		{3, 64}, {4, 64}, {16, 8}, {16, 9}, {32, 32}, {31, 32}, {128, 9},
+	}
+	for si, sz := range sizes {
+		c := bench.Random(rng.Int63(), 5, 20)
+		universe := core.Universe(c, core.UniverseOptions{
+			ChannelBreak: true, StuckOn: true, Polarity: true,
+		})
+		faults := subsample(rng, universe, sz.faults)
+		patterns := randomTernaryPatterns(rng, c, sz.patterns)
+
+		ref := New(c)
+		ref.Engine = EngineReference
+		want, err := ref.RunTransistor(faults, patterns, true)
+		if err != nil {
+			t.Fatalf("size %d: reference: %v", si, err)
+		}
+		for _, eng := range fastEngines {
+			cmp := New(c)
+			cmp.Engine = eng
+			got, err := cmp.RunTransistor(faults, patterns, true)
+			if err != nil {
+				t.Fatalf("size %d: %v: %v", si, eng, err)
+			}
+			diffDetections(t, c.Name+"/"+eng.String(), want, got)
+		}
+	}
+}
+
+// TestPackedLaneWidthInvariance: the lane-block width (1, 2 or 4 words
+// of 64 lanes) is an implementation detail. Every width must return
+// bit-identical detections on the same campaign, serial and parallel.
+func TestPackedLaneWidthInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(256256))
+	cases := 20
+	if testing.Short() {
+		cases = 6
+	}
+	for ci := 0; ci < cases; ci++ {
+		c := bench.Random(rng.Int63(), 4+rng.Intn(6), 5+rng.Intn(30))
+		universe := core.Universe(c, core.UniverseOptions{
+			ChannelBreak: true, StuckOn: true, Polarity: true,
+		})
+		faults := subsample(rng, universe, 50)
+		// 65..200 patterns: at width 1 this spans 2-4 chunks, at width 4
+		// a single block, so chunk iteration and tail masking both move.
+		patterns := randomTernaryPatterns(rng, c, 65+rng.Intn(136))
+		useIDDQ := ci%2 == 0
+
+		var base []Detection
+		for _, w := range []int{1, 2, 4} {
+			sim := New(c)
+			sim.Engine = EnginePacked
+			sim.LaneWords = w
+			got, err := sim.RunTransistor(faults, patterns, useIDDQ)
+			if err != nil {
+				t.Fatalf("case %d: width %d: %v", ci, w, err)
+			}
+			if base == nil {
+				base = got
+				continue
+			}
+			diffDetections(t, c.Name+"/w1-vs-w"+string(rune('0'+w)), base, got)
+
+			par, err := sim.RunTransistorParallel(context.Background(), faults, patterns, useIDDQ, 4)
+			if err != nil {
+				t.Fatalf("case %d: width %d parallel: %v", ci, w, err)
+			}
+			diffDetections(t, c.Name+"/parallel-w"+string(rune('0'+w)), base, par)
+		}
+	}
+}
+
+// TestFaultPackedParity: with few patterns and many faults the packed
+// engine packs several faults into disjoint lane groups of one block;
+// with the same patterns at width 1 above the 32-pattern grouping cutoff
+// it runs one fault per pass. Both shapes must match the oracle exactly
+// — fault packing is a placement optimisation, never a semantic one.
+func TestFaultPackedParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	cases := 20
+	if testing.Short() {
+		cases = 6
+	}
+	for ci := 0; ci < cases; ci++ {
+		c := bench.Random(rng.Int63(), 4+rng.Intn(5), 8+rng.Intn(25))
+		universe := core.Universe(c, core.UniverseOptions{
+			ChannelBreak: true, StuckOn: true, Polarity: true,
+		})
+		faults := subsample(rng, universe, 40)
+		// 33..64 patterns: ungrouped at width 1 (> 32 patterns/group
+		// cutoff), fault-packed at widths 2 and 4.
+		nPats := 33 + rng.Intn(32)
+		patterns := randomTernaryPatterns(rng, c, nPats)
+		useIDDQ := ci%2 == 0
+
+		if g := packGroups(nPats, len(faults), 1); g != 1 {
+			t.Fatalf("case %d: width 1 unexpectedly grouped (%d)", ci, g)
+		}
+		if g := packGroups(nPats, len(faults), 4); g < 2 {
+			t.Fatalf("case %d: width 4 not grouped (%d groups, %d patterns)", ci, g, nPats)
+		}
+
+		ref := New(c)
+		ref.Engine = EngineReference
+		want, err := ref.RunTransistor(faults, patterns, useIDDQ)
+		if err != nil {
+			t.Fatalf("case %d: reference: %v", ci, err)
+		}
+		for _, w := range []int{1, 2, 4} {
+			sim := New(c)
+			sim.Engine = EnginePacked
+			sim.LaneWords = w
+			got, err := sim.RunTransistor(faults, patterns, useIDDQ)
+			if err != nil {
+				t.Fatalf("case %d: width %d: %v", ci, w, err)
+			}
+			diffDetections(t, c.Name+"/serial", want, got)
+			got, err = sim.RunTransistorParallel(context.Background(), faults, patterns, useIDDQ, 4)
+			if err != nil {
+				t.Fatalf("case %d: width %d parallel: %v", ci, w, err)
+			}
+			diffDetections(t, c.Name+"/parallel", want, got)
+		}
+	}
+}

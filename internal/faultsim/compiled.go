@@ -29,10 +29,14 @@ const (
 	// oracle the compiled and packed engines are differentially tested
 	// against.
 	EngineReference
-	// EnginePacked is the bit-parallel PPSFP engine: 64 ternary patterns
-	// per two-bitplane word, packed gate evaluation and packed
-	// cone-restricted propagation.
+	// EnginePacked is the bit-parallel PPSFP engine: N×64 ternary
+	// patterns per lane block, packed gate evaluation and event-driven
+	// packed propagation, with fault packing into spare lanes.
 	EnginePacked
+	// EngineAuto resolves to EngineCompiled or EnginePacked per campaign
+	// through the ChooseEngine heuristic over gates × faults × patterns
+	// (it never picks the reference oracle).
+	EngineAuto
 )
 
 // String names the engine for reports and metrics.
@@ -42,6 +46,8 @@ func (e Engine) String() string {
 		return "reference"
 	case EnginePacked:
 		return "packed"
+	case EngineAuto:
+		return "auto"
 	}
 	return "compiled"
 }
@@ -56,8 +62,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineReference, nil
 	case "packed":
 		return EnginePacked, nil
+	case "auto":
+		return EngineAuto, nil
 	}
-	return EngineCompiled, fmt.Errorf("faultsim: unknown engine %q (have: compiled, packed, reference)", s)
+	return EngineCompiled, fmt.Errorf("faultsim: unknown engine %q (have: auto, compiled, packed, reference)", s)
 }
 
 // EngineStats is a snapshot of the package-wide engine counters,
@@ -76,6 +84,8 @@ type EngineStats struct {
 	CompiledBridgeRuns  uint64 // bridge x campaign units through the compiled engine
 	ReferenceGateEvals  uint64 // hooked-map gate evaluations by the reference oracle
 	ReferenceBridgeRuns uint64 // bridge x campaign units through the reference oracle
+	AutoChosenCompiled  uint64 // campaigns EngineAuto resolved to the compiled engine
+	AutoChosenPacked    uint64 // campaigns EngineAuto resolved to the packed engine
 }
 
 var engineStats struct {
@@ -91,6 +101,8 @@ var engineStats struct {
 	compiledBridgeRuns  atomic.Uint64
 	referenceGateEvals  atomic.Uint64
 	referenceBridgeRuns atomic.Uint64
+	autoChosenCompiled  atomic.Uint64
+	autoChosenPacked    atomic.Uint64
 }
 
 // ReadEngineStats snapshots the engine counters.
@@ -108,6 +120,8 @@ func ReadEngineStats() EngineStats {
 		CompiledBridgeRuns:  engineStats.compiledBridgeRuns.Load(),
 		ReferenceGateEvals:  engineStats.referenceGateEvals.Load(),
 		ReferenceBridgeRuns: engineStats.referenceBridgeRuns.Load(),
+		AutoChosenCompiled:  engineStats.autoChosenCompiled.Load(),
+		AutoChosenPacked:    engineStats.autoChosenPacked.Load(),
 	}
 }
 
@@ -288,6 +302,20 @@ func newConeScratch(cc *logic.CompiledCircuit) *coneScratch {
 		stamp: make([]int64, cc.NumNets()),
 		gq:    make([]int64, len(cc.C.Gates)),
 	}
+}
+
+// coneScratchOf hands out a pooled cone scratch, mirroring
+// packedScratchOf for the compiled engine.
+func (s *Simulator) coneScratchOf() *coneScratch {
+	if v := s.coneScratchPool.Get(); v != nil {
+		return v.(*coneScratch)
+	}
+	return newConeScratch(s.compiled())
+}
+
+func (s *Simulator) putConeScratch(sc *coneScratch) {
+	sc.flushStats()
+	s.coneScratchPool.Put(sc)
 }
 
 func (sc *coneScratch) push(gi int) {
@@ -483,7 +511,8 @@ func (s *Simulator) simulateTransistorFaultCompiled(f core.Fault, patterns []Pat
 func (s *Simulator) runTransistorCompiled(ctx context.Context, faults []core.Fault, patterns []Pattern, useIDDQ bool) ([]Detection, error) {
 	sink := s.progressSink("transistor", len(faults))
 	base := s.evalBaselines(patterns)
-	sc := newConeScratch(s.compiled())
+	sc := s.coneScratchOf()
+	defer s.putConeScratch(sc)
 	sink.add(0, 0, 0, uint64(len(patterns))*uint64(len(s.C.Gates))) // baseline evals
 	out := make([]Detection, len(faults))
 	for i, f := range faults {
@@ -513,7 +542,10 @@ func b2i(b bool) int {
 // transition LUTs. The faulty gate's inputs sit upstream of the fault,
 // so its charge-state trajectory is a pure function of the good
 // baselines, and only the test-pattern cone needs propagation.
-func (s *Simulator) runTwoPatternCompiled(faults []core.Fault, pairs [][2]Pattern) ([]Detection, error) {
+// Cancellation is checked between faults; progress is reported per
+// fault on the "two_pattern" stage.
+func (s *Simulator) runTwoPatternCompiled(ctx context.Context, faults []core.Fault, pairs [][2]Pattern) ([]Detection, error) {
+	sink := s.progressSink("two_pattern", len(faults))
 	out := make([]Detection, len(faults))
 	hasOpen := false
 	for i, f := range faults {
@@ -523,6 +555,7 @@ func (s *Simulator) runTwoPatternCompiled(faults []core.Fault, pairs [][2]Patter
 		}
 	}
 	if !hasOpen {
+		sink.add(len(faults), 0, len(faults), 0)
 		return out, nil // nothing to simulate: skip the baseline evals
 	}
 	cc := s.compiled()
@@ -532,10 +565,16 @@ func (s *Simulator) runTwoPatternCompiled(faults []core.Fault, pairs [][2]Patter
 		base0[k] = cc.EvalInto(map[string]logic.V(pair[0]), make([]logic.V, cc.NumNets()))
 		base1[k] = cc.EvalInto(map[string]logic.V(pair[1]), make([]logic.V, cc.NumNets()))
 	}
-	sc := newConeScratch(cc)
+	sink.add(0, 0, 0, uint64(2*len(pairs))*uint64(len(s.C.Gates))) // baseline evals
+	sc := s.coneScratchOf()
+	defer s.putConeScratch(sc)
 	for i, f := range faults {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tf, ok := f.Kind.TFault()
 		if !ok || tf != logic.TFaultOpen {
+			sink.add(1, 0, 1, 0)
 			continue
 		}
 		gi, ok := s.gateIdx[f.Gate]
@@ -544,6 +583,7 @@ func (s *Simulator) runTwoPatternCompiled(faults []core.Fault, pairs [][2]Patter
 		}
 		lut := compiledOpenLUT(s.C.Gates[gi].Kind, f.Transistor)
 		runs := uint64(0)
+		before := sc.lifetimeEvals()
 		for k := range pairs {
 			runs++
 			st := lut.next[int(lut.init)*lut.nVec+cc.GateInputIndex(gi, base0[k])]
@@ -555,7 +595,7 @@ func (s *Simulator) runTwoPatternCompiled(faults []core.Fault, pairs [][2]Patter
 			}
 		}
 		engineStats.twoPatternRuns.Add(runs)
-		sc.flushStats()
+		sink.add(1, b2i(out[i].Detected()), 0, sc.lifetimeEvals()-before)
 	}
 	return out, nil
 }

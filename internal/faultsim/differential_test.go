@@ -18,7 +18,10 @@ import (
 // available as the oracle via EngineReference.
 
 // fastEngines are the engines proven against the reference oracle.
-var fastEngines = []Engine{EngineCompiled, EnginePacked}
+// EngineAuto resolves to compiled or packed per campaign, so running it
+// through the same suites pins the chooser to bit-identical results on
+// both sides of every decision boundary.
+var fastEngines = []Engine{EngineCompiled, EnginePacked, EngineAuto}
 
 // randomTernaryPatterns draws patterns that exercise the ternary paths:
 // mostly binary values, some explicit X, some inputs left unassigned.

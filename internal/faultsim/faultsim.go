@@ -45,8 +45,15 @@ type Simulator struct {
 	C *logic.Circuit
 
 	// Engine selects the transistor-fault implementation; the zero value
-	// is the compiled LUT/cone engine, EngineReference the serial oracle.
+	// is the compiled LUT/cone engine, EngineReference the serial oracle,
+	// EngineAuto a per-campaign choice between compiled and packed.
 	Engine Engine
+
+	// LaneWords, when 1, 2 or 4, pins the packed engine's lane-block
+	// width (64, 128 or 256 ternary lanes per propagation pass). Any
+	// other value lets each campaign pick a width from its pattern and
+	// fault counts.
+	LaneWords int
 
 	// Progress, when set, receives monotone per-stage campaign snapshots
 	// from every engine driver (see ProgressFunc for the delivery
@@ -62,6 +69,11 @@ type Simulator struct {
 	// Packed-engine scratch pool: the buffers and the scratch-local
 	// LUT-resolution caches stay warm across campaigns.
 	scratchPool sync.Pool
+
+	// Compiled-engine cone scratch pool, warm across campaigns for the
+	// same reason (the per-net value and stamp slices dominate small
+	// campaigns).
+	coneScratchPool sync.Pool
 }
 
 // New builds a simulator for the circuit.
@@ -73,17 +85,60 @@ func New(c *logic.Circuit) *Simulator {
 	return s
 }
 
-// packPatterns converts up to 64 patterns into packed words.
-func (s *Simulator) packPatterns(patterns []Pattern) logic.PackedAssign {
-	assign := logic.PackedAssign{}
+// packBinaryChunk packs up to 64 patterns into binary input planes over
+// the compiled input order: missing or X inputs pack as 0 (the
+// historical packed stuck-at semantics), and every lane is fully known,
+// so ternary block evaluation degenerates to plain binary simulation.
+func (s *Simulator) packBinaryChunk(patterns []Pattern) []logic.PackedVec {
+	in := make([]logic.PackedVec, len(s.C.Inputs))
 	for k, p := range patterns {
-		for _, pi := range s.C.Inputs {
+		for i, pi := range s.C.Inputs {
 			if v, ok := p[pi]; ok && v == logic.L1 {
-				assign[pi] |= 1 << uint(k)
+				in[i].Val |= 1 << uint(k)
 			}
 		}
 	}
-	return assign
+	for i := range in {
+		in[i].Known = ^uint64(0)
+	}
+	return in
+}
+
+// evalStuckAtPacked evaluates one 64-pattern chunk with a line stuck-at
+// fault forced over the compiled IR: a stem fault overrides the net's
+// plane wherever the net is produced (primary input or gate output), a
+// pin fault overrides a single gate's fanin read.
+func evalStuckAtPacked(cc *logic.CompiledCircuit, in []logic.PackedVec, f core.Fault, force logic.PackedVec, vals []logic.PackedVec) {
+	stem := -1
+	if f.Pin < 0 {
+		if id, ok := cc.NetID[f.Net]; ok {
+			stem = id
+		}
+	}
+	for i, id := range cc.InputID {
+		v := in[i]
+		if id == stem {
+			v = force
+		}
+		vals[id] = v
+	}
+	var buf [3]logic.PackedVec
+	for _, gi := range cc.Order {
+		fin := cc.Fanin[gi]
+		for k, nid := range fin {
+			v := vals[nid]
+			if gi == f.GateIdx && k == f.Pin {
+				v = force
+			}
+			buf[k] = v
+		}
+		on := cc.GateOut[gi]
+		nv := logic.EvalKindPacked(cc.Kinds[gi], cc.LUT[gi], buf[:len(fin)])
+		if on == stem {
+			nv = force
+		}
+		vals[on] = nv
+	}
 }
 
 // RunStuckAt fault-simulates line stuck-at faults against the pattern set
@@ -108,18 +163,21 @@ func (s *Simulator) RunStuckAtContext(ctx context.Context, faults []core.Fault, 
 		}
 	}
 	sink := s.progressSink("stuck_at", len(patterns))
+	cc := s.compiled()
 	nGates := uint64(len(s.C.Gates))
+	good := make([]logic.PackedVec, cc.NumNets())
+	faulty := make([]logic.PackedVec, cc.NumNets())
 	for base := 0; base < len(patterns); base += 64 {
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
 		chunk := patterns[base:min(base+64, len(patterns))]
-		assign := s.packPatterns(chunk)
+		in := s.packBinaryChunk(chunk)
 		valid := ^uint64(0)
 		if len(chunk) < 64 {
 			valid = (1 << uint(len(chunk))) - 1
 		}
-		good := s.C.EvalPackedHooked(assign, logic.PackedHooks{})
+		cc.EvalPacked(in, good)
 		chunkEvals := nGates // the good-circuit packed evaluation
 		chunkDetected := 0
 		for i := range out {
@@ -127,35 +185,19 @@ func (s *Simulator) RunStuckAtContext(ctx context.Context, faults []core.Fault, 
 				continue
 			}
 			f := out[i].Fault
-			force := uint64(0)
+			force := logic.ConstPacked(logic.L0)
 			if f.Kind == core.FaultSA1 {
-				force = ^uint64(0)
+				force = logic.ConstPacked(logic.L1)
 			}
-			var hooks logic.PackedHooks
-			if f.Pin >= 0 {
-				hooks.Pin = func(gi, pin int, w uint64) uint64 {
-					if gi == f.GateIdx && pin == f.Pin {
-						return force
-					}
-					return w
-				}
-			} else {
-				hooks.Stem = func(net string, w uint64) uint64 {
-					if net == f.Net {
-						return force
-					}
-					return w
-				}
-			}
-			faulty := s.C.EvalPackedHooked(assign, hooks)
+			evalStuckAtPacked(cc, in, f, force, faulty)
 			chunkEvals += nGates
 			var diff uint64
-			for _, po := range s.C.Outputs {
-				diff |= (good[po] ^ faulty[po]) & valid
+			for _, po := range cc.OutputID {
+				diff |= logic.DefiniteDiffMask(good[po], faulty[po]) & valid
 			}
 			if diff != 0 {
 				out[i].Method = ByOutput
-				out[i].Pattern = base + trailingZeros(diff)
+				out[i].Pattern = base + logic.FirstLane(diff)
 				chunkDetected++
 			}
 		}
@@ -164,15 +206,6 @@ func (s *Simulator) RunStuckAtContext(ctx context.Context, faults []core.Fault, 
 		dropped = 0
 	}
 	return out, nil
-}
-
-func trailingZeros(w uint64) int {
-	for i := 0; i < 64; i++ {
-		if w>>uint(i)&1 == 1 {
-			return i
-		}
-	}
-	return 64
 }
 
 // transistorHooks builds the ternary gate-override hook for a transistor
@@ -224,12 +257,13 @@ func (s *Simulator) transistorHooks(f core.Fault, leak *bool) (logic.TernaryHook
 // leak signature detects by quiescent-current measurement (the paper's
 // IDDQ observability for pull-up polarity faults). The simulator's
 // Engine selects the implementation: compiled LUT + cone propagation by
-// default, 64-way bit-parallel PPSFP under EnginePacked, the serial
-// hooked oracle under EngineReference; all three return identical
+// default, bit-parallel PPSFP lane blocks under EnginePacked, the
+// serial hooked oracle under EngineReference, and a per-campaign
+// compiled/packed choice under EngineAuto; all of them return identical
 // detections. RunTransistorParallel spreads the same work over a
 // goroutine pool.
 func (s *Simulator) RunTransistor(faults []core.Fault, patterns []Pattern, useIDDQ bool) ([]Detection, error) {
-	switch s.Engine {
+	switch s.resolveEngine(len(faults), len(patterns)) {
 	case EngineReference:
 		return s.runTransistorSerial(context.Background(), faults, patterns, useIDDQ)
 	case EnginePacked:
@@ -255,20 +289,32 @@ func (s *Simulator) outputsDiffer(good, faulty map[string]logic.V) bool {
 // gate output, the second exposes a floating output retaining the stale
 // value. Detection requires a definite PO difference under the second
 // pattern. The simulator's Engine selects the implementation (compiled
-// stuck-open transition LUTs by default; packed cone propagation of the
-// same LUTs under EnginePacked).
+// stuck-open transition LUTs by default; packed block propagation of the
+// same LUTs under EnginePacked; a per-campaign choice under EngineAuto).
 func (s *Simulator) RunTwoPattern(faults []core.Fault, pairs [][2]Pattern) ([]Detection, error) {
-	switch s.Engine {
+	return s.RunTwoPatternContext(context.Background(), faults, pairs)
+}
+
+// RunTwoPatternContext is RunTwoPattern with cooperative cancellation
+// checked between faults on every engine path; all paths report
+// per-fault progress on the "two_pattern" stage.
+func (s *Simulator) RunTwoPatternContext(ctx context.Context, faults []core.Fault, pairs [][2]Pattern) ([]Detection, error) {
+	switch s.resolveEngine(len(faults), len(pairs)) {
 	case EngineCompiled:
-		return s.runTwoPatternCompiled(faults, pairs)
+		return s.runTwoPatternCompiled(ctx, faults, pairs)
 	case EnginePacked:
-		return s.runTwoPatternPacked(faults, pairs)
+		return s.runTwoPatternPacked(ctx, faults, pairs)
 	}
+	sink := s.progressSink("two_pattern", len(faults))
 	out := make([]Detection, len(faults))
 	for i, f := range faults {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		out[i] = Detection{Fault: f, Pattern: -1}
 		tf, ok := f.Kind.TFault()
 		if !ok || tf != logic.TFaultOpen {
+			sink.add(1, 0, 1, 0)
 			continue
 		}
 		gi, ok := s.gateIdx[f.Gate]
@@ -276,13 +322,17 @@ func (s *Simulator) RunTwoPattern(faults []core.Fault, pairs [][2]Pattern) ([]De
 			return nil, fmt.Errorf("faultsim: unknown gate %q", f.Gate)
 		}
 		spec := gates.Get(s.C.Gates[gi].Kind)
+		nGates := uint64(len(s.C.Gates))
+		evals := uint64(0)
 		for k, pair := range pairs {
+			evals += 3 * nGates // two faulty passes plus the good baseline
 			if s.twoPatternDetects(spec, gi, f, pair) {
 				out[i].Method = ByTwoPattern
 				out[i].Pattern = k
 				break
 			}
 		}
+		sink.add(1, b2i(out[i].Detected()), 0, evals)
 	}
 	return out, nil
 }

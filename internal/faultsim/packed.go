@@ -1,11 +1,14 @@
-// Packed PPSFP engine: 64 ternary patterns per two-bitplane word,
-// evaluated through the same compiled gate and per-fault behaviour LUTs
-// as the scalar cone engine. Baselines are packed once per campaign;
-// each fault then needs one packed behaviour-LUT evaluation plus one
-// packed cone propagation per 64-pattern chunk, instead of one scalar
-// cone pass per pattern. Defined to be bit-identical to the reference
-// and compiled engines (same detection method, same first detecting
-// pattern), which the differential suites enforce.
+// Packed PPSFP engine: N×64 ternary patterns per lane block (two
+// bitplane words per 64 lanes), evaluated through the same compiled
+// gate and per-fault behaviour LUTs as the scalar cone engine.
+// Baselines are packed once per campaign; each fault then needs one
+// packed behaviour-LUT evaluation plus one event-driven packed
+// propagation per block, instead of one scalar cone pass per pattern.
+// When the campaign has fewer patterns than lanes, independent faults
+// are packed into the spare lanes and share a single propagation pass.
+// Defined to be bit-identical to the reference and compiled engines
+// (same detection method, same first detecting pattern), which the
+// differential suites enforce.
 package faultsim
 
 import (
@@ -17,55 +20,182 @@ import (
 	"cpsinw/internal/logic"
 )
 
-// packedBase is the fault-free response of one 64-pattern chunk.
+// maxPackGroups bounds how many faults share one propagation pass.
+// Beyond a handful of groups the union of the faults' cones approaches
+// the whole circuit and the shared walk stops saving work.
+const maxPackGroups = 8
+
+// packedBase is the fault-free response of one lane-block chunk:
+// vals is net-major with stride w (w words of 64 lanes per net).
 type packedBase struct {
 	start int               // index of the chunk's first pattern
-	valid uint64            // lanes backed by a real pattern
-	in    []logic.PackedVec // per primary input (circuit input order)
-	vals  []logic.PackedVec // per net id, canonical planes
+	w     int               // lane words per net
+	valid []uint64          // lanes backed by a real pattern, one word per lane word
+	in    []logic.PackedVec // per primary input, input-major stride w
+	vals  []logic.PackedVec // per net id, net-major stride w, canonical planes
 }
 
-// packTernaryChunk packs up to 64 ternary patterns into per-input
-// planes; inputs missing from a pattern are X, matching the scalar
-// map-based evaluation. Lanes beyond the chunk stay X.
-func (s *Simulator) packTernaryChunk(patterns []Pattern) []logic.PackedVec {
-	in := make([]logic.PackedVec, len(s.C.Inputs))
-	for k, p := range patterns {
-		for i, pi := range s.C.Inputs {
-			v, ok := p[pi]
-			if !ok {
-				v = logic.LX
+// packTernaryBlock packs patterns into width-w input blocks, replicating
+// the whole pattern list `copies` times across consecutive lane groups
+// (copies > 1 builds the shared baseline of a fault-packed batch).
+// Inputs missing from a pattern are X, matching the scalar map-based
+// evaluation; lanes beyond the replicated patterns stay X.
+func (s *Simulator) packTernaryBlock(patterns []Pattern, w, copies int) []logic.PackedVec {
+	in := make([]logic.PackedVec, len(s.C.Inputs)*w)
+	for g := 0; g < copies; g++ {
+		off := g * len(patterns)
+		for k, p := range patterns {
+			lane := off + k
+			for i, pi := range s.C.Inputs {
+				v, ok := p[pi]
+				if !ok {
+					v = logic.LX
+				}
+				in[i*w+lane>>6] = in[i*w+lane>>6].WithLane(lane&63, v)
 			}
-			in[i] = in[i].WithLane(k, v)
 		}
 	}
 	return in
 }
 
-// packedBaselines memoizes the good-circuit planes per 64-pattern
+// laneMask builds a w-word mask of n consecutive lanes starting at from.
+func laneMask(from, n, w int) []uint64 {
+	m := make([]uint64, w)
+	for l := from; l < from+n; l++ {
+		m[l>>6] |= 1 << uint(l&63)
+	}
+	return m
+}
+
+// packedBaselines memoizes the good-circuit planes per 64w-pattern
 // chunk. All chunk planes share one backing array (one allocation to
 // scan instead of one per chunk).
-func (s *Simulator) packedBaselines(patterns []Pattern) []packedBase {
+func (s *Simulator) packedBaselines(patterns []Pattern, w int) []packedBase {
 	cc := s.compiled()
-	nChunks := (len(patterns) + 63) / 64
-	backing := make([]logic.PackedVec, nChunks*cc.NumNets())
+	lanes := 64 * w
+	nChunks := (len(patterns) + lanes - 1) / lanes
+	stride := cc.NumNets() * w
+	backing := make([]logic.PackedVec, nChunks*stride)
 	out := make([]packedBase, 0, nChunks)
-	for base := 0; base < len(patterns); base += 64 {
-		chunk := patterns[base:min(base+64, len(patterns))]
-		valid := ^uint64(0)
-		if len(chunk) < 64 {
-			valid = 1<<uint(len(chunk)) - 1
-		}
+	for base := 0; base < len(patterns); base += lanes {
+		chunk := patterns[base:min(base+lanes, len(patterns))]
 		pb := packedBase{
 			start: base,
-			valid: valid,
-			in:    s.packTernaryChunk(chunk),
+			w:     w,
+			valid: laneMask(0, len(chunk), w),
+			in:    s.packTernaryBlock(chunk, w, 1),
 		}
-		pb.vals = cc.EvalPacked(pb.in, backing[:cc.NumNets():cc.NumNets()])
-		backing = backing[cc.NumNets():]
+		pb.vals = cc.EvalBlock(pb.in, w, backing[:stride:stride])
+		backing = backing[stride:]
 		out = append(out, pb)
 	}
 	return out
+}
+
+// packedGroupBase is the shared baseline of a fault-packed batch: the
+// whole pattern list replicated across `groups` disjoint lane groups of
+// span lanes each, so every group sees identical fault-free planes and
+// a batch of faults propagates in one pass.
+type packedGroupBase struct {
+	w      int
+	span   int // lanes per group (= the campaign's pattern count)
+	groups int
+	masks  [][]uint64 // per group, its lanes
+	in     []logic.PackedVec
+	vals   []logic.PackedVec
+}
+
+// packedGroupedBase evaluates the replicated baseline once.
+func (s *Simulator) packedGroupedBase(patterns []Pattern, w, groups int) *packedGroupBase {
+	cc := s.compiled()
+	gb := &packedGroupBase{
+		w:      w,
+		span:   len(patterns),
+		groups: groups,
+		masks:  make([][]uint64, groups),
+		in:     s.packTernaryBlock(patterns, w, groups),
+	}
+	for g := 0; g < groups; g++ {
+		gb.masks[g] = laneMask(g*len(patterns), len(patterns), w)
+	}
+	gb.vals = cc.EvalBlock(gb.in, w, make([]logic.PackedVec, cc.NumNets()*w))
+	return gb
+}
+
+// packGroups sizes a fault-packed batch: how many whole pattern-list
+// copies fit in 64w lanes, clamped by the simulable fault count and
+// maxPackGroups. 1 means no packing.
+func packGroups(nPatterns, nSimulable, w int) int {
+	if nSimulable < 2 || nPatterns == 0 || nPatterns > 32*w {
+		return 1
+	}
+	g := 64 * w / nPatterns
+	if g > maxPackGroups {
+		g = maxPackGroups
+	}
+	if g > nSimulable {
+		g = nSimulable
+	}
+	if g < 2 {
+		return 1
+	}
+	return g
+}
+
+// laneWordsFor picks the lane-block width of a campaign: an explicit
+// Simulator.LaneWords wins; otherwise scale with the pattern count, and
+// with the fault count when spare width buys fault packing.
+func (s *Simulator) laneWordsFor(nPatterns, nFaults int) int {
+	if logic.ValidLaneWords(s.LaneWords) {
+		return s.LaneWords
+	}
+	switch {
+	case nPatterns > 128:
+		return 4
+	case nPatterns > 64:
+		return 2
+	case nFaults >= 2 && nPatterns > 32:
+		return 4
+	case nFaults >= 2 && nPatterns > 16:
+		return 2
+	}
+	return 1
+}
+
+// packedPlan is the per-campaign packing decision plus its baselines.
+type packedPlan struct {
+	w      int
+	groups int
+	bases  []packedBase     // groups == 1: plain chunked sweep
+	gb     *packedGroupBase // groups > 1: fault-packed batches
+}
+
+// packedPlanFor sizes the lane blocks and fault-packing of a campaign
+// and evaluates the matching baselines.
+func (s *Simulator) packedPlanFor(faults []core.Fault, patterns []Pattern) packedPlan {
+	sim := 0
+	for _, f := range faults {
+		if transistorSimulable(f) {
+			sim++
+		}
+	}
+	w := s.laneWordsFor(len(patterns), sim)
+	pl := packedPlan{w: w, groups: packGroups(len(patterns), sim, w)}
+	if pl.groups > 1 {
+		pl.gb = s.packedGroupedBase(patterns, w, pl.groups)
+	} else {
+		pl.bases = s.packedBaselines(patterns, w)
+	}
+	return pl
+}
+
+// baseEvals counts the baseline word evaluations of the plan, reported
+// to the progress sink before the fault sweep starts.
+func (pl *packedPlan) baseEvals(nGates int) uint64 {
+	if pl.gb != nil {
+		return uint64(nGates) * uint64(pl.w)
+	}
+	return uint64(len(pl.bases)) * uint64(nGates) * uint64(pl.w)
 }
 
 // evalFaultLUTPacked evaluates one per-fault behaviour table across all
@@ -73,12 +203,12 @@ func (s *Simulator) packedBaselines(patterns []Pattern) []packedBase {
 // IDDQ-leak signature (only fully-defined input vectors can leak, by
 // construction of the table). The nested per-digit loops prune whole
 // subtables whose lane mask is already empty and avoid the radix-3
-// divisions of a flat index walk (this runs once per fault per chunk,
+// divisions of a flat index walk (this runs once per fault per word,
 // right on the packed hot path).
 func evalFaultLUTPacked(lut *faultLUT, in []logic.PackedVec) (logic.PackedVec, uint64) {
 	// Digit masks computed in place (the [3][3]uint64 of
 	// logic.TernaryLaneMasks is a 72-byte copy per call, once per fault
-	// per chunk).
+	// per word).
 	var masks [3][3]uint64
 	for i := range in {
 		p := in[i].Canon()
@@ -141,27 +271,61 @@ func evalFaultLUTPacked(lut *faultLUT, in []logic.PackedVec) (logic.PackedVec, u
 	return out, leak
 }
 
-// faninPlanes gathers one gate's input planes.
-func faninPlanes(cc *logic.CompiledCircuit, gi int, vals []logic.PackedVec, buf []logic.PackedVec) []logic.PackedVec {
-	fin := cc.Fanin[gi]
-	buf = buf[:len(fin)]
-	for k, nid := range fin {
-		buf[k] = vals[nid]
+// packedSeed is one fault's state inside a propagation pass. Its lane
+// group is mask; fout is the blended site plane (baseline outside the
+// mask, faulty within), leak the masked IDDQ lanes, diff the masked
+// primary-output deviation lanes accumulated so far. floor is the first
+// excited lane: no detection can land earlier, so the seed resolves the
+// moment diff gains that lane. pattern = patOff + lane maps a lane back
+// to the campaign's pattern index.
+type packedSeed struct {
+	out    int // index into the campaign's detection slice
+	gi     int // faulted gate
+	onet   int // its output net
+	floor  int
+	patOff int
+	live   bool
+	mask   [logic.MaxLaneWords]uint64
+	leak   [logic.MaxLaneWords]uint64
+	diff   [logic.MaxLaneWords]uint64
+	fout   [logic.MaxLaneWords]logic.PackedVec
+}
+
+// resolve finalizes a seed after propagation: the earliest lane of the
+// combined leak/diff mask wins, leak beating output at equal lanes (the
+// per-pattern observation order of the scalar engines).
+func (sd *packedSeed) resolve(w int) (DetectMethod, int, bool) {
+	var m [logic.MaxLaneWords]uint64
+	for j := 0; j < w; j++ {
+		m[j] = sd.leak[j] | sd.diff[j]
 	}
-	return buf
+	lane := logic.FirstLaneBlock(m[:w])
+	if lane == w<<6 {
+		return ByNone, -1, false
+	}
+	if sd.leak[lane>>6]>>uint(lane&63)&1 == 1 {
+		return ByIDDQ, sd.patOff + lane, true
+	}
+	return ByOutput, sd.patOff + lane, true
 }
 
 // packedScratch is the packed counterpart of coneScratch: epoch-stamped
-// faulty planes over the chunk baseline. Scheduling needs no heap — the
-// compiled circuit's static, topologically-sorted fanout cones are
-// walked directly, because with 64 lanes in flight nearly every cone
-// gate carries a change in some lane.
+// faulty lane blocks over the chunk baseline, per-net dirty word masks
+// and a topological-position min-heap of pending gates. The event-driven
+// walk evaluates only gates with a dirty fanin word, and only the dirty
+// words of those gates, so sparse campaigns never touch the static
+// all-gates cone tables.
 type packedScratch struct {
 	cc    *logic.CompiledCircuit
-	fval  []logic.PackedVec
-	stamp []int64
+	w     int               // current lane-block width of fval
+	fval  []logic.PackedVec // net-major stride w, valid where stamp/dirty say so
+	stamp []int64           // net touched-epoch
+	dirty []uint8           // net -> word mask of deviations vs baseline
+	gq    []int64           // gate queued-marker epoch
 	epoch int64
+	heap  []int // pending gate indices, min-heap by topological position
 	inbuf [3]logic.PackedVec
+	seeds []packedSeed // reusable batch buffer
 
 	// Scratch-local resolution caches — lock-free because a scratch is
 	// owned by exactly one goroutine at a time, and warm across
@@ -178,7 +342,7 @@ type packedScratch struct {
 	lastSlots *[8]*faultLUT
 	luts      [16]map[string]*[8]*faultLUT // [kind][transistor][tfault]
 
-	evals, runs uint64 // packed gate evals / fault runs, flushed per campaign
+	evals, runs uint64 // packed word evals / fault runs, flushed per campaign
 	life        uint64 // flushed evals, so life + evals is monotone for progress
 }
 
@@ -194,8 +358,11 @@ func (s *Simulator) packedScratchOf() *packedScratch {
 	cc := s.compiled()
 	return &packedScratch{
 		cc:     cc,
+		w:      1,
 		fval:   make([]logic.PackedVec, cc.NumNets()),
 		stamp:  make([]int64, cc.NumNets()),
+		dirty:  make([]uint8, cc.NumNets()),
+		gq:     make([]int64, len(cc.C.Gates)),
 		lastGI: -1,
 	}
 }
@@ -203,6 +370,28 @@ func (s *Simulator) packedScratchOf() *packedScratch {
 func (s *Simulator) putPackedScratch(sc *packedScratch) {
 	sc.flushStats()
 	s.scratchPool.Put(sc)
+}
+
+// ensure resizes the faulty-plane buffer to lane width w. Stale stamps
+// from another width are harmless: propagateSeeds bumps the epoch.
+func (sc *packedScratch) ensure(w int) {
+	if sc.w == w {
+		return
+	}
+	sc.w = w
+	if n := sc.cc.NumNets() * w; cap(sc.fval) < n {
+		sc.fval = make([]logic.PackedVec, n)
+	} else {
+		sc.fval = sc.fval[:n]
+	}
+}
+
+// seedBuf hands out n reusable seed slots.
+func (sc *packedScratch) seedBuf(n int) []packedSeed {
+	if cap(sc.seeds) < n {
+		sc.seeds = make([]packedSeed, n)
+	}
+	return sc.seeds[:n]
 }
 
 // gateIndex memoizes the instance-name lookup behind the 1-entry cache.
@@ -217,72 +406,47 @@ func (sc *packedScratch) gateIndex(s *Simulator, name string) (int, bool) {
 	return gi, ok
 }
 
-// propagateCone seeds gate gi's faulty output planes and walks gi's
-// static cone in topological order, evaluating only gates with a
-// changed fanin plane and recording only planes that actually change
-// versus the chunk baseline (all 64 lanes at once). It returns the
-// lanes with a definite good/faulty primary-output difference; per lane
-// this computes exactly what the scalar cone engine computes per
-// pattern.
-func (sc *packedScratch) propagateCone(gi int, fout logic.PackedVec, base []logic.PackedVec) uint64 {
-	cc := sc.cc
-	onet := cc.GateOut[gi]
-	sc.evals++
-	if fout == base[onet] {
-		return 0 // no lane excites the fault
+func (sc *packedScratch) push(gi int) {
+	if sc.gq[gi] == sc.epoch {
+		return
 	}
-	sc.epoch++
-	epoch := sc.epoch
-	stamp := sc.stamp
-	sc.fval[onet], stamp[onet] = fout, epoch
-	// A lane can only detect if it excites the fault at the seed, so
-	// the first excited lane lower-bounds every achievable detection
-	// lane: the moment a primary output differs there, no further
-	// propagation can improve the result and the walk stops.
-	floor := uint64(1) << uint(logic.FirstLane(
-		(fout.Val^base[onet].Val)|(fout.Known^base[onet].Known)))
-	var diff uint64
-	if cc.IsOutput[onet] {
-		diff |= logic.DefiniteDiffMask(base[onet], fout)
+	sc.gq[gi] = sc.epoch
+	sc.heap = append(sc.heap, gi)
+	pos := sc.cc.Pos
+	i := len(sc.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if pos[sc.heap[parent]] <= pos[sc.heap[i]] {
+			break
+		}
+		sc.heap[parent], sc.heap[i] = sc.heap[i], sc.heap[parent]
+		i = parent
 	}
-	if diff&floor != 0 {
-		return diff
+}
+
+func (sc *packedScratch) pop() int {
+	top := sc.heap[0]
+	last := len(sc.heap) - 1
+	sc.heap[0] = sc.heap[last]
+	sc.heap = sc.heap[:last]
+	pos := sc.cc.Pos
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(sc.heap) && pos[sc.heap[l]] < pos[sc.heap[smallest]] {
+			smallest = l
+		}
+		if r < len(sc.heap) && pos[sc.heap[r]] < pos[sc.heap[smallest]] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		sc.heap[i], sc.heap[smallest] = sc.heap[smallest], sc.heap[i]
+		i = smallest
 	}
-	for _, g := range cc.Cone(gi) {
-		fin := cc.Fanin[g]
-		dirty := false
-		for _, nid := range fin {
-			if stamp[nid] == epoch {
-				dirty = true
-				break
-			}
-		}
-		if !dirty {
-			continue
-		}
-		sc.evals++
-		in := sc.inbuf[:len(fin)]
-		for k, nid := range fin {
-			if stamp[nid] == epoch {
-				in[k] = sc.fval[nid]
-			} else {
-				in[k] = base[nid]
-			}
-		}
-		nv := logic.EvalKindPacked(cc.Kinds[g], cc.LUT[g], in)
-		on := cc.GateOut[g]
-		if nv == base[on] {
-			continue
-		}
-		sc.fval[on], stamp[on] = nv, epoch
-		if cc.IsOutput[on] {
-			diff |= logic.DefiniteDiffMask(base[on], nv)
-			if diff&floor != 0 {
-				return diff
-			}
-		}
-	}
-	return diff
+	return top
 }
 
 // flushStats publishes the accumulated packed counters (once per
@@ -327,84 +491,381 @@ func (sc *packedScratch) resolveFaultLUT(key faultLUTKey) (*faultLUT, error) {
 	return lut, nil
 }
 
+// resolvePackedFault resolves a simulable fault's gate and behaviour
+// LUT through the scratch memos.
+func (s *Simulator) resolvePackedFault(f core.Fault, sc *packedScratch) (int, *faultLUT, error) {
+	tf, _ := f.Kind.TFault()
+	gi, ok := sc.gateIndex(s, f.Gate)
+	if !ok {
+		return 0, nil, fmt.Errorf("faultsim: unknown gate %q", f.Gate)
+	}
+	kind := s.C.Gates[gi].Kind
+	if sc.lastSlots != nil && kind == sc.lastKind && f.Transistor == sc.lastTr && int(tf) < 8 {
+		if lut := sc.lastSlots[tf]; lut != nil {
+			return gi, lut, nil
+		}
+	}
+	lut, err := sc.resolveFaultLUT(faultLUTKey{kind, f.Transistor, tf})
+	return gi, lut, err
+}
+
+// seedChunk fills sd with fault f's behaviour over the baseline block,
+// restricted to the lanes of mask: the masked IDDQ leak lanes, the
+// blended site plane and the excitation floor. live is set when at
+// least one masked lane excites the fault (the seed needs propagation
+// to resolve); leak lanes are reported either way.
+func (sc *packedScratch) seedChunk(sd *packedSeed, gi int, lut *faultLUT, mask []uint64, patOff int, base []logic.PackedVec, useIDDQ bool) {
+	cc, w := sc.cc, sc.w
+	on := cc.GateOut[gi]
+	fin := cc.Fanin[gi]
+	sd.gi, sd.onet, sd.patOff = gi, on, patOff
+	var exc [logic.MaxLaneWords]uint64
+	for j := 0; j < w; j++ {
+		m := mask[j]
+		sd.mask[j] = m
+		sd.leak[j], sd.diff[j] = 0, 0
+		b := base[on*w+j]
+		if m == 0 {
+			sd.fout[j] = b
+			continue
+		}
+		in := sc.inbuf[:len(fin)]
+		for k, nid := range fin {
+			in[k] = base[nid*w+j]
+		}
+		fo, leak := evalFaultLUTPacked(lut, in)
+		sc.evals++
+		if useIDDQ {
+			sd.leak[j] = leak & m
+		}
+		exc[j] = ((fo.Val ^ b.Val) | (fo.Known ^ b.Known)) & m
+		sd.fout[j] = logic.PackedVec{
+			Val:   b.Val&^m | fo.Val&m,
+			Known: b.Known&^m | fo.Known&m,
+		}
+	}
+	sd.floor = logic.FirstLaneBlock(exc[:w])
+	sd.live = sd.floor < w<<6
+}
+
+// propagateSeeds pushes the live seeds' blended site planes through the
+// event-driven block walk, accumulating each seed's masked
+// primary-output deviations into its diff words. Seeds carry disjoint
+// lane groups, evaluation is lane-wise, and every seed's fanins sit
+// upstream of its own fault, so within one group the only deviation
+// source is that group's seed: each seed's diff is exactly what a solo
+// propagation over its lanes would produce, and the walk stops as soon
+// as every seed has resolved its floor lane. Faulted gates re-assert
+// their blended plane whenever another seed's effects wash over them,
+// so batches need no structural disjointness — faults may even share a
+// gate.
+func (sc *packedScratch) propagateSeeds(seeds []packedSeed, base []logic.PackedVec) {
+	cc, w := sc.cc, sc.w
+	stamp, dirty := sc.stamp, sc.dirty
+	sc.epoch++
+	epoch := sc.epoch
+	sc.heap = sc.heap[:0]
+
+	live := 0
+	// credit distributes a changed output net's definite diff lanes to
+	// the live seeds, retiring seeds that gain their floor lane.
+	credit := func(on int) {
+		var dm [logic.MaxLaneWords]uint64
+		any := uint64(0)
+		for j := 0; j < w; j++ {
+			if dirty[on]>>uint(j)&1 == 1 {
+				dm[j] = logic.DefiniteDiffMask(base[on*w+j], sc.fval[on*w+j])
+				any |= dm[j]
+			}
+		}
+		if any == 0 {
+			return
+		}
+		for si := range seeds {
+			sd := &seeds[si]
+			if !sd.live {
+				continue
+			}
+			gained := false
+			for j := 0; j < w; j++ {
+				if nd := dm[j] & sd.mask[j] &^ sd.diff[j]; nd != 0 {
+					sd.diff[j] |= nd
+					gained = true
+				}
+			}
+			if gained && sd.diff[sd.floor>>6]>>uint(sd.floor&63)&1 == 1 {
+				sd.live = false
+				live--
+			}
+		}
+	}
+
+	// Seed phase: merge the blended site planes (groups are disjoint, so
+	// merges never conflict), then stamp, credit and schedule each
+	// distinct site net once.
+	var sitebuf [maxPackGroups]int
+	sites := sitebuf[:0]
+	for si := range seeds {
+		sd := &seeds[si]
+		if !sd.live {
+			continue
+		}
+		live++
+		on := sd.onet
+		if stamp[on] != epoch {
+			stamp[on], dirty[on] = epoch, 0
+			for j := 0; j < w; j++ {
+				sc.fval[on*w+j] = base[on*w+j]
+			}
+			sites = append(sites, on)
+		}
+		for j := 0; j < w; j++ {
+			m := sd.mask[j]
+			if m == 0 {
+				continue
+			}
+			fv := &sc.fval[on*w+j]
+			fv.Val = fv.Val&^m | sd.fout[j].Val&m
+			fv.Known = fv.Known&^m | sd.fout[j].Known&m
+		}
+	}
+	for _, on := range sites {
+		d := uint8(0)
+		for j := 0; j < w; j++ {
+			if sc.fval[on*w+j] != base[on*w+j] {
+				d |= 1 << uint(j)
+			}
+		}
+		dirty[on] = d
+		if d == 0 {
+			continue
+		}
+		if cc.IsOutput[on] {
+			credit(on)
+		}
+		for _, g := range cc.Fanouts[on] {
+			sc.push(g)
+		}
+	}
+
+	// Event-driven walk: the min-heap pops gates in topological order,
+	// so each gate's fanins are final when it is evaluated and no gate
+	// runs twice per epoch. Only dirty fanin words are re-evaluated;
+	// words that return to baseline drop their dirty bit.
+	for len(sc.heap) > 0 && live > 0 {
+		g := sc.pop()
+		fin := cc.Fanin[g]
+		dw := uint8(0)
+		for _, nid := range fin {
+			if stamp[nid] == epoch {
+				dw |= dirty[nid]
+			}
+		}
+		if dw == 0 {
+			continue
+		}
+		on := cc.GateOut[g]
+		prev := uint8(0)
+		if stamp[on] == epoch { // a seeded site: keep non-evaluated words' deviations
+			prev = dirty[on] &^ dw
+		} else {
+			stamp[on] = epoch
+		}
+		blend := false
+		for si := range seeds {
+			if seeds[si].gi == g {
+				blend = true
+				break
+			}
+		}
+		nd := prev
+		kind, lut := cc.Kinds[g], cc.LUT[g]
+		for j := 0; j < w; j++ {
+			if dw>>uint(j)&1 == 0 {
+				continue
+			}
+			in := sc.inbuf[:len(fin)]
+			for k, nid := range fin {
+				if stamp[nid] == epoch && dirty[nid]>>uint(j)&1 == 1 {
+					in[k] = sc.fval[nid*w+j]
+				} else {
+					in[k] = base[nid*w+j]
+				}
+			}
+			nv := logic.EvalKindPacked(kind, lut, in)
+			sc.evals++
+			if blend {
+				// A faulted gate's output is forced within its seed's
+				// lanes regardless of what washed over its inputs.
+				for si := range seeds {
+					sd := &seeds[si]
+					if sd.gi != g {
+						continue
+					}
+					m := sd.mask[j]
+					nv.Val = nv.Val&^m | sd.fout[j].Val&m
+					nv.Known = nv.Known&^m | sd.fout[j].Known&m
+				}
+			}
+			if nv != base[on*w+j] {
+				sc.fval[on*w+j] = nv
+				nd |= 1 << uint(j)
+			}
+		}
+		dirty[on] = nd
+		if nd == 0 {
+			continue
+		}
+		if cc.IsOutput[on] {
+			credit(on)
+			if live == 0 {
+				return
+			}
+		}
+		for _, fg := range cc.Fanouts[on] {
+			sc.push(fg)
+		}
+	}
+}
+
 // simulateTransistorFaultPacked is the packed counterpart of
 // simulateTransistorFaultCompiled: identical Detection results, one
-// packed behaviour-LUT evaluation plus one packed cone pass per chunk.
+// packed behaviour-LUT evaluation plus one event-driven block pass per
+// chunk.
 func (s *Simulator) simulateTransistorFaultPacked(f core.Fault, bases []packedBase, sc *packedScratch, useIDDQ bool) (Detection, error) {
 	d := Detection{Fault: f, Pattern: -1}
-	if f.Kind.IsLineFault() {
+	if !transistorSimulable(f) {
 		return d, nil
-	}
-	tf, ok := f.Kind.TFault()
-	if !ok {
-		return d, nil // analog-only faults are out of scope here
 	}
 	if len(bases) == 0 {
 		return d, nil
 	}
-	gi, ok := sc.gateIndex(s, f.Gate)
-	if !ok {
-		return d, fmt.Errorf("faultsim: unknown gate %q", f.Gate)
-	}
-	kind := s.C.Gates[gi].Kind
-	var lut *faultLUT
-	if sc.lastSlots != nil && kind == sc.lastKind && f.Transistor == sc.lastTr && int(tf) < 8 {
-		lut = sc.lastSlots[tf]
-	}
-	if lut == nil {
-		var err error
-		lut, err = sc.resolveFaultLUT(faultLUTKey{kind, f.Transistor, tf})
-		if err != nil {
-			return d, err
-		}
+	gi, lut, err := s.resolvePackedFault(f, sc)
+	if err != nil {
+		return d, err
 	}
 	sc.runs++
-	cc := sc.cc
+	w := sc.w
+	seeds := sc.seedBuf(1)
+	sd := &seeds[0]
 	for ci := range bases {
 		pb := &bases[ci]
-		fout, leak := evalFaultLUTPacked(lut, faninPlanes(cc, gi, pb.vals, sc.inbuf[:]))
-		if !useIDDQ {
-			leak = 0
-		}
+		sc.seedChunk(sd, gi, lut, pb.valid, pb.start, pb.vals, useIDDQ)
 		// Per pattern, the leak check precedes the output compare
 		// (mirroring the scalar engines); across patterns the earliest
-		// lane wins. A leak in the chunk's first lane therefore decides
-		// immediately — no output difference can come earlier.
-		if leak&1 == 1 {
-			d.Method, d.Pattern = ByIDDQ, pb.start
+		// lane wins. A leak at or before the first excited lane therefore
+		// decides without propagation — no output difference can come
+		// earlier.
+		if firstLeak := logic.FirstLaneBlock(sd.leak[:w]); firstLeak <= sd.floor {
+			if firstLeak < w<<6 {
+				d.Method, d.Pattern = ByIDDQ, pb.start+firstLeak
+				return d, nil
+			}
+			continue // neither leak nor excitation in this chunk
+		}
+		sc.propagateSeeds(seeds, pb.vals)
+		if method, pattern, ok := sd.resolve(w); ok {
+			d.Method, d.Pattern = method, pattern
 			return d, nil
 		}
-		diff := sc.propagateCone(gi, fout, pb.vals)
-		m := (leak | diff) & pb.valid
-		if m == 0 {
-			continue
-		}
-		lane := logic.FirstLane(m)
-		if leak>>uint(lane)&1 == 1 {
-			d.Method = ByIDDQ
-		} else {
-			d.Method = ByOutput
-		}
-		d.Pattern = pb.start + lane
-		return d, nil
 	}
 	return d, nil
+}
+
+// runPackedGrouped sweeps the faults selected by idxs with fault
+// packing: up to plan.groups simulable faults seed disjoint lane groups
+// of the replicated baseline and resolve in one shared propagation
+// pass. Faults whose leak decides at or before their excitation floor
+// resolve at seed time and never occupy a group slot.
+func (s *Simulator) runPackedGrouped(ctx context.Context, faults []core.Fault, idxs []int, gb *packedGroupBase, sc *packedScratch, useIDDQ bool, sink *progressSink, out []Detection) error {
+	w := sc.w
+	seeds := sc.seedBuf(gb.groups)[:0]
+	batchDetected := 0
+	batchStart := sc.lifetimeEvals()
+	flush := func() {
+		if len(seeds) == 0 {
+			return
+		}
+		sc.propagateSeeds(seeds, gb.vals)
+		for si := range seeds {
+			sd := &seeds[si]
+			if method, pattern, ok := sd.resolve(w); ok {
+				out[sd.out].Method, out[sd.out].Pattern = method, pattern
+				batchDetected++
+			}
+		}
+		sink.add(len(seeds), batchDetected, 0, sc.lifetimeEvals()-batchStart)
+		seeds = seeds[:0]
+		batchDetected = 0
+		batchStart = sc.lifetimeEvals()
+	}
+	for _, i := range idxs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		f := faults[i]
+		out[i] = Detection{Fault: f, Pattern: -1}
+		if !transistorSimulable(f) {
+			sink.add(1, 0, 1, 0)
+			continue
+		}
+		gi, lut, err := s.resolvePackedFault(f, sc)
+		if err != nil {
+			return err
+		}
+		sc.runs++
+		g := len(seeds)
+		seeds = seeds[:g+1]
+		sd := &seeds[g]
+		sd.out = i
+		before := sc.lifetimeEvals()
+		sc.seedChunk(sd, gi, lut, gb.masks[g], -g*gb.span, gb.vals, useIDDQ)
+		if firstLeak := logic.FirstLaneBlock(sd.leak[:w]); firstLeak <= sd.floor {
+			// Resolved at seed time: release the slot for the next fault.
+			detected := 0
+			if firstLeak < w<<6 {
+				out[i].Method, out[i].Pattern = ByIDDQ, sd.patOff+firstLeak
+				detected = 1
+			}
+			seeds = seeds[:g]
+			delta := sc.lifetimeEvals() - before
+			batchStart += delta // keep the batch delta clean of this fault
+			sink.add(1, detected, 0, delta)
+			continue
+		}
+		if len(seeds) == gb.groups {
+			flush()
+		}
+	}
+	flush()
+	return nil
 }
 
 // runTransistorPacked is the serial packed campaign driver.
 func (s *Simulator) runTransistorPacked(ctx context.Context, faults []core.Fault, patterns []Pattern, useIDDQ bool) ([]Detection, error) {
 	sink := s.progressSink("transistor", len(faults))
-	bases := s.packedBaselines(patterns)
+	pl := s.packedPlanFor(faults, patterns)
 	sc := s.packedScratchOf()
+	sc.ensure(pl.w)
 	defer s.putPackedScratch(sc)
-	sink.add(0, 0, 0, uint64(len(bases))*uint64(len(s.C.Gates))) // baseline packed evals
+	sink.add(0, 0, 0, pl.baseEvals(len(s.C.Gates)))
 	out := make([]Detection, len(faults))
+	if pl.gb != nil {
+		idxs := make([]int, len(faults))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		if err := s.runPackedGrouped(ctx, faults, idxs, pl.gb, sc, useIDDQ, sink, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	for i, f := range faults {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		before := sc.lifetimeEvals()
-		d, err := s.simulateTransistorFaultPacked(f, bases, sc, useIDDQ)
+		d, err := s.simulateTransistorFaultPacked(f, pl.bases, sc, useIDDQ)
 		if err != nil {
 			return nil, err
 		}
@@ -414,23 +875,25 @@ func (s *Simulator) runTransistorPacked(ctx context.Context, faults []core.Fault
 	return out, nil
 }
 
-// laneGateIndex decodes one gate's ternary LUT index for a single lane
-// of the given planes.
-func laneGateIndex(cc *logic.CompiledCircuit, gi, lane int, vals []logic.PackedVec) int {
+// blockGateIndex decodes one gate's ternary LUT index for a single lane
+// of a width-w block.
+func blockGateIndex(cc *logic.CompiledCircuit, gi, w, lane int, vals []logic.PackedVec) int {
 	idx := 0
 	for k, nid := range cc.Fanin[gi] {
-		idx += int(vals[nid].Get(lane)) * logic.Pow3(k)
+		idx += int(vals[nid*w+lane>>6].Get(lane&63)) * logic.Pow3(k)
 	}
 	return idx
 }
 
 // runTwoPatternPacked replays pattern pairs through the stuck-open
-// transition LUTs with packed cone propagation: the faulty gate's
+// transition LUTs with packed block propagation: the faulty gate's
 // charge-state trajectory is still decoded per lane (the Mealy state is
 // radix-3 over internal node labels and does not vectorise), but the
-// expensive downstream propagation of the test pattern covers all 64
-// pairs of a chunk in one pass.
-func (s *Simulator) runTwoPatternPacked(faults []core.Fault, pairs [][2]Pattern) ([]Detection, error) {
+// expensive downstream propagation of the test pattern covers all lanes
+// of a block in one pass. Cancellation is checked between faults;
+// progress is reported per fault on the "two_pattern" stage.
+func (s *Simulator) runTwoPatternPacked(ctx context.Context, faults []core.Fault, pairs [][2]Pattern) ([]Detection, error) {
+	sink := s.progressSink("two_pattern", len(faults))
 	out := make([]Detection, len(faults))
 	hasOpen := false
 	for i, f := range faults {
@@ -440,6 +903,7 @@ func (s *Simulator) runTwoPatternPacked(faults []core.Fault, pairs [][2]Pattern)
 		}
 	}
 	if !hasOpen {
+		sink.add(len(faults), 0, len(faults), 0)
 		return out, nil // nothing to simulate: skip the baseline evals
 	}
 	firsts := make([]Pattern, len(pairs))
@@ -447,16 +911,23 @@ func (s *Simulator) runTwoPatternPacked(faults []core.Fault, pairs [][2]Pattern)
 	for k, pair := range pairs {
 		firsts[k], seconds[k] = pair[0], pair[1]
 	}
-	bases0 := s.packedBaselines(firsts)
-	bases1 := s.packedBaselines(seconds)
+	w := s.laneWordsFor(len(pairs), 1)
+	bases0 := s.packedBaselines(firsts, w)
+	bases1 := s.packedBaselines(seconds, w)
 	cc := s.compiled()
 	sc := s.packedScratchOf()
+	sc.ensure(w)
 	defer s.putPackedScratch(sc)
+	sink.add(0, 0, 0, uint64(len(bases0)+len(bases1))*uint64(len(s.C.Gates))*uint64(w))
 	totalRuns := uint64(0)
 	defer func() { engineStats.twoPatternRuns.Add(totalRuns) }()
 	for i, f := range faults {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tf, ok := f.Kind.TFault()
 		if !ok || tf != logic.TFaultOpen {
+			sink.add(1, 0, 1, 0)
 			continue
 		}
 		gi, ok := s.gateIdx[f.Gate]
@@ -464,26 +935,46 @@ func (s *Simulator) runTwoPatternPacked(faults []core.Fault, pairs [][2]Pattern)
 			return nil, fmt.Errorf("faultsim: unknown gate %q", f.Gate)
 		}
 		lut := compiledOpenLUT(s.C.Gates[gi].Kind, f.Transistor)
-	chunks:
+		before := sc.lifetimeEvals()
+		on := cc.GateOut[gi]
+		seeds := sc.seedBuf(1)
+		sd := &seeds[0]
 		for ci := range bases0 {
 			pb0, pb1 := &bases0[ci], &bases1[ci]
-			n := 64
-			if pb0.valid != ^uint64(0) {
-				n = logic.FirstLane(^pb0.valid)
+			n := len(pairs) - pb0.start
+			if n > 64*w {
+				n = 64 * w
 			}
-			var fout logic.PackedVec
+			sd.gi, sd.onet, sd.patOff = gi, on, pb1.start
+			for j := 0; j < w; j++ {
+				sd.mask[j] = pb1.valid[j]
+				sd.leak[j], sd.diff[j] = 0, 0
+				sd.fout[j] = pb1.vals[on*w+j]
+			}
 			for lane := 0; lane < n; lane++ {
 				totalRuns++
-				st := lut.next[int(lut.init)*lut.nVec+laneGateIndex(cc, gi, lane, pb0.vals)]
-				fout = fout.WithLane(lane, lut.out[int(st)*lut.nVec+laneGateIndex(cc, gi, lane, pb1.vals)])
+				st := lut.next[int(lut.init)*lut.nVec+blockGateIndex(cc, gi, w, lane, pb0.vals)]
+				v := lut.out[int(st)*lut.nVec+blockGateIndex(cc, gi, w, lane, pb1.vals)]
+				sd.fout[lane>>6] = sd.fout[lane>>6].WithLane(lane&63, v)
 			}
-			diff := sc.propagateCone(gi, fout, pb1.vals) & pb1.valid
-			if diff != 0 {
+			var exc [logic.MaxLaneWords]uint64
+			for j := 0; j < w; j++ {
+				b := pb1.vals[on*w+j]
+				exc[j] = ((sd.fout[j].Val ^ b.Val) | (sd.fout[j].Known ^ b.Known)) & sd.mask[j]
+			}
+			sd.floor = logic.FirstLaneBlock(exc[:w])
+			if sd.floor == w<<6 {
+				continue // no lane excites in this chunk
+			}
+			sd.live = true
+			sc.propagateSeeds(seeds, pb1.vals)
+			if lane := logic.FirstLaneBlock(sd.diff[:w]); lane < w<<6 {
 				out[i].Method = ByTwoPattern
-				out[i].Pattern = pb1.start + logic.FirstLane(diff)
-				break chunks
+				out[i].Pattern = pb1.start + lane
+				break
 			}
 		}
+		sink.add(1, b2i(out[i].Detected()), 0, sc.lifetimeEvals()-before)
 	}
 	return out, nil
 }

@@ -22,6 +22,9 @@ import (
 //     detections shift by the split point);
 //   - permutation: reordering patterns preserves the *set* of detected
 //     faults (method and first index legitimately move).
+//
+// The campaigns cycle through every lane-block width (1, 2 and 4 words
+// of 64 lanes), so each reshape is checked at each block geometry.
 
 func detectedSet(ds []Detection) map[string]bool {
 	out := map[string]bool{}
@@ -56,6 +59,7 @@ func TestPackedLaneInvarianceTransistor(t *testing.T) {
 
 		sim := New(c)
 		sim.Engine = EnginePacked
+		sim.LaneWords = []int{1, 2, 4}[ci%3]
 		base, err := sim.RunTransistor(faults, patterns, useIDDQ)
 		if err != nil {
 			t.Fatalf("case %d: %v", ci, err)
@@ -127,6 +131,7 @@ func TestPackedLaneInvarianceBridges(t *testing.T) {
 
 		sim := New(c)
 		sim.Engine = EnginePacked
+		sim.LaneWords = []int{1, 2, 4}[ci%3] // the bridge engine is fixed at width 1; pinning must be harmless
 		base, err := sim.RunBridgesObserved(context.Background(), bridges, patterns, useIDDQ)
 		if err != nil {
 			t.Fatalf("case %d: %v", ci, err)

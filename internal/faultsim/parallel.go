@@ -3,7 +3,9 @@ package faultsim
 import (
 	"context"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"cpsinw/internal/core"
 	"cpsinw/internal/logic"
@@ -86,16 +88,46 @@ func (s *Simulator) runTransistorSerial(ctx context.Context, faults []core.Fault
 	return out, nil
 }
 
+// faultOrder returns the fault indices sorted by the topological
+// position of each fault's gate, so contiguous worker ranges share cone
+// locality (downstream propagation repeatedly touches the same region)
+// and fault-packed batches group physically close faults. The reference
+// engine keeps list order: it has no compiled positions and must not
+// trigger a compile.
+func (s *Simulator) faultOrder(faults []core.Fault, engine Engine) []int {
+	ord := make([]int, len(faults))
+	for i := range ord {
+		ord[i] = i
+	}
+	if engine == EngineReference {
+		return ord
+	}
+	cc := s.compiled()
+	key := make([]int, len(faults))
+	for i, f := range faults {
+		if gi, ok := s.gateIdx[f.Gate]; ok {
+			key[i] = cc.Pos[gi]
+		} else {
+			key[i] = len(cc.Pos) // unknown gates and line faults sort last, in list order
+		}
+	}
+	sort.SliceStable(ord, func(a, b int) bool { return key[ord[a]] < key[ord[b]] })
+	return ord
+}
+
 // RunTransistorParallel is RunTransistor with the per-fault work spread
-// over a goroutine pool: each fault needs its own hooked evaluation, so
-// the fault axis is embarrassingly parallel, and the good-circuit
-// responses are computed once and shared read-only. The pool never
-// exceeds len(faults) workers, and the context cancels in-flight
-// campaigns between faults.
+// over a goroutine pool. Work is dispatched as contiguous ranges of the
+// cone-locality fault order rather than single striped faults, so each
+// worker's scratch stays warm on one region of the circuit and the
+// packed engine can fault-pack whole batches inside a range. The pool
+// never exceeds len(faults) workers; the context cancels in-flight
+// campaigns between faults, and after the first engine error the
+// remaining work is drained without simulating.
 func (s *Simulator) RunTransistorParallel(ctx context.Context, faults []core.Fault, patterns []Pattern, useIDDQ bool, workers int) ([]Detection, error) {
 	if len(faults) == 0 {
 		return []Detection{}, ctx.Err()
 	}
+	engine := s.resolveEngine(len(faults), len(patterns))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -103,7 +135,7 @@ func (s *Simulator) RunTransistorParallel(ctx context.Context, faults []core.Fau
 		workers = len(faults)
 	}
 	if workers == 1 || len(faults) < 2 {
-		switch s.Engine {
+		switch engine {
 		case EngineReference:
 			return s.runTransistorSerial(ctx, faults, patterns, useIDDQ)
 		case EnginePacked:
@@ -114,90 +146,116 @@ func (s *Simulator) RunTransistorParallel(ctx context.Context, faults []core.Fau
 
 	// Good-circuit responses are computed once and shared read-only:
 	// hooked maps for the reference engine, dense baselines for the
-	// compiled engine, packed chunk planes for the packed one (each
+	// compiled engine, packed lane blocks for the packed one (each
 	// worker carries its own scratch).
 	sink := s.progressSink("transistor", len(faults))
 	var goods []map[string]logic.V
 	var base [][]logic.V
-	var packedBases []packedBase
+	var pl packedPlan
 	baseEvals := uint64(len(patterns)) * uint64(len(s.C.Gates))
-	switch s.Engine {
+	switch engine {
 	case EngineReference:
 		goods = make([]map[string]logic.V, len(patterns))
 		for k, p := range patterns {
 			goods[k] = s.C.Eval(map[string]logic.V(p))
 		}
 	case EnginePacked:
-		packedBases = s.packedBaselines(patterns)
-		baseEvals = uint64(len(packedBases)) * uint64(len(s.C.Gates))
+		pl = s.packedPlanFor(faults, patterns)
+		baseEvals = pl.baseEvals(len(s.C.Gates))
 	default:
 		base = s.evalBaselines(patterns)
 	}
 	sink.add(0, 0, 0, baseEvals)
 
+	ord := s.faultOrder(faults, engine)
 	out := make([]Detection, len(faults))
-	jobs := make(chan int)
+	ranges := make(chan [2]int)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+	var errSet atomic.Bool
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			errSet.Store(true)
+		}
+		mu.Unlock()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			var sc *coneScratch
 			var psc *packedScratch
-			switch s.Engine {
+			switch engine {
 			case EngineReference:
 			case EnginePacked:
 				psc = s.packedScratchOf()
+				psc.ensure(pl.w)
 			default:
-				sc = newConeScratch(s.compiled())
+				sc = s.coneScratchOf()
 			}
-			for i := range jobs {
-				if ctx.Err() != nil {
-					continue // drain without working once canceled
+			for r := range ranges {
+				if ctx.Err() != nil || errSet.Load() {
+					continue // drain without working once canceled or failed
 				}
-				var d Detection
-				var err error
-				var evals uint64
-				switch s.Engine {
-				case EngineReference:
-					d, err = s.simulateTransistorFault(faults[i], patterns, goods, useIDDQ)
-					evals = s.referenceFaultEvals(faults[i], d, len(patterns))
-				case EnginePacked:
-					before := psc.lifetimeEvals()
-					d, err = s.simulateTransistorFaultPacked(faults[i], packedBases, psc, useIDDQ)
-					evals = psc.lifetimeEvals() - before
-				default:
-					before := sc.lifetimeEvals()
-					d, err = s.simulateTransistorFaultCompiled(faults[i], patterns, base, sc, useIDDQ)
-					evals = sc.lifetimeEvals() - before
-				}
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
+				idxs := ord[r[0]:r[1]]
+				if engine == EnginePacked && pl.gb != nil {
+					if err := s.runPackedGrouped(ctx, faults, idxs, pl.gb, psc, useIDDQ, sink, out); err != nil && ctx.Err() == nil {
+						fail(err)
 					}
-					mu.Unlock()
 					continue
 				}
-				out[i] = d
-				sink.add(1, b2i(d.Detected()), b2i(!transistorSimulable(faults[i])), evals)
+				for _, i := range idxs {
+					if ctx.Err() != nil || errSet.Load() {
+						break
+					}
+					var d Detection
+					var err error
+					var evals uint64
+					switch engine {
+					case EngineReference:
+						d, err = s.simulateTransistorFault(faults[i], patterns, goods, useIDDQ)
+						evals = s.referenceFaultEvals(faults[i], d, len(patterns))
+					case EnginePacked:
+						before := psc.lifetimeEvals()
+						d, err = s.simulateTransistorFaultPacked(faults[i], pl.bases, psc, useIDDQ)
+						evals = psc.lifetimeEvals() - before
+					default:
+						before := sc.lifetimeEvals()
+						d, err = s.simulateTransistorFaultCompiled(faults[i], patterns, base, sc, useIDDQ)
+						evals = sc.lifetimeEvals() - before
+					}
+					if err != nil {
+						fail(err)
+						continue
+					}
+					out[i] = d
+					sink.add(1, b2i(d.Detected()), b2i(!transistorSimulable(faults[i])), evals)
+				}
 			}
 			if psc != nil {
 				s.putPackedScratch(psc)
 			}
+			if sc != nil {
+				s.putConeScratch(sc)
+			}
 		}()
 	}
+	chunk := (len(faults) + workers*4 - 1) / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
 dispatch:
-	for i := range faults {
+	for lo := 0; lo < len(faults); lo += chunk {
 		select {
-		case jobs <- i:
+		case ranges <- [2]int{lo, min(lo+chunk, len(faults))}:
 		case <-ctx.Done():
 			break dispatch
 		}
 	}
-	close(jobs)
+	close(ranges)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err

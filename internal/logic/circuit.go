@@ -191,57 +191,8 @@ func (c *Circuit) EvalOutputs(assign map[string]V) []V {
 	return out
 }
 
-// --- 64-way parallel-pattern two-valued simulation ---
-
-// PackedAssign maps each input to a 64-bit word: bit k is the value of the
-// input in pattern k.
-type PackedAssign map[string]uint64
-
-// EvalPacked simulates 64 binary patterns at once. All inputs missing from
-// the assignment are zero in every pattern.
-func (c *Circuit) EvalPacked(assign PackedAssign) map[string]uint64 {
-	vals := map[string]uint64{}
-	for _, pi := range c.Inputs {
-		vals[pi] = assign[pi]
-	}
-	for _, gi := range c.levelized {
-		g := &c.Gates[gi]
-		vals[g.Output] = evalPacked(g.Kind, g.Fanin, vals)
-	}
-	return vals
-}
-
-func evalPacked(kind gates.Kind, fanin []string, vals map[string]uint64) uint64 {
-	var w [3]uint64
-	for i, f := range fanin {
-		w[i] = vals[f]
-	}
-	return evalPackedWords(kind, w[:len(fanin)])
-}
-
-// evalPackedWords computes one gate over explicit per-pin 64-pattern words.
-func evalPackedWords(kind gates.Kind, words []uint64) uint64 {
-	get := func(i int) uint64 { return words[i] }
-	switch kind {
-	case gates.INV:
-		return ^get(0)
-	case gates.BUF:
-		return get(0)
-	case gates.NAND2:
-		return ^(get(0) & get(1))
-	case gates.NAND3:
-		return ^(get(0) & get(1) & get(2))
-	case gates.NOR2:
-		return ^(get(0) | get(1))
-	case gates.NOR3:
-		return ^(get(0) | get(1) | get(2))
-	case gates.XOR2:
-		return get(0) ^ get(1)
-	case gates.XOR3:
-		return get(0) ^ get(1) ^ get(2)
-	case gates.MAJ3:
-		a, b, cc := get(0), get(1), get(2)
-		return (a & b) | (b & cc) | (a & cc)
-	}
-	return 0
-}
+// The former map-based 64-way binary simulation (PackedAssign /
+// Circuit.EvalPacked / EvalPackedHooked) is gone: every dense consumer —
+// stuck-at, transistor and bridge fault simulation alike — now evaluates
+// the one levelized IR of CompiledCircuit, with ternary bitplane lanes
+// (PackedVec / lane blocks) as the only packed representation.

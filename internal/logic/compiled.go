@@ -123,11 +123,32 @@ func (cc *CompiledCircuit) GateInputIndex(gi int, vals []V) int {
 // the differential and fuzz suites in internal/faultsim and this
 // package enforce.
 func (cc *CompiledCircuit) EvalPacked(in []PackedVec, vals []PackedVec) []PackedVec {
+	return cc.EvalBlock(in, 1, vals)
+}
+
+// EvalBlock simulates w*64 ternary patterns at once over the same
+// levelized IR: in holds the input blocks (input-major, stride w), vals
+// the per-net result blocks (net-major, stride w, length NumNets()*w).
+// Lane l of the result is bit-identical to EvalInto on pattern l;
+// width 1 is exactly EvalPacked. This is the one dense evaluation every
+// packed fault engine builds its baselines from.
+func (cc *CompiledCircuit) EvalBlock(in []PackedVec, w int, vals []PackedVec) []PackedVec {
 	for i, id := range cc.InputID {
-		vals[id] = in[i].Canon()
+		for j := 0; j < w; j++ {
+			vals[id*w+j] = in[i*w+j].Canon()
+		}
 	}
+	var buf [3]PackedVec
 	for _, gi := range cc.Order {
-		vals[cc.GateOut[gi]] = cc.EvalGatePlanes(gi, vals)
+		fin := cc.Fanin[gi]
+		on := cc.GateOut[gi]
+		kind, lut := cc.Kinds[gi], cc.LUT[gi]
+		for j := 0; j < w; j++ {
+			for k, nid := range fin {
+				buf[k] = vals[nid*w+j]
+			}
+			vals[on*w+j] = EvalKindPacked(kind, lut, buf[:len(fin)])
+		}
 	}
 	return vals
 }
@@ -135,8 +156,10 @@ func (cc *CompiledCircuit) EvalPacked(in []PackedVec, vals []PackedVec) []Packed
 // Cone returns the structural fanout cone of gate gi — every gate a
 // value change at gi's output can reach, excluding gi itself, in
 // topological evaluation order. Built lazily for all gates at once and
-// cached (the packed engine walks cones instead of scheduling a heap:
-// with 64 lanes in flight nearly the whole cone is active anyway).
+// cached. Only the packed bridge engine still consumes static cones
+// (its union-cone fixpoint needs the full downstream set up front); the
+// transistor engines schedule an event-driven heap instead, so big
+// sparse campaigns never pay the O(gates^2) cone build.
 func (cc *CompiledCircuit) Cone(gi int) []int {
 	cc.conesOnce.Do(func() {
 		n := len(cc.C.Gates)

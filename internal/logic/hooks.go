@@ -54,35 +54,7 @@ func (c *Circuit) EvalHooked(assign map[string]V, h TernaryHooks) map[string]V {
 	return vals
 }
 
-// PackedHooks customises EvalPacked for 64-way parallel fault injection.
-type PackedHooks struct {
-	Stem func(net string, w uint64) uint64
-	Pin  func(gateIdx, pin int, w uint64) uint64
-}
-
-// EvalPackedHooked simulates 64 binary patterns with line-fault hooks.
-func (c *Circuit) EvalPackedHooked(assign PackedAssign, h PackedHooks) map[string]uint64 {
-	vals := map[string]uint64{}
-	stem := func(net string, w uint64) uint64 {
-		if h.Stem != nil {
-			return h.Stem(net, w)
-		}
-		return w
-	}
-	for _, pi := range c.Inputs {
-		vals[pi] = stem(pi, assign[pi])
-	}
-	var words [3]uint64
-	for _, gi := range c.levelized {
-		g := &c.Gates[gi]
-		for i, f := range g.Fanin {
-			w := vals[f]
-			if h.Pin != nil {
-				w = h.Pin(gi, i, w)
-			}
-			words[i] = w
-		}
-		vals[g.Output] = stem(g.Output, evalPackedWords(g.Kind, words[:len(g.Fanin)]))
-	}
-	return vals
-}
+// Packed (bit-parallel) fault injection no longer lives here: line
+// stuck-at faults are injected as forced PackedVec planes directly over
+// the levelized CompiledCircuit IR in internal/faultsim, sharing one
+// dense representation with the transistor and bridge engines.

@@ -290,51 +290,61 @@ func TestEvalTernaryXPropagation(t *testing.T) {
 
 func TestEvalPackedAgainstTernary(t *testing.T) {
 	c := mustParse(t, fullAdderBench)
+	cc := c.Compile()
 	// 8 exhaustive patterns packed in one word.
-	assign := PackedAssign{}
-	for p := 0; p < 8; p++ {
-		if p&1 == 1 {
-			assign["a"] |= 1 << p
-		}
-		if p&2 == 2 {
-			assign["b"] |= 1 << p
-		}
-		if p&4 == 4 {
-			assign["cin"] |= 1 << p
+	in := make([]PackedVec, len(c.Inputs))
+	lane := map[string]func(p int) V{
+		"a":   func(p int) V { return FromBool(p&1 == 1) },
+		"b":   func(p int) V { return FromBool(p&2 == 2) },
+		"cin": func(p int) V { return FromBool(p&4 == 4) },
+	}
+	for i, pi := range c.Inputs {
+		for p := 0; p < 8; p++ {
+			in[i] = in[i].WithLane(p, lane[pi](p))
 		}
 	}
-	packed := c.EvalPacked(assign)
+	vals := cc.EvalPacked(in, make([]PackedVec, cc.NumNets()))
 	for p := 0; p < 8; p++ {
 		serial := c.EvalOutputs(map[string]V{
-			"a": FromBool(p&1 == 1), "b": FromBool(p&2 == 2), "cin": FromBool(p&4 == 4),
+			"a": lane["a"](p), "b": lane["b"](p), "cin": lane["cin"](p),
 		})
 		for i, po := range c.Outputs {
-			got := packed[po]>>p&1 == 1
-			want, _ := serial[i].Bool()
-			if got != want {
-				t.Errorf("pattern %d output %s: packed=%v serial=%v", p, po, got, want)
+			if got := vals[cc.NetID[po]].Get(p); got != serial[i] {
+				t.Errorf("pattern %d output %s: packed=%v serial=%v", p, po, got, serial[i])
 			}
 		}
 	}
 }
 
 func TestEvalPackedPropertyAllKinds(t *testing.T) {
-	// evalPacked must agree with the scalar Eval on random words for every
-	// library gate.
+	// EvalKindBlock must agree with the scalar Eval on random binary
+	// words for every library gate, at every supported block width.
 	f := func(a, b, c uint64, kidx uint8) bool {
 		kinds := gates.Kinds()
 		k := kinds[int(kidx)%len(kinds)]
 		spec := gates.Get(k)
-		vals := map[string]uint64{"a": a, "b": b, "c": c}
-		fanin := []string{"a", "b", "c"}[:spec.NIn]
-		word := evalPacked(k, fanin, vals)
-		for p := 0; p < 64; p += 7 {
-			in := make([]bool, spec.NIn)
-			for i, f := range fanin {
-				in[i] = vals[f]>>p&1 == 1
+		lut := CompileGateLUT(k)
+		words := []uint64{a, b, c}[:spec.NIn]
+		for _, w := range []int{1, 2, 4} {
+			ins := make([]PackedBlock, spec.NIn)
+			for i, word := range words {
+				ins[i] = make(PackedBlock, w)
+				for j := range ins[i] {
+					ins[i][j] = PackedVec{Val: word, Known: ^uint64(0)}
+				}
 			}
-			if (word>>p&1 == 1) != spec.Eval(in) {
-				return false
+			out := make(PackedBlock, w)
+			EvalKindBlock(k, lut, ins, out)
+			for j := 0; j < w; j++ {
+				for p := 0; p < 64; p += 7 {
+					in := make([]bool, spec.NIn)
+					for i := range words {
+						in[i] = words[i]>>uint(p)&1 == 1
+					}
+					if (out[j].Val>>uint(p)&1 == 1) != spec.Eval(in) || out[j].Known>>uint(p)&1 != 1 {
+						return false
+					}
+				}
 			}
 		}
 		return true

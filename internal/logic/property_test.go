@@ -122,12 +122,19 @@ func TestChargeRetentionProperty(t *testing.T) {
 	}
 }
 
-// TestPackedVsTernaryProperty: packed 64-way simulation agrees with
-// ternary simulation on binary assignments for the full adder.
+// TestPackedVsTernaryProperty: packed 64-way simulation over the
+// compiled IR agrees with ternary simulation on binary assignments for
+// the full adder.
 func TestPackedVsTernaryProperty(t *testing.T) {
 	c := mustParse(t, fullAdderBench)
+	cc := c.Compile()
 	f := func(wa, wb, wc uint64) bool {
-		packed := c.EvalPacked(PackedAssign{"a": wa, "b": wb, "cin": wc})
+		word := map[string]uint64{"a": wa, "b": wb, "cin": wc}
+		in := make([]PackedVec, len(c.Inputs))
+		for i, pi := range c.Inputs {
+			in[i] = PackedVec{Val: word[pi], Known: ^uint64(0)}
+		}
+		vals := cc.EvalPacked(in, make([]PackedVec, cc.NumNets()))
 		for p := 0; p < 64; p += 11 {
 			assign := map[string]V{
 				"a":   FromBool(wa>>uint(p)&1 == 1),
@@ -137,7 +144,7 @@ func TestPackedVsTernaryProperty(t *testing.T) {
 			serial := c.Eval(assign)
 			for _, po := range c.Outputs {
 				want, _ := serial[po].Bool()
-				if packed[po]>>uint(p)&1 == 1 != want {
+				if (vals[cc.NetID[po]].Val>>uint(p)&1 == 1) != want {
 					return false
 				}
 			}

@@ -6,15 +6,15 @@ import (
 )
 
 // TestCampaignEngineSelection runs the same benchmark campaign through
-// all three fault-simulation engines over the wire: each must succeed,
-// tag its report with the engine used, produce identical coverage (the
-// engines are differentially proven bit-identical), land in distinct
-// cache entries, and show up in the per-engine job counters.
+// all four fault-simulation engine selections over the wire: each must
+// succeed, tag its report with the engine used, produce identical
+// coverage (the engines are differentially proven bit-identical), land
+// in distinct cache entries, and show up in the per-engine job counters.
 func TestCampaignEngineSelection(t *testing.T) {
 	_, ts := newTestServer(t)
 	reports := map[string]*CampaignReport{}
 	keys := map[string]string{}
-	for _, engine := range []string{"compiled", "reference", "packed"} {
+	for _, engine := range []string{"compiled", "reference", "packed", "auto"} {
 		st, code := postCampaign(t, ts, CampaignRequest{
 			Benchmark: "fa_cp",
 			Faults:    FaultConfig{StuckAt: true, Polarity: true, StuckOpen: true, Bridges: true, IDDQ: true},
@@ -36,11 +36,25 @@ func TestCampaignEngineSelection(t *testing.T) {
 		}
 		reports[engine] = &rep
 	}
-	if keys["compiled"] == keys["reference"] || keys["compiled"] == keys["packed"] || keys["reference"] == keys["packed"] {
-		t.Errorf("engine missing from the cache key: %v", keys)
+	seen := map[string]string{}
+	for engine, key := range keys {
+		if prev, dup := seen[key]; dup {
+			t.Errorf("engines %s and %s share a cache key: %v", prev, engine, keys)
+		}
+		seen[key] = engine
+	}
+	// An auto campaign reports its per-class resolved choices; the
+	// explicit engines leave them empty (the top-level field covers it).
+	for _, cov := range []*CoverageJSON{reports["auto"].Transistor, reports["auto"].TransistorIDDQ, reports["auto"].Bridges} {
+		if cov.Engine != "compiled" && cov.Engine != "packed" {
+			t.Errorf("auto report class engine = %q, want compiled or packed", cov.Engine)
+		}
+	}
+	if e := reports["packed"].Transistor.Engine; e != "" {
+		t.Errorf("explicit-engine report class engine = %q, want empty", e)
 	}
 	c := reports["compiled"]
-	for _, other := range []string{"reference", "packed"} {
+	for _, other := range []string{"reference", "packed", "auto"} {
 		r := reports[other]
 		if c.StuckAt.Detected != r.StuckAt.Detected ||
 			c.TransistorIDDQ.Detected != r.TransistorIDDQ.Detected ||
@@ -56,9 +70,15 @@ func TestCampaignEngineSelection(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/metrics?format=json", &metrics); code != http.StatusOK {
 		t.Fatalf("metrics: HTTP %d", code)
 	}
-	if metrics["jobs_engine_compiled"] < 1 || metrics["jobs_engine_reference"] < 1 || metrics["jobs_engine_packed"] < 1 {
-		t.Errorf("engine job counters = %v compiled / %v reference / %v packed, want >= 1 each",
-			metrics["jobs_engine_compiled"], metrics["jobs_engine_reference"], metrics["jobs_engine_packed"])
+	if metrics["jobs_engine_compiled"] < 1 || metrics["jobs_engine_reference"] < 1 ||
+		metrics["jobs_engine_packed"] < 1 || metrics["jobs_engine_auto"] < 1 {
+		t.Errorf("engine job counters = %v compiled / %v reference / %v packed / %v auto, want >= 1 each",
+			metrics["jobs_engine_compiled"], metrics["jobs_engine_reference"],
+			metrics["jobs_engine_packed"], metrics["jobs_engine_auto"])
+	}
+	if metrics["faultsim_auto_chosen_compiled"]+metrics["faultsim_auto_chosen_packed"] < 1 {
+		t.Errorf("auto chooser counters = %v compiled + %v packed, want >= 1 total",
+			metrics["faultsim_auto_chosen_compiled"], metrics["faultsim_auto_chosen_packed"])
 	}
 	if metrics["faultsim_packed_fault_runs"] < 1 || metrics["faultsim_packed_bridge_runs"] < 1 {
 		t.Errorf("packed faultsim counters missing: %v fault runs, %v bridge runs",

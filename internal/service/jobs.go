@@ -442,6 +442,8 @@ func (m *Manager) run(job *Job) {
 		m.metrics.ReferenceJobs.Inc()
 	case "packed":
 		m.metrics.PackedJobs.Inc()
+	case "auto":
+		m.metrics.AutoJobs.Inc()
 	default:
 		m.metrics.CompiledJobs.Inc()
 	}

@@ -45,10 +45,14 @@ type Metrics struct {
 	RejectedClosed    *obs.Counter
 
 	// Per-engine job accounting: which fault-simulation engine each
-	// executed campaign selected (compiled is the default).
+	// executed campaign selected (compiled is the default). Auto jobs
+	// count under "auto"; the per-campaign choices they resolve to are
+	// exposed by the process-wide cpsinw_faultsim_auto_choices_total
+	// counters.
 	CompiledJobs  *obs.Counter
 	ReferenceJobs *obs.Counter
 	PackedJobs    *obs.Counter
+	AutoJobs      *obs.Counter
 
 	// ProgressEvents counts live progress snapshots delivered by
 	// running campaigns (before SSE throttling).
@@ -82,6 +86,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	m.CompiledJobs = engine("compiled")
 	m.ReferenceJobs = engine("reference")
 	m.PackedJobs = engine("packed")
+	m.AutoJobs = engine("auto")
 	m.ProgressEvents = reg.Counter("cpsinw_progress_events_total", "Campaign progress snapshots delivered by running jobs.")
 	m.JobDuration = reg.Histogram("cpsinw_job_duration_seconds", "End-to-end execution time of non-cached jobs.", nil)
 	m.stages = make(map[string]*obs.Histogram, len(campaignStages))
@@ -159,6 +164,10 @@ func registerManagerMetrics(reg *obs.Registry, m *Manager) {
 		es(func(s faultsim.EngineStats) uint64 { return s.ReferenceGateEvals }), obs.L("engine", "reference"))
 	reg.CounterFunc("cpsinw_faultsim_gate_evals_total", "Engine-native gate evaluations (units differ per engine).",
 		es(func(s faultsim.EngineStats) uint64 { return s.PackedGateEvals }), obs.L("engine", "packed"))
+	reg.CounterFunc("cpsinw_faultsim_auto_choices_total", "Campaigns the auto chooser resolved, per chosen engine.",
+		es(func(s faultsim.EngineStats) uint64 { return s.AutoChosenCompiled }), obs.L("engine", "compiled"))
+	reg.CounterFunc("cpsinw_faultsim_auto_choices_total", "Campaigns the auto chooser resolved, per chosen engine.",
+		es(func(s faultsim.EngineStats) uint64 { return s.AutoChosenPacked }), obs.L("engine", "packed"))
 	reg.CounterFunc("cpsinw_faultsim_gate_evals_skipped_total", "Gate evaluations the cone engine avoided vs full re-simulation.",
 		es(func(s faultsim.EngineStats) uint64 { return s.GateEvalsSkipped }))
 	reg.CounterFunc("cpsinw_faultsim_fault_luts_compiled_total", "Distinct per-fault behaviour tables compiled.",
@@ -189,6 +198,7 @@ func (m *Metrics) Snapshot(queueDepth, workers int, cache *Cache) map[string]int
 		"jobs_engine_compiled":  m.CompiledJobs.Value(),
 		"jobs_engine_reference": m.ReferenceJobs.Value(),
 		"jobs_engine_packed":    m.PackedJobs.Value(),
+		"jobs_engine_auto":      m.AutoJobs.Value(),
 		"progress_events":       m.ProgressEvents.Value(),
 		"cache_hits":            hits,
 		"cache_misses":          misses,
@@ -210,5 +220,7 @@ func (m *Metrics) Snapshot(queueDepth, workers int, cache *Cache) map[string]int
 		"faultsim_compiled_bridge_runs":  es.CompiledBridgeRuns,
 		"faultsim_reference_gate_evals":  es.ReferenceGateEvals,
 		"faultsim_reference_bridge_runs": es.ReferenceBridgeRuns,
+		"faultsim_auto_chosen_compiled":  es.AutoChosenCompiled,
+		"faultsim_auto_chosen_packed":    es.AutoChosenPacked,
 	}
 }

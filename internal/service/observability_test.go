@@ -364,6 +364,7 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 		"cpsinw_faultsim_fault_runs_total counter",
 		"cpsinw_faultsim_bridge_runs_total counter",
 		"cpsinw_faultsim_gate_evals_total counter",
+		"cpsinw_faultsim_auto_choices_total counter",
 		"cpsinw_faultsim_gate_evals_skipped_total counter",
 		"cpsinw_faultsim_fault_luts_compiled_total counter",
 		"cpsinw_faultsim_two_pattern_runs_total counter",
@@ -388,6 +389,9 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 
 	for _, series := range []string{
 		`cpsinw_jobs_engine_total{engine="compiled"}`,
+		`cpsinw_jobs_engine_total{engine="auto"}`,
+		`cpsinw_faultsim_auto_choices_total{engine="compiled"}`,
+		`cpsinw_faultsim_auto_choices_total{engine="packed"}`,
 		`cpsinw_faultsim_gate_evals_total{engine="compiled"}`,
 		`cpsinw_faultsim_gate_evals_total{engine="reference"}`,
 		`cpsinw_faultsim_gate_evals_total{engine="packed"}`,
