@@ -18,10 +18,12 @@ import (
 	"cpsinw/internal/bench"
 	"cpsinw/internal/core"
 	"cpsinw/internal/device"
+	"cpsinw/internal/dict"
 	"cpsinw/internal/experiments"
 	"cpsinw/internal/faultsim"
 	"cpsinw/internal/gates"
 	"cpsinw/internal/logic"
+	"cpsinw/internal/service"
 )
 
 var printOnce sync.Map
@@ -434,6 +436,81 @@ func BenchmarkFaultSimScaling(b *testing.B) {
 				}
 			}
 		}
+	}
+}
+
+// BenchmarkDictionaryCapture prices the fault-dictionary signature
+// sink on the workload its acceptance budget names: a full packed
+// mult16 campaign (stuck-at + CP transistor universe, IDDQ observed,
+// 64 random patterns) run end to end — pattern build, stuck-at sweep,
+// voltage sweep, +IDDQ sweep, report — with ("on") and without ("off")
+// a dictionary store attached. "on" additionally harvests signatures
+// in the sweeps capture instruments (the stuck-at and +IDDQ passes;
+// the voltage-only sweep runs uncaptured), compresses them and writes
+// the artifact atomically. Capture rows are written straight from the
+// engine's lane words — no second simulation pass — but a full
+// signature must resolve every (fault, pattern) lane where the
+// uncaptured engine stops at each fault's first detection, so the
+// captured sweeps evaluate ~1.4x the gates; BENCH_faultsim.json
+// records dated results and the budget discussion. Both runs must
+// agree on coverage exactly.
+//
+//	go test -bench=BenchmarkDictionaryCapture -benchtime=5x
+func BenchmarkDictionaryCapture(b *testing.B) {
+	req := service.CampaignRequest{
+		Benchmark: "mult16",
+		Faults: service.FaultConfig{
+			StuckAt: true, Polarity: true, StuckOpen: true, StuckOn: true,
+			IDDQ: true,
+		},
+		Patterns: 64,
+		Engine:   "packed",
+	}
+	norm, c, err := req.Normalize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := dict.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := service.CanonicalKey(c, norm)
+
+	run := func(b *testing.B, ro *service.RunObserver) *service.CampaignReport {
+		var last *service.CampaignReport
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := service.RunCampaignObserved(context.Background(), c, norm, ro)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = rep
+		}
+		return last
+	}
+
+	reports := map[string]*service.CampaignReport{}
+	b.Run("off", func(b *testing.B) { reports["off"] = run(b, nil) })
+	b.Run("on", func(b *testing.B) {
+		reports["on"] = run(b, &service.RunObserver{Dict: store, DictKey: key})
+	})
+	off, on := reports["off"], reports["on"]
+	if off == nil || on == nil {
+		return // a -bench filter skipped a subtest: nothing to compare
+	}
+	for name, pair := range map[string][2]*service.CoverageJSON{
+		"stuck_at":        {off.StuckAt, on.StuckAt},
+		"transistor":      {off.Transistor, on.Transistor},
+		"transistor_iddq": {off.TransistorIDDQ, on.TransistorIDDQ},
+	} {
+		was, now := pair[0], pair[1]
+		if (was == nil) != (now == nil) ||
+			(was != nil && (was.Detected != now.Detected || was.Total != now.Total)) {
+			b.Fatalf("capture changed %s coverage: %+v vs %+v", name, was, now)
+		}
+	}
+	if on.Dictionary == nil {
+		b.Fatal("observed campaign produced no dictionary artifact")
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	cpsinw-repro [-only t1,t2,t3,f3,f4,f5,vc1,vc2,vc3,a1,a2,e1,e2,e3,e4,e5] [-fast]
+//	cpsinw-repro [-only t1,t2,t3,f3,f4,f5,vc1,vc2,vc3,a1,a2,e1,e2,e3,e4,e5,e6] [-fast]
 package main
 
 import (
@@ -145,6 +145,13 @@ func main() {
 	})
 	run("e5", "Extension: fault-dictionary diagnosis resolution", func() (string, error) {
 		r, err := experiments.Diagnosis(nil)
+		if err != nil {
+			return "", err
+		}
+		return r.Report(), nil
+	})
+	run("e6", "Extension: dictionary-driven dynamic test compaction", func() (string, error) {
+		r, err := experiments.Compaction(nil)
 		if err != nil {
 			return "", err
 		}

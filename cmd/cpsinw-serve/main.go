@@ -8,18 +8,21 @@
 //
 //	cpsinw-serve [-addr :8080] [-workers n] [-queue n] [-cache n]
 //	             [-job-timeout 60s] [-progress-interval 100ms]
+//	             [-dict-dir path]
 //	             [-log-level info] [-log-format text]
 //	             [-debug-addr 127.0.0.1:6060]
 //
 // Endpoints (main listener):
 //
-//	POST /v1/campaigns                submit a campaign (netlist or benchmark + fault config)
-//	GET  /v1/campaigns/{id}           job status (includes live progress)
-//	GET  /v1/campaigns/{id}/report    finished report as JSON
-//	GET  /v1/campaigns/{id}/events    SSE progress stream, ends with the terminal state
-//	GET  /v1/campaigns/{id}/trace     per-campaign span tree (stage timings)
-//	GET  /healthz                     readiness: queue depth vs capacity, accepting flag
-//	GET  /metrics                     Prometheus text exposition (?format=json: legacy flat JSON)
+//	POST /v1/campaigns                  submit a campaign (netlist or benchmark + fault config)
+//	GET  /v1/campaigns/{id}             job status (includes live progress)
+//	GET  /v1/campaigns/{id}/report      finished report as JSON
+//	GET  /v1/campaigns/{id}/events      SSE progress stream, ends with the terminal state
+//	GET  /v1/campaigns/{id}/trace       per-campaign span tree (stage timings)
+//	GET  /v1/campaigns/{id}/dictionary  fault-dictionary artifact metadata (needs -dict-dir)
+//	POST /v1/diagnose                   rank faults against an observed failure (needs -dict-dir)
+//	GET  /healthz                       readiness: queue depth vs capacity, accepting flag
+//	GET  /metrics                       Prometheus text exposition (?format=json: legacy flat JSON)
 //
 // Debug listener (-debug-addr, loopback only; empty disables):
 //
@@ -57,6 +60,8 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "per-job deadline")
 	progressEvery := flag.Duration("progress-interval", 100*time.Millisecond,
 		"minimum spacing between streamed progress events (negative: unthrottled)")
+	dictDir := flag.String("dict-dir", "",
+		"fault-dictionary store directory; campaigns persist signature dictionaries there and /v1/diagnose answers from them (empty disables)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text (logfmt) or json")
 	debugAddr := flag.String("debug-addr", "127.0.0.1:6060",
@@ -79,6 +84,7 @@ func main() {
 		CacheSize:        *cacheSize,
 		JobTimeout:       *jobTimeout,
 		ProgressInterval: *progressEvery,
+		DictDir:          *dictDir,
 		Logger:           logger,
 	})
 	defer srv.Close()

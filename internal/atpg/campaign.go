@@ -320,23 +320,3 @@ func GenerateContext(ctx context.Context, c *logic.Circuit, faults []core.Fault,
 	}
 	return res, nil
 }
-
-// CompactPatterns drops combinational patterns that do not contribute
-// coverage when fault-simulated in reverse order against the given line
-// faults (classical reverse-order compaction).
-func CompactPatterns(c *logic.Circuit, faults []core.Fault, patterns []faultsim.Pattern) []faultsim.Pattern {
-	if len(patterns) == 0 {
-		return nil
-	}
-	sim := faultsim.New(c)
-	baseline := faultsim.Summarise(sim.RunStuckAt(faults, patterns)).Detected
-
-	kept := append([]faultsim.Pattern(nil), patterns...)
-	for i := len(kept) - 1; i >= 0; i-- {
-		trial := append(append([]faultsim.Pattern(nil), kept[:i]...), kept[i+1:]...)
-		if faultsim.Summarise(sim.RunStuckAt(faults, trial)).Detected == baseline {
-			kept = trial
-		}
-	}
-	return kept
-}

@@ -1,0 +1,151 @@
+package atpg
+
+import (
+	"cpsinw/internal/core"
+	"cpsinw/internal/dict"
+	"cpsinw/internal/faultsim"
+	"cpsinw/internal/logic"
+)
+
+// Pattern compaction rides on the fault dictionary's packed signatures:
+// one capture-mode simulation yields every fault's detection bitset, and
+// from then on "does dropping pattern p lose a fault" is bitset
+// bookkeeping instead of a re-simulation per trial. The classical
+// reverse-order criterion is unchanged — a pattern is dropped when every
+// fault it detects is still covered by the remaining set — so the
+// compacted set is identical to what trial re-simulation produced,
+// at a fraction of the cost.
+
+// CompactOptions tunes CompactDynamic.
+type CompactOptions struct {
+	// PreserveResolution additionally refuses drops that would merge
+	// diagnosis equivalence classes: the pattern set keeps not only its
+	// coverage but its ability to tell the surviving faults apart.
+	PreserveResolution bool
+}
+
+// CompactResult reports a dynamic-compaction pass.
+type CompactResult struct {
+	Keep    []int // kept pattern indices, ascending
+	Dropped int
+	// Detected is the covered-fault count, identical before and after.
+	Detected int
+	// ClassesBefore and ClassesAfter count distinct detection
+	// signatures among the input faults under the full and compacted
+	// pattern sets.
+	ClassesBefore int
+	ClassesAfter  int
+}
+
+// classCount partitions the signatures by their masked image.
+func classCount(sigs []dict.Bitset, mask dict.Bitset) int {
+	classes := map[string]bool{}
+	for _, s := range sigs {
+		classes[dict.And(s, mask).Key()] = true
+	}
+	return len(classes)
+}
+
+// CompactDynamic drops patterns whose detection contribution is
+// subsumed by the rest of the set, sweeping in classical reverse order
+// over per-fault detection bitsets (out and leak planes pre-combined by
+// the caller when both matter). nPatterns bounds the pattern index
+// space; signatures narrower than nPatterns simply cannot veto drops
+// beyond their width.
+func CompactDynamic(sigs []dict.Bitset, nPatterns int, opt CompactOptions) CompactResult {
+	mask := dict.NewBitset(nPatterns)
+	for i := 0; i < nPatterns; i++ {
+		mask.Set(i)
+	}
+	// cover[f] = how many kept patterns currently detect fault f. A drop
+	// is illegal while it would take some fault's cover to zero.
+	cover := make([]int, len(sigs))
+	res := CompactResult{}
+	for f, s := range sigs {
+		cover[f] = s.Count()
+		if cover[f] > 0 {
+			res.Detected++
+		}
+	}
+	res.ClassesBefore = classCount(sigs, mask)
+
+	for i := nPatterns - 1; i >= 0; i-- {
+		droppable := true
+		for f, s := range sigs {
+			if cover[f] == 1 && s.Test(i) {
+				droppable = false
+				break
+			}
+		}
+		if droppable && opt.PreserveResolution {
+			trial := mask.Clone()
+			trial.Clear(i)
+			droppable = classCount(sigs, trial) == res.ClassesBefore
+		}
+		if !droppable {
+			continue
+		}
+		mask.Clear(i)
+		res.Dropped++
+		for f, s := range sigs {
+			if s.Test(i) {
+				cover[f]--
+			}
+		}
+	}
+	res.Keep = mask.Members()
+	res.ClassesAfter = classCount(sigs, mask)
+	return res
+}
+
+// captureStuckAtSignatures runs one capture-mode stuck-at simulation
+// and returns each fault's detection bitset over the pattern set.
+func captureStuckAtSignatures(c *logic.Circuit, faults []core.Fault, patterns []faultsim.Pattern) []dict.Bitset {
+	sim := faultsim.New(c)
+	sig := faultsim.NewSignatureCapture(len(faults), len(patterns))
+	sim.Signatures = sig
+	sim.RunStuckAt(faults, patterns)
+	sim.Signatures = nil
+	sigs := make([]dict.Bitset, len(faults))
+	for i := range faults {
+		sigs[i] = dict.FromWords(len(patterns), sig.Out(i))
+	}
+	return sigs
+}
+
+// CompactPatterns drops combinational patterns that do not contribute
+// coverage when checked in reverse order against the given line faults
+// (classical reverse-order compaction). One capture-mode simulation
+// replaces the per-trial re-simulation of the original implementation;
+// the kept set is identical.
+func CompactPatterns(c *logic.Circuit, faults []core.Fault, patterns []faultsim.Pattern) []faultsim.Pattern {
+	if len(patterns) == 0 {
+		return nil
+	}
+	res := CompactDynamic(captureStuckAtSignatures(c, faults, patterns), len(patterns), CompactOptions{})
+	kept := make([]faultsim.Pattern, 0, len(res.Keep))
+	for _, i := range res.Keep {
+		kept = append(kept, patterns[i])
+	}
+	return kept
+}
+
+// compactPatternsReference is the original trial re-simulation
+// implementation, retained as the differential oracle for
+// CompactPatterns and CompactDynamic.
+func compactPatternsReference(c *logic.Circuit, faults []core.Fault, patterns []faultsim.Pattern) []faultsim.Pattern {
+	if len(patterns) == 0 {
+		return nil
+	}
+	sim := faultsim.New(c)
+	baseline := faultsim.Summarise(sim.RunStuckAt(faults, patterns)).Detected
+
+	kept := append([]faultsim.Pattern(nil), patterns...)
+	for i := len(kept) - 1; i >= 0; i-- {
+		trial := append(append([]faultsim.Pattern(nil), kept[:i]...), kept[i+1:]...)
+		if faultsim.Summarise(sim.RunStuckAt(faults, trial)).Detected == baseline {
+			kept = trial
+		}
+	}
+	return kept
+}

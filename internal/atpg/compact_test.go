@@ -1,0 +1,125 @@
+package atpg
+
+import (
+	"math/rand"
+	"testing"
+
+	"cpsinw/internal/bench"
+	"cpsinw/internal/core"
+	"cpsinw/internal/dict"
+	"cpsinw/internal/faultsim"
+	"cpsinw/internal/logic"
+)
+
+func randomCompactPatterns(rng *rand.Rand, c *logic.Circuit, n int) []faultsim.Pattern {
+	out := make([]faultsim.Pattern, 0, n)
+	for len(out) < n {
+		p := faultsim.Pattern{}
+		for _, pi := range c.Inputs {
+			p[pi] = logic.FromBool(rng.Intn(2) == 1)
+		}
+		out = append(out, p)
+		// Duplicate some patterns so compaction has guaranteed slack.
+		if rng.Intn(3) == 0 && len(out) < n {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TestCompactPatternsMatchesReference proves the bitset re-platform
+// keeps the exact pattern set the original trial re-simulation kept.
+func TestCompactPatternsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(930))
+	cases := 12
+	if testing.Short() {
+		cases = 4
+	}
+	for ci := 0; ci < cases; ci++ {
+		c := bench.Random(rng.Int63(), 3+rng.Intn(5), 1+rng.Intn(12))
+		faults := core.Universe(c, core.ClassicalOnly())
+		patterns := randomCompactPatterns(rng, c, 1+rng.Intn(40))
+		got := CompactPatterns(c, faults, patterns)
+		want := compactPatternsReference(c, faults, patterns)
+		if len(got) != len(want) {
+			t.Fatalf("case %d: kept %d patterns, reference kept %d", ci, len(got), len(want))
+		}
+		for i := range got {
+			for _, pi := range c.Inputs {
+				if got[i][pi] != want[i][pi] {
+					t.Fatalf("case %d: kept pattern %d differs from reference at %s", ci, i, pi)
+				}
+			}
+		}
+	}
+}
+
+// TestCompactDynamicPreservesCoverage checks the core invariants on the
+// mult3 campaign: identical coverage, fewer patterns, and — under
+// PreserveResolution — an identical signature-class partition.
+func TestCompactDynamicPreservesCoverage(t *testing.T) {
+	for _, name := range []string{"c17", "mult3"} {
+		c, err := bench.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults := core.Universe(c, core.ClassicalOnly())
+		rng := rand.New(rand.NewSource(17))
+		patterns := randomCompactPatterns(rng, c, 64)
+		sigs := captureStuckAtSignatures(c, faults, patterns)
+
+		plain := CompactDynamic(sigs, len(patterns), CompactOptions{})
+		if plain.Dropped == 0 {
+			t.Errorf("%s: compaction dropped nothing from %d random patterns", name, len(patterns))
+		}
+		if len(plain.Keep)+plain.Dropped != len(patterns) {
+			t.Errorf("%s: keep %d + dropped %d != %d", name, len(plain.Keep), plain.Dropped, len(patterns))
+		}
+		// Coverage must be bit-identical: simulate the kept set.
+		kept := make([]faultsim.Pattern, 0, len(plain.Keep))
+		for _, i := range plain.Keep {
+			kept = append(kept, patterns[i])
+		}
+		before := faultsim.Summarise(faultsim.New(c).RunStuckAt(faults, patterns)).Detected
+		after := faultsim.Summarise(faultsim.New(c).RunStuckAt(faults, kept)).Detected
+		if before != after || plain.Detected != before {
+			t.Errorf("%s: coverage %d -> %d (result says %d)", name, before, after, plain.Detected)
+		}
+
+		res := CompactDynamic(sigs, len(patterns), CompactOptions{PreserveResolution: true})
+		if res.ClassesAfter != res.ClassesBefore {
+			t.Errorf("%s: resolution-preserving compaction merged classes %d -> %d",
+				name, res.ClassesBefore, res.ClassesAfter)
+		}
+		if res.Dropped > plain.Dropped {
+			t.Errorf("%s: resolution constraint dropped more (%d) than unconstrained (%d)",
+				name, res.Dropped, plain.Dropped)
+		}
+	}
+}
+
+// TestCompactDynamicResolutionVeto constructs a case where coverage
+// allows a drop but resolution forbids it: two faults told apart only
+// by a pattern that detects both of them plus another that detects one.
+func TestCompactDynamicResolutionVeto(t *testing.T) {
+	// Fault A detected by patterns {0, 1}; fault B by {0}. Dropping
+	// pattern 1 keeps both covered but merges their classes.
+	a := dict.NewBitset(2)
+	a.Set(0)
+	a.Set(1)
+	b := dict.NewBitset(2)
+	b.Set(0)
+	sigs := []dict.Bitset{a, b}
+
+	plain := CompactDynamic(sigs, 2, CompactOptions{})
+	if plain.Dropped != 1 || plain.Keep[0] != 0 {
+		t.Fatalf("unconstrained: %+v", plain)
+	}
+	res := CompactDynamic(sigs, 2, CompactOptions{PreserveResolution: true})
+	if res.Dropped != 0 {
+		t.Fatalf("resolution-preserving compaction still dropped: %+v", res)
+	}
+	if res.ClassesBefore != 2 || res.ClassesAfter != 2 {
+		t.Fatalf("class accounting wrong: %+v", res)
+	}
+}

@@ -5,14 +5,20 @@
 // back to candidate defects. This closes the paper's inductive-fault-
 // analysis loop: from fabrication defects to fault models to tests and
 // back to locating the physical defect.
+//
+// Signatures are held both as sorted step-index lists (the reporting
+// form) and as packed bitsets (internal/dict), which carry the hot
+// paths: Diagnose is one AND/popcount pass per entry and Resolve keys
+// equivalence classes on the compact binary bitset image instead of a
+// rendered decimal string.
 package diagnosis
 
 import (
-	"fmt"
 	"sort"
 
 	"cpsinw/internal/atpg"
 	"cpsinw/internal/core"
+	"cpsinw/internal/dict"
 	"cpsinw/internal/logic"
 )
 
@@ -20,12 +26,38 @@ import (
 type Entry struct {
 	Fault     core.Fault
 	Signature atpg.Signature
+
+	bits dict.Bitset // packed Signature; built lazily for hand-made entries
 }
 
 // Dictionary maps failure signatures to fault candidates.
 type Dictionary struct {
 	Program *atpg.Program
 	Entries []Entry
+}
+
+// bitsetOf packs a step-index signature. Width grows past n when the
+// signature mentions later steps, so no index is silently dropped.
+func bitsetOf(sig atpg.Signature, n int) dict.Bitset {
+	for _, i := range sig {
+		if i >= n {
+			n = i + 1
+		}
+	}
+	b := dict.NewBitset(n)
+	for _, i := range sig {
+		b.Set(i)
+	}
+	return b
+}
+
+// bitsFor returns entry i's packed signature, packing it on first use.
+func (d *Dictionary) bitsFor(i int) dict.Bitset {
+	e := &d.Entries[i]
+	if e.bits.Bits() == 0 && len(e.Signature) > 0 {
+		e.bits = bitsetOf(e.Signature, len(d.Program.Steps))
+	}
+	return e.bits
 }
 
 // Build simulates every fault against the program and records its
@@ -36,7 +68,11 @@ func Build(c *logic.Circuit, program *atpg.Program, faults []core.Fault) *Dictio
 	for _, f := range faults {
 		f := f
 		sig := atpg.ExecuteAll(program, &f)
-		d.Entries = append(d.Entries, Entry{Fault: f, Signature: sig})
+		d.Entries = append(d.Entries, Entry{
+			Fault:     f,
+			Signature: sig,
+			bits:      bitsetOf(sig, len(program.Steps)),
+		})
 	}
 	return d
 }
@@ -60,8 +96,48 @@ type Candidate struct {
 
 // Diagnose matches an observed failure signature against the dictionary:
 // exact matches first (score 1), otherwise the best-scoring candidates.
-// topK bounds the list (0 selects 5).
+// Each entry costs one bitset AND/popcount. Ranking is deterministic:
+// score descending, then fault identity ascending, so equal-score
+// candidates never shuffle between runs. topK bounds the list (0
+// selects 5).
 func (d *Dictionary) Diagnose(observed atpg.Signature, topK int) []Candidate {
+	if topK <= 0 {
+		topK = 5
+	}
+	obs := bitsetOf(observed, len(d.Program.Steps))
+	obsLen := len(observed)
+	var out []Candidate
+	for i := range d.Entries {
+		sigLen := len(d.Entries[i].Signature)
+		if sigLen == 0 {
+			continue
+		}
+		inter := dict.AndCount(d.bitsFor(i), obs)
+		if inter == 0 {
+			continue
+		}
+		union := sigLen + obsLen - inter
+		out = append(out, Candidate{
+			Fault: d.Entries[i].Fault,
+			Score: float64(inter) / float64(union),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Fault.String() < out[j].Fault.String()
+	})
+	if len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}
+
+// diagnoseReference is the original step-set implementation, retained
+// as a differential oracle for the bitset path (see the regression
+// test). It intentionally keeps the old nondeterministic tie order.
+func (d *Dictionary) diagnoseReference(observed atpg.Signature, topK int) []Candidate {
 	if topK <= 0 {
 		topK = 5
 	}
@@ -70,8 +146,7 @@ func (d *Dictionary) Diagnose(observed atpg.Signature, topK int) []Candidate {
 		if len(e.Signature) == 0 {
 			continue
 		}
-		s := e.Signature.Jaccard(observed)
-		if s > 0 {
+		if s := e.Signature.Jaccard(observed); s > 0 {
 			out = append(out, Candidate{Fault: e.Fault, Score: s})
 		}
 	}
@@ -89,26 +164,24 @@ type Resolution struct {
 	UniquelyDiagnosable int // faults alone in their class
 }
 
-// Resolve computes the diagnostic resolution.
+// Resolve computes the diagnostic resolution. Classes are keyed on the
+// packed signature's binary image — equal sets, equal keys — instead of
+// rendering every signature to a decimal string per entry.
 func (d *Dictionary) Resolve() Resolution {
-	classes := map[string][]int{}
-	detected := 0
-	for i, e := range d.Entries {
-		if len(e.Signature) == 0 {
+	classes := map[string]int{}
+	r := Resolution{}
+	for i := range d.Entries {
+		if len(d.Entries[i].Signature) == 0 {
 			continue
 		}
-		detected++
-		classes[sigKey(e.Signature)] = append(classes[sigKey(e.Signature)], i)
+		r.Faults++
+		classes[d.bitsFor(i).Key()]++
 	}
-	r := Resolution{Faults: detected, Classes: len(classes)}
-	for _, members := range classes {
-		if len(members) == 1 {
+	r.Classes = len(classes)
+	for _, n := range classes {
+		if n == 1 {
 			r.UniquelyDiagnosable++
 		}
 	}
 	return r
-}
-
-func sigKey(s atpg.Signature) string {
-	return fmt.Sprint([]int(s))
 }

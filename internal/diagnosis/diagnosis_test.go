@@ -109,6 +109,84 @@ func TestSignatureOps(t *testing.T) {
 	}
 }
 
+func TestDiagnoseMatchesReferenceOracle(t *testing.T) {
+	// The bitset Diagnose path must produce the same candidate set and
+	// scores as the retained step-set reference implementation — the
+	// only permitted difference is the deterministic tie order.
+	for _, c := range []*logic.Circuit{bench.FullAdderCP(), bench.RippleCarryAdder(4)} {
+		d, _ := buildDict(t, c)
+		for _, e := range d.Entries {
+			if len(e.Signature) == 0 {
+				continue
+			}
+			got := d.Diagnose(e.Signature, 1000)
+			want := d.diagnoseReference(e.Signature, 1000)
+			if len(got) != len(want) {
+				t.Fatalf("%v: %d candidates vs reference %d", e.Fault, len(got), len(want))
+			}
+			scores := map[string]float64{}
+			for _, cand := range want {
+				scores[cand.Fault.String()] = cand.Score
+			}
+			for _, cand := range got {
+				ref, ok := scores[cand.Fault.String()]
+				if !ok || ref != cand.Score {
+					t.Errorf("%v: candidate %v score %v, reference %v (present=%v)",
+						e.Fault, cand.Fault, cand.Score, ref, ok)
+				}
+			}
+		}
+	}
+}
+
+func TestDiagnoseDeterministicTieBreak(t *testing.T) {
+	// Faults in the same equivalence class all score 1 against the
+	// shared signature; their relative order must be by fault identity
+	// and identical on every call.
+	c := bench.RippleCarryAdder(4)
+	d, _ := buildDict(t, c)
+	r := d.Resolve()
+	if r.Classes == r.Faults {
+		t.Skip("no equivalence classes with >1 member")
+	}
+	var probe Entry
+	count := map[string]int{}
+	for i := range d.Entries {
+		if len(d.Entries[i].Signature) == 0 {
+			continue
+		}
+		k := d.bitsFor(i).Key()
+		count[k]++
+		if count[k] == 2 {
+			probe = d.Entries[i]
+		}
+	}
+	if probe.Fault.String() == "" && len(probe.Signature) == 0 {
+		t.Fatal("no multi-member class found despite Resolve reporting one")
+	}
+	first := d.Diagnose(probe.Signature, 50)
+	if len(first) < 2 {
+		t.Fatalf("only %d candidates for a class signature", len(first))
+	}
+	for i := 1; i < len(first); i++ {
+		a, b := first[i-1], first[i]
+		if a.Score < b.Score {
+			t.Fatalf("scores not descending: %v then %v", a, b)
+		}
+		if a.Score == b.Score && a.Fault.String() >= b.Fault.String() {
+			t.Fatalf("tie not broken by fault identity: %q before %q", a.Fault, b.Fault)
+		}
+	}
+	for trial := 0; trial < 3; trial++ {
+		again := d.Diagnose(probe.Signature, 50)
+		for i := range first {
+			if again[i].Fault.String() != first[i].Fault.String() || again[i].Score != first[i].Score {
+				t.Fatalf("trial %d: rank %d changed from %v to %v", trial, i, first[i], again[i])
+			}
+		}
+	}
+}
+
 func TestDiagnoseNearMiss(t *testing.T) {
 	// A signature with one extra failing step still finds the true fault
 	// with a high score.

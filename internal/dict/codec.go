@@ -1,0 +1,146 @@
+package dict
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Signature bitsets compress under three competing codecs and each one
+// ships under whichever is smallest for that bitset:
+//
+//	0 raw    — the little-endian word image; dense signatures.
+//	1 sparse — set-bit positions, delta-varint coded; the common case
+//	           (most faults are detected by a handful of patterns).
+//	2 runs   — alternating zero/one run lengths, varint coded, starting
+//	           with the zero run; clustered signatures.
+//
+// Encoded form: one codec byte, a uvarint payload length, then the
+// payload. The bit width is not repeated — it is fixed per dictionary
+// and comes from the Meta header.
+const (
+	codecRaw    = 0
+	codecSparse = 1
+	codecRuns   = 2
+)
+
+func encodeRaw(b Bitset) []byte {
+	out := make([]byte, 8*len(b.words))
+	for i, w := range b.words {
+		binary.LittleEndian.PutUint64(out[8*i:], w)
+	}
+	return out
+}
+
+func encodeSparse(b Bitset) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	out := make([]byte, 0, 16)
+	prev := -1
+	for wi, w := range b.words {
+		for w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			out = append(out, buf[:binary.PutUvarint(buf[:], uint64(i-prev))]...)
+			prev = i
+		}
+	}
+	return out
+}
+
+func encodeRuns(b Bitset) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	out := make([]byte, 0, 16)
+	pos, cur := 0, false
+	for pos < b.bits {
+		run := 0
+		for pos+run < b.bits && b.Test(pos+run) == cur {
+			run++
+		}
+		out = append(out, buf[:binary.PutUvarint(buf[:], uint64(run))]...)
+		pos += run
+		cur = !cur
+	}
+	return out
+}
+
+// appendBitset appends the smallest encoding of b.
+func appendBitset(dst []byte, b Bitset) []byte {
+	payload := encodeRaw(b)
+	codec := byte(codecRaw)
+	if s := encodeSparse(b); len(s) < len(payload) {
+		payload, codec = s, codecSparse
+	}
+	if r := encodeRuns(b); len(r) < len(payload) {
+		payload, codec = r, codecRuns
+	}
+	var buf [binary.MaxVarintLen64]byte
+	dst = append(dst, codec)
+	dst = append(dst, buf[:binary.PutUvarint(buf[:], uint64(len(payload)))]...)
+	return append(dst, payload...)
+}
+
+// decodeBitset consumes one encoded bitset of width nbits from src and
+// returns the remaining bytes.
+func decodeBitset(src []byte, nbits int) (Bitset, []byte, error) {
+	if len(src) < 2 {
+		return Bitset{}, nil, fmt.Errorf("dict: truncated bitset header")
+	}
+	codec := src[0]
+	n, sz := binary.Uvarint(src[1:])
+	if sz <= 0 || n > uint64(len(src)-1-sz) {
+		return Bitset{}, nil, fmt.Errorf("dict: truncated bitset payload")
+	}
+	payload := src[1+sz : 1+sz+int(n)]
+	rest := src[1+sz+int(n):]
+	b := NewBitset(nbits)
+	switch codec {
+	case codecRaw:
+		if len(payload) != 8*len(b.words) {
+			return Bitset{}, nil, fmt.Errorf("dict: raw bitset payload %d bytes, want %d", len(payload), 8*len(b.words))
+		}
+		for i := range b.words {
+			b.words[i] = binary.LittleEndian.Uint64(payload[8*i:])
+		}
+		b.maskTail()
+	case codecSparse:
+		prev := -1
+		for len(payload) > 0 {
+			d, sz := binary.Uvarint(payload)
+			if sz <= 0 {
+				return Bitset{}, nil, fmt.Errorf("dict: bad sparse delta")
+			}
+			payload = payload[sz:]
+			i := prev + int(d)
+			if i <= prev || i >= nbits {
+				return Bitset{}, nil, fmt.Errorf("dict: sparse bit %d out of range [0,%d)", i, nbits)
+			}
+			b.Set(i)
+			prev = i
+		}
+	case codecRuns:
+		pos, cur := 0, false
+		for len(payload) > 0 {
+			run, sz := binary.Uvarint(payload)
+			if sz <= 0 {
+				return Bitset{}, nil, fmt.Errorf("dict: bad run length")
+			}
+			payload = payload[sz:]
+			if uint64(nbits-pos) < run {
+				return Bitset{}, nil, fmt.Errorf("dict: run overflows %d-bit signature", nbits)
+			}
+			if cur {
+				for i := pos; i < pos+int(run); i++ {
+					b.Set(i)
+				}
+			}
+			pos += int(run)
+			cur = !cur
+		}
+		if pos != nbits {
+			return Bitset{}, nil, fmt.Errorf("dict: runs cover %d of %d bits", pos, nbits)
+		}
+	default:
+		return Bitset{}, nil, fmt.Errorf("dict: unknown bitset codec %d", codec)
+	}
+	return b, rest, nil
+}

@@ -1,0 +1,90 @@
+package dict
+
+import "sort"
+
+// Observation is a failing device's tester response: the patterns whose
+// outputs mismatched and (when the campaign observed IDDQ) the patterns
+// under which the device leaked. Widths must match the dictionary's
+// pattern count.
+type Observation struct {
+	Out  Bitset
+	Leak Bitset
+}
+
+// ObservationFrom builds an observation from explicit pattern index
+// lists, the shape the diagnosis API accepts.
+func ObservationFrom(nPatterns int, failing, leaking []int) Observation {
+	o := Observation{Out: NewBitset(nPatterns), Leak: NewBitset(nPatterns)}
+	for _, i := range failing {
+		o.Out.Set(i)
+	}
+	for _, i := range leaking {
+		o.Leak.Set(i)
+	}
+	return o
+}
+
+// Candidate is one ranked diagnosis: a stored fault whose signature
+// overlaps the observation, scored by Jaccard similarity over the
+// combined out+leak planes.
+type Candidate struct {
+	Fault        string  `json:"fault"`
+	Class        string  `json:"class"`
+	Score        float64 `json:"score"`
+	Intersection int     `json:"intersection"`
+	SignatureLen int     `json:"signature_len"`
+	Exact        bool    `json:"exact"`
+}
+
+// Diagnose ranks dictionary faults against the observation in one
+// bitset-AND pass over the entries — no simulation. Ranking is fully
+// deterministic: score descending, then fault key ascending, so equal-
+// score candidates always come back in the same order. topK <= 0 means
+// 5, matching the interactive default.
+func (d *Dictionary) Diagnose(obs Observation, topK int) []Candidate {
+	if topK <= 0 {
+		topK = 5
+	}
+	cands := []Candidate{}
+	for i := range d.Entries {
+		e := &d.Entries[i]
+		inter := AndCount(e.Out, obs.Out) + AndCount(e.Leak, obs.Leak)
+		if inter == 0 {
+			continue
+		}
+		sigLen := e.Out.Count() + e.Leak.Count()
+		obsLen := obs.Out.Count() + obs.Leak.Count()
+		union := sigLen + obsLen - inter
+		c := Candidate{
+			Fault:        e.Fault,
+			Class:        e.Class,
+			Score:        float64(inter) / float64(union),
+			Intersection: inter,
+			SignatureLen: sigLen,
+			Exact:        inter == union,
+		}
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].Score != cands[b].Score {
+			return cands[a].Score > cands[b].Score
+		}
+		return cands[a].Fault < cands[b].Fault
+	})
+	if len(cands) > topK {
+		cands = cands[:topK]
+	}
+	return cands
+}
+
+// Escapes lists fault keys with empty signatures — faults this pattern
+// set can never diagnose because it never detects them.
+func (d *Dictionary) Escapes() []string {
+	out := []string{}
+	for i := range d.Entries {
+		if !d.Entries[i].Detected() {
+			out = append(out, d.Entries[i].Fault)
+		}
+	}
+	return out
+}

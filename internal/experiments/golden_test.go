@@ -127,6 +127,14 @@ func TestGoldenDiagnosis(t *testing.T) {
 	checkGolden(t, "diagnosis.golden", r.Report())
 }
 
+func TestGoldenCompaction(t *testing.T) {
+	r, err := Compaction(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "compaction.golden", r.Report())
+}
+
 func TestGoldenBridgeCampaign(t *testing.T) {
 	r, err := BridgeCampaign(nil)
 	if err != nil {
@@ -143,7 +151,7 @@ func TestGoldenFilesPresent(t *testing.T) {
 		"tableI.golden", "tableII.golden", "tableIII_switch.golden",
 		"atpg_campaign.golden", "channelbreak_algorithm.golden",
 		"delayfault.golden", "figure5.golden", "diagnosis.golden",
-		"bridge_campaign.golden",
+		"bridge_campaign.golden", "compaction.golden",
 	} {
 		if _, err := os.Stat(filepath.Join("testdata", name)); err != nil {
 			t.Errorf("golden file missing: %v", err)

@@ -469,8 +469,11 @@ func (s *Simulator) evalBaselines(patterns []Pattern) [][]logic.V {
 
 // simulateTransistorFaultCompiled is the compiled counterpart of
 // simulateTransistorFault: identical Detection results, computed by LUT
-// lookup plus cone propagation against the shared baselines.
-func (s *Simulator) simulateTransistorFaultCompiled(f core.Fault, patterns []Pattern, base [][]logic.V, sc *coneScratch, useIDDQ bool) (Detection, error) {
+// lookup plus cone propagation against the shared baselines. A non-nil
+// sig disables the early exit and records fault si's full signature
+// (cone propagation still short-circuits within a pattern — the
+// signature is per-pattern boolean).
+func (s *Simulator) simulateTransistorFaultCompiled(f core.Fault, si int, patterns []Pattern, base [][]logic.V, sc *coneScratch, useIDDQ bool, sig *SignatureCapture) (Detection, error) {
 	d := Detection{Fault: f, Pattern: -1}
 	if f.Kind.IsLineFault() {
 		return d, nil
@@ -495,13 +498,28 @@ func (s *Simulator) simulateTransistorFaultCompiled(f core.Fault, patterns []Pat
 	cc := sc.cc
 	for k := range patterns {
 		idx := cc.GateInputIndex(gi, base[k])
+		if sig == nil {
+			if useIDDQ && lut.leak[idx] {
+				d.Method, d.Pattern = ByIDDQ, k
+				return d, nil
+			}
+			if sc.propagateCone(gi, lut.out[idx], base[k]) {
+				d.Method, d.Pattern = ByOutput, k
+				return d, nil
+			}
+			continue
+		}
 		if useIDDQ && lut.leak[idx] {
-			d.Method, d.Pattern = ByIDDQ, k
-			return d, nil
+			sig.setLeak(si, k)
+			if !d.Detected() {
+				d.Method, d.Pattern = ByIDDQ, k
+			}
 		}
 		if sc.propagateCone(gi, lut.out[idx], base[k]) {
-			d.Method, d.Pattern = ByOutput, k
-			return d, nil
+			sig.setOut(si, k)
+			if !d.Detected() {
+				d.Method, d.Pattern = ByOutput, k
+			}
 		}
 	}
 	return d, nil
@@ -510,6 +528,12 @@ func (s *Simulator) simulateTransistorFaultCompiled(f core.Fault, patterns []Pat
 // runTransistorCompiled is the serial compiled campaign driver.
 func (s *Simulator) runTransistorCompiled(ctx context.Context, faults []core.Fault, patterns []Pattern, useIDDQ bool) ([]Detection, error) {
 	sink := s.progressSink("transistor", len(faults))
+	sig := s.Signatures
+	if sig != nil {
+		if err := sig.check(len(faults), len(patterns)); err != nil {
+			return nil, err
+		}
+	}
 	base := s.evalBaselines(patterns)
 	sc := s.coneScratchOf()
 	defer s.putConeScratch(sc)
@@ -520,7 +544,7 @@ func (s *Simulator) runTransistorCompiled(ctx context.Context, faults []core.Fau
 			return nil, err
 		}
 		before := sc.lifetimeEvals()
-		d, err := s.simulateTransistorFaultCompiled(f, patterns, base, sc, useIDDQ)
+		d, err := s.simulateTransistorFaultCompiled(f, i, patterns, base, sc, useIDDQ, sig)
 		if err != nil {
 			return nil, err
 		}

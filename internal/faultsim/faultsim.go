@@ -61,6 +61,15 @@ type Simulator struct {
 	// once at entry.
 	Progress ProgressFunc
 
+	// Signatures, when set, harvests per-fault pattern-detection bitsets
+	// from the next campaign run (RunStuckAt* or the transistor
+	// entry points). It must be sized for exactly that campaign's fault
+	// and pattern counts; fault dropping is disabled while capturing so
+	// the full signature is observed, and the returned Detections stay
+	// bit-identical to an uncaptured run. Set it before starting the
+	// campaign and clear it afterwards; drivers capture it once at entry.
+	Signatures *SignatureCapture
+
 	gateIdx map[string]int // instance name -> index
 
 	ccOnce sync.Once
@@ -162,6 +171,12 @@ func (s *Simulator) RunStuckAtContext(ctx context.Context, faults []core.Fault, 
 			dropped++
 		}
 	}
+	sig := s.Signatures
+	if sig != nil {
+		if err := sig.check(len(faults), len(patterns)); err != nil {
+			return nil, err
+		}
+	}
 	sink := s.progressSink("stuck_at", len(patterns))
 	cc := s.compiled()
 	nGates := uint64(len(s.C.Gates))
@@ -181,8 +196,11 @@ func (s *Simulator) RunStuckAtContext(ctx context.Context, faults []core.Fault, 
 		chunkEvals := nGates // the good-circuit packed evaluation
 		chunkDetected := 0
 		for i := range out {
-			if out[i].Detected() || !out[i].Fault.Kind.IsLineFault() {
+			if !out[i].Fault.Kind.IsLineFault() {
 				continue
+			}
+			if out[i].Detected() && sig == nil {
+				continue // fault dropping: off while capturing signatures
 			}
 			f := out[i].Fault
 			force := logic.ConstPacked(logic.L0)
@@ -196,9 +214,14 @@ func (s *Simulator) RunStuckAtContext(ctx context.Context, faults []core.Fault, 
 				diff |= logic.DefiniteDiffMask(good[po], faulty[po]) & valid
 			}
 			if diff != 0 {
-				out[i].Method = ByOutput
-				out[i].Pattern = base + logic.FirstLane(diff)
-				chunkDetected++
+				if sig != nil {
+					sig.orOutWord(i, base, diff)
+				}
+				if !out[i].Detected() {
+					out[i].Method = ByOutput
+					out[i].Pattern = base + logic.FirstLane(diff)
+					chunkDetected++
+				}
 			}
 		}
 		// Dropped (non-line) faults are reported once, with the first chunk.

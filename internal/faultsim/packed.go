@@ -327,6 +327,11 @@ type packedScratch struct {
 	inbuf [3]logic.PackedVec
 	seeds []packedSeed // reusable batch buffer
 
+	// capture, while set, disables seed early-retirement so the walk
+	// accumulates every seed's full deviation mask (signature capture
+	// needs all detecting lanes, not just the earliest one).
+	capture bool
+
 	// Scratch-local resolution caches — lock-free because a scratch is
 	// owned by exactly one goroutine at a time, and warm across
 	// campaigns because scratches are pooled on the Simulator. The
@@ -567,8 +572,16 @@ func (sc *packedScratch) propagateSeeds(seeds []packedSeed, base []logic.PackedV
 	sc.heap = sc.heap[:0]
 
 	live := 0
+	// done accumulates, per word, the lanes whose detection is already
+	// recorded under capture. A lane's signature bit is boolean — once a
+	// definite PO diff credited it, further deviation spread on that
+	// lane carries no information — so the walk forces completed lanes
+	// back to baseline below. Lane-wise evaluation keeps this exact:
+	// suppressing one lane cannot perturb any other.
+	var done [logic.MaxLaneWords]uint64
 	// credit distributes a changed output net's definite diff lanes to
-	// the live seeds, retiring seeds that gain their floor lane.
+	// the live seeds, retiring seeds that gain their floor lane (or,
+	// under capture, whose whole excitation mask has detected).
 	credit := func(on int) {
 		var dm [logic.MaxLaneWords]uint64
 		any := uint64(0)
@@ -590,10 +603,30 @@ func (sc *packedScratch) propagateSeeds(seeds []packedSeed, base []logic.PackedV
 			for j := 0; j < w; j++ {
 				if nd := dm[j] & sd.mask[j] &^ sd.diff[j]; nd != 0 {
 					sd.diff[j] |= nd
+					if sc.capture {
+						done[j] |= nd
+					}
 					gained = true
 				}
 			}
-			if gained && sd.diff[sd.floor>>6]>>uint(sd.floor&63)&1 == 1 {
+			if !gained {
+				continue
+			}
+			if sc.capture {
+				complete := true
+				for j := 0; j < w; j++ {
+					if sd.diff[j] != sd.mask[j] {
+						complete = false
+						break
+					}
+				}
+				if complete {
+					sd.live = false
+					live--
+				}
+				continue
+			}
+			if sd.diff[sd.floor>>6]>>uint(sd.floor&63)&1 == 1 {
 				sd.live = false
 				live--
 			}
@@ -707,6 +740,15 @@ func (sc *packedScratch) propagateSeeds(seeds []packedSeed, base []logic.PackedV
 					nv.Known = nv.Known&^m | sd.fout[j].Known&m
 				}
 			}
+			if dn := done[j]; dn != 0 {
+				// Capture mode: lanes whose detection is recorded stop
+				// deviating, so the walk converges at the per-lane rate
+				// of an uncaptured sweep instead of running every
+				// deviation to quiescence.
+				b := base[on*w+j]
+				nv.Val = nv.Val&^dn | b.Val&dn
+				nv.Known = nv.Known&^dn | b.Known&dn
+			}
 			if nv != base[on*w+j] {
 				sc.fval[on*w+j] = nv
 				nd |= 1 << uint(j)
@@ -731,8 +773,11 @@ func (sc *packedScratch) propagateSeeds(seeds []packedSeed, base []logic.PackedV
 // simulateTransistorFaultPacked is the packed counterpart of
 // simulateTransistorFaultCompiled: identical Detection results, one
 // packed behaviour-LUT evaluation plus one event-driven block pass per
-// chunk.
-func (s *Simulator) simulateTransistorFaultPacked(f core.Fault, bases []packedBase, sc *packedScratch, useIDDQ bool) (Detection, error) {
+// chunk. A non-nil sig disables the chunk early exits and the seed
+// early-retirement, records fault si's full signature from the
+// propagated lane masks and derives the Detection through the same
+// earliest-lane/leak-precedence resolution the uncaptured sweep uses.
+func (s *Simulator) simulateTransistorFaultPacked(f core.Fault, si int, bases []packedBase, sc *packedScratch, useIDDQ bool, sig *SignatureCapture) (Detection, error) {
 	d := Detection{Fault: f, Pattern: -1}
 	if !transistorSimulable(f) {
 		return d, nil
@@ -751,6 +796,21 @@ func (s *Simulator) simulateTransistorFaultPacked(f core.Fault, bases []packedBa
 	for ci := range bases {
 		pb := &bases[ci]
 		sc.seedChunk(sd, gi, lut, pb.valid, pb.start, pb.vals, useIDDQ)
+		if sig != nil {
+			if sd.live {
+				sc.capture = true
+				sc.propagateSeeds(seeds, pb.vals)
+				sc.capture = false
+			}
+			sig.orLanes(si, pb.start, sd.diff[:w], false)
+			sig.orLanes(si, pb.start, sd.leak[:w], true)
+			if !d.Detected() {
+				if method, pattern, ok := sd.resolve(w); ok {
+					d.Method, d.Pattern = method, pattern
+				}
+			}
+			continue
+		}
 		// Per pattern, the leak check precedes the output compare
 		// (mirroring the scalar engines); across patterns the earliest
 		// lane wins. A leak at or before the first excited lane therefore
@@ -776,8 +836,11 @@ func (s *Simulator) simulateTransistorFaultPacked(f core.Fault, bases []packedBa
 // packing: up to plan.groups simulable faults seed disjoint lane groups
 // of the replicated baseline and resolve in one shared propagation
 // pass. Faults whose leak decides at or before their excitation floor
-// resolve at seed time and never occupy a group slot.
-func (s *Simulator) runPackedGrouped(ctx context.Context, faults []core.Fault, idxs []int, gb *packedGroupBase, sc *packedScratch, useIDDQ bool, sink *progressSink, out []Detection) error {
+// resolve at seed time and never occupy a group slot. A non-nil sig
+// keeps every excited fault in its slot, propagates without seed
+// early-retirement and records each fault's full signature from its
+// group's lane masks before resolving the identical Detection.
+func (s *Simulator) runPackedGrouped(ctx context.Context, faults []core.Fault, idxs []int, gb *packedGroupBase, sc *packedScratch, useIDDQ bool, sig *SignatureCapture, sink *progressSink, out []Detection) error {
 	w := sc.w
 	seeds := sc.seedBuf(gb.groups)[:0]
 	batchDetected := 0
@@ -786,9 +849,15 @@ func (s *Simulator) runPackedGrouped(ctx context.Context, faults []core.Fault, i
 		if len(seeds) == 0 {
 			return
 		}
+		sc.capture = sig != nil
 		sc.propagateSeeds(seeds, gb.vals)
+		sc.capture = false
 		for si := range seeds {
 			sd := &seeds[si]
+			if sig != nil {
+				sig.orLanes(sd.out, sd.patOff, sd.diff[:w], false)
+				sig.orLanes(sd.out, sd.patOff, sd.leak[:w], true)
+			}
 			if method, pattern, ok := sd.resolve(w); ok {
 				out[sd.out].Method, out[sd.out].Pattern = method, pattern
 				batchDetected++
@@ -820,7 +889,23 @@ func (s *Simulator) runPackedGrouped(ctx context.Context, faults []core.Fault, i
 		sd.out = i
 		before := sc.lifetimeEvals()
 		sc.seedChunk(sd, gi, lut, gb.masks[g], -g*gb.span, gb.vals, useIDDQ)
-		if firstLeak := logic.FirstLaneBlock(sd.leak[:w]); firstLeak <= sd.floor {
+		if sig != nil {
+			if !sd.live {
+				// No excited lane: the signature is leak-only and the
+				// slot can serve the next fault.
+				sig.orLanes(i, sd.patOff, sd.leak[:w], true)
+				detected := 0
+				if method, pattern, ok := sd.resolve(w); ok {
+					out[i].Method, out[i].Pattern = method, pattern
+					detected = 1
+				}
+				seeds = seeds[:g]
+				delta := sc.lifetimeEvals() - before
+				batchStart += delta // keep the batch delta clean of this fault
+				sink.add(1, detected, 0, delta)
+				continue
+			}
+		} else if firstLeak := logic.FirstLaneBlock(sd.leak[:w]); firstLeak <= sd.floor {
 			// Resolved at seed time: release the slot for the next fault.
 			detected := 0
 			if firstLeak < w<<6 {
@@ -844,6 +929,12 @@ func (s *Simulator) runPackedGrouped(ctx context.Context, faults []core.Fault, i
 // runTransistorPacked is the serial packed campaign driver.
 func (s *Simulator) runTransistorPacked(ctx context.Context, faults []core.Fault, patterns []Pattern, useIDDQ bool) ([]Detection, error) {
 	sink := s.progressSink("transistor", len(faults))
+	sig := s.Signatures
+	if sig != nil {
+		if err := sig.check(len(faults), len(patterns)); err != nil {
+			return nil, err
+		}
+	}
 	pl := s.packedPlanFor(faults, patterns)
 	sc := s.packedScratchOf()
 	sc.ensure(pl.w)
@@ -855,7 +946,7 @@ func (s *Simulator) runTransistorPacked(ctx context.Context, faults []core.Fault
 		for i := range idxs {
 			idxs[i] = i
 		}
-		if err := s.runPackedGrouped(ctx, faults, idxs, pl.gb, sc, useIDDQ, sink, out); err != nil {
+		if err := s.runPackedGrouped(ctx, faults, idxs, pl.gb, sc, useIDDQ, sig, sink, out); err != nil {
 			return nil, err
 		}
 		return out, nil
@@ -865,7 +956,7 @@ func (s *Simulator) runTransistorPacked(ctx context.Context, faults []core.Fault
 			return nil, err
 		}
 		before := sc.lifetimeEvals()
-		d, err := s.simulateTransistorFaultPacked(f, pl.bases, sc, useIDDQ)
+		d, err := s.simulateTransistorFaultPacked(f, i, pl.bases, sc, useIDDQ, sig)
 		if err != nil {
 			return nil, err
 		}

@@ -13,8 +13,11 @@ import (
 
 // simulateTransistorFault runs one transistor fault against the pattern
 // set, given the precomputed good-circuit responses. The hooks are built
-// fresh per call, so concurrent invocations are independent.
-func (s *Simulator) simulateTransistorFault(f core.Fault, patterns []Pattern, goods []map[string]logic.V, useIDDQ bool) (Detection, error) {
+// fresh per call, so concurrent invocations are independent. A non-nil
+// sig disables the early exit and records fault si's full signature;
+// the Detection is then derived with the same per-pattern observation
+// order (leak before output compare, earliest pattern wins).
+func (s *Simulator) simulateTransistorFault(f core.Fault, patterns []Pattern, goods []map[string]logic.V, useIDDQ bool, sig *SignatureCapture, si int) (Detection, error) {
 	d := Detection{Fault: f, Pattern: -1}
 	if f.Kind.IsLineFault() {
 		return d, nil
@@ -32,15 +35,30 @@ func (s *Simulator) simulateTransistorFault(f core.Fault, patterns []Pattern, go
 		}
 		faulty := s.C.EvalHooked(map[string]logic.V(p), hooks)
 		engineStats.referenceGateEvals.Add(nGates)
+		if sig == nil {
+			if useIDDQ && leak {
+				d.Method = ByIDDQ
+				d.Pattern = k
+				return d, nil
+			}
+			if s.outputsDiffer(goods[k], faulty) {
+				d.Method = ByOutput
+				d.Pattern = k
+				return d, nil
+			}
+			continue
+		}
 		if useIDDQ && leak {
-			d.Method = ByIDDQ
-			d.Pattern = k
-			return d, nil
+			sig.setLeak(si, k)
+			if !d.Detected() {
+				d.Method, d.Pattern = ByIDDQ, k
+			}
 		}
 		if s.outputsDiffer(goods[k], faulty) {
-			d.Method = ByOutput
-			d.Pattern = k
-			return d, nil
+			sig.setOut(si, k)
+			if !d.Detected() {
+				d.Method, d.Pattern = ByOutput, k
+			}
 		}
 	}
 	return d, nil
@@ -48,13 +66,14 @@ func (s *Simulator) simulateTransistorFault(f core.Fault, patterns []Pattern, go
 
 // referenceFaultEvals reconstructs the hooked gate evaluations one
 // reference fault run performed: one full-circuit pass per swept
-// pattern, stopping at the detecting pattern.
-func (s *Simulator) referenceFaultEvals(f core.Fault, d Detection, nPatterns int) uint64 {
+// pattern, stopping at the detecting pattern (a signature-capturing
+// run sweeps every pattern).
+func (s *Simulator) referenceFaultEvals(f core.Fault, d Detection, nPatterns int, captured bool) uint64 {
 	if !transistorSimulable(f) {
 		return 0
 	}
 	swept := nPatterns
-	if d.Detected() {
+	if d.Detected() && !captured {
 		swept = d.Pattern + 1
 	}
 	return uint64(swept) * uint64(len(s.C.Gates))
@@ -65,6 +84,12 @@ func (s *Simulator) referenceFaultEvals(f core.Fault, d Detection, nPatterns int
 // checked between faults: a fault's pattern sweep is the unit of work.
 func (s *Simulator) runTransistorSerial(ctx context.Context, faults []core.Fault, patterns []Pattern, useIDDQ bool) ([]Detection, error) {
 	sink := s.progressSink("transistor", len(faults))
+	sig := s.Signatures
+	if sig != nil {
+		if err := sig.check(len(faults), len(patterns)); err != nil {
+			return nil, err
+		}
+	}
 	out := make([]Detection, len(faults))
 	goods := make([]map[string]logic.V, len(patterns))
 	for k, p := range patterns {
@@ -78,12 +103,12 @@ func (s *Simulator) runTransistorSerial(ctx context.Context, faults []core.Fault
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		d, err := s.simulateTransistorFault(f, patterns, goods, useIDDQ)
+		d, err := s.simulateTransistorFault(f, patterns, goods, useIDDQ, sig, i)
 		if err != nil {
 			return nil, err
 		}
 		out[i] = d
-		sink.add(1, b2i(d.Detected()), b2i(!transistorSimulable(f)), s.referenceFaultEvals(f, d, len(patterns)))
+		sink.add(1, b2i(d.Detected()), b2i(!transistorSimulable(f)), s.referenceFaultEvals(f, d, len(patterns), sig != nil))
 	}
 	return out, nil
 }
@@ -128,6 +153,12 @@ func (s *Simulator) RunTransistorParallel(ctx context.Context, faults []core.Fau
 		return []Detection{}, ctx.Err()
 	}
 	engine := s.resolveEngine(len(faults), len(patterns))
+	sig := s.Signatures
+	if sig != nil {
+		if err := sig.check(len(faults), len(patterns)); err != nil {
+			return nil, err
+		}
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -202,7 +233,7 @@ func (s *Simulator) RunTransistorParallel(ctx context.Context, faults []core.Fau
 				}
 				idxs := ord[r[0]:r[1]]
 				if engine == EnginePacked && pl.gb != nil {
-					if err := s.runPackedGrouped(ctx, faults, idxs, pl.gb, psc, useIDDQ, sink, out); err != nil && ctx.Err() == nil {
+					if err := s.runPackedGrouped(ctx, faults, idxs, pl.gb, psc, useIDDQ, sig, sink, out); err != nil && ctx.Err() == nil {
 						fail(err)
 					}
 					continue
@@ -216,15 +247,15 @@ func (s *Simulator) RunTransistorParallel(ctx context.Context, faults []core.Fau
 					var evals uint64
 					switch engine {
 					case EngineReference:
-						d, err = s.simulateTransistorFault(faults[i], patterns, goods, useIDDQ)
-						evals = s.referenceFaultEvals(faults[i], d, len(patterns))
+						d, err = s.simulateTransistorFault(faults[i], patterns, goods, useIDDQ, sig, i)
+						evals = s.referenceFaultEvals(faults[i], d, len(patterns), sig != nil)
 					case EnginePacked:
 						before := psc.lifetimeEvals()
-						d, err = s.simulateTransistorFaultPacked(faults[i], pl.bases, psc, useIDDQ)
+						d, err = s.simulateTransistorFaultPacked(faults[i], i, pl.bases, psc, useIDDQ, sig)
 						evals = psc.lifetimeEvals() - before
 					default:
 						before := sc.lifetimeEvals()
-						d, err = s.simulateTransistorFaultCompiled(faults[i], patterns, base, sc, useIDDQ)
+						d, err = s.simulateTransistorFaultCompiled(faults[i], i, patterns, base, sc, useIDDQ, sig)
 						evals = sc.lifetimeEvals() - before
 					}
 					if err != nil {

@@ -9,6 +9,7 @@ import (
 
 	"cpsinw/internal/atpg"
 	"cpsinw/internal/core"
+	"cpsinw/internal/dict"
 	"cpsinw/internal/faultsim"
 	"cpsinw/internal/logic"
 	"cpsinw/internal/obs"
@@ -59,6 +60,13 @@ type RunObserver struct {
 	Progress func(JobProgress)
 	// OnStage receives each finished stage's wall-clock duration.
 	OnStage func(stage string, d time.Duration)
+	// Dict and DictKey, when both set, make the campaign harvest
+	// per-fault detection signatures from the simulation stages it
+	// already runs (no second pass) and persist them as a fault
+	// dictionary under DictKey — the campaign's content address — at
+	// completion. The artifact metadata lands in CampaignReport.Dictionary.
+	Dict    *dict.Store
+	DictKey string
 }
 
 // stage opens one observed campaign stage under parent; the returned
@@ -168,13 +176,28 @@ func RunCampaignObserved(ctx context.Context, c *logic.Circuit, req CampaignRequ
 		return ""
 	}
 
+	// Signature harvesting: with a dictionary store attached, the
+	// stuck-at sweep and one transistor sweep run with a capture sink so
+	// the dictionary comes out of the simulation the campaign performs
+	// anyway. The leak plane needs the +IDDQ run; without IDDQ the
+	// voltage run carries the (identical) output plane.
+	wantDict := ro.Dict != nil && ro.DictKey != ""
+	var saFaults, dictTrFaults []core.Fault
+	var saCapture, trCapture *faultsim.SignatureCapture
+
 	simSpan, simDone := ro.stage(ro.Span, "simulate")
 
 	if req.Faults.StuckAt {
 		faults := core.Universe(c, core.ClassicalOnly())
 		currentStage, faultCount = "stuck_at", len(faults)
 		_, done := ro.stage(simSpan, "stuck_at")
+		if wantDict {
+			saFaults = faults
+			saCapture = faultsim.NewSignatureCapture(len(faults), len(pats))
+			sim.Signatures = saCapture
+		}
 		ds, err := sim.RunStuckAtContext(ctx, faults, pats)
+		sim.Signatures = nil
 		if err != nil {
 			return nil, err
 		}
@@ -192,7 +215,13 @@ func RunCampaignObserved(ctx context.Context, c *logic.Circuit, req CampaignRequ
 		currentStage, faultCount = "transistor", len(trFaults)
 		trSpan, done := ro.stage(simSpan, "transistor")
 		trEngine := resolved(trSpan, len(trFaults))
+		if wantDict && !req.Faults.IDDQ {
+			dictTrFaults = trFaults
+			trCapture = faultsim.NewSignatureCapture(len(trFaults), len(pats))
+			sim.Signatures = trCapture
+		}
 		ds, err := sim.RunTransistorParallel(ctx, trFaults, pats, false, req.Workers)
+		sim.Signatures = nil
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +232,13 @@ func RunCampaignObserved(ctx context.Context, c *logic.Circuit, req CampaignRequ
 			currentStage = "transistor_iddq"
 			iddqSpan, done := ro.stage(simSpan, "transistor_iddq")
 			iddqEngine := resolved(iddqSpan, len(trFaults))
+			if wantDict {
+				dictTrFaults = trFaults
+				trCapture = faultsim.NewSignatureCapture(len(trFaults), len(pats))
+				sim.Signatures = trCapture
+			}
 			ds, err = sim.RunTransistorParallel(ctx, trFaults, pats, true, req.Workers)
+			sim.Signatures = nil
 			if err != nil {
 				return nil, err
 			}
@@ -267,6 +302,55 @@ func RunCampaignObserved(ctx context.Context, c *logic.Circuit, req CampaignRequ
 		}
 	}
 	simDone()
+
+	if wantDict && (saCapture != nil || trCapture != nil) {
+		dictSpan, done := ro.stage(ro.Span, "dictionary")
+		d := &dict.Dictionary{Meta: dict.Meta{
+			Key:       ro.DictKey,
+			Circuit:   c.Name,
+			Patterns:  len(pats),
+			Seed:      req.Seed,
+			Engine:    engine.String(),
+			IDDQ:      req.Faults.IDDQ,
+			CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		}}
+		addEntries := func(faults []core.Fault, capture *faultsim.SignatureCapture, leak bool) {
+			for i := range faults {
+				e := dict.Entry{
+					Fault: faults[i].String(),
+					Out:   dict.FromWords(len(pats), capture.Out(i)),
+					Leak:  dict.NewBitset(len(pats)),
+				}
+				if leak {
+					e.Leak = dict.FromWords(len(pats), capture.Leak(i))
+				}
+				d.Entries = append(d.Entries, e)
+			}
+		}
+		if saCapture != nil {
+			addEntries(saFaults, saCapture, false)
+		}
+		if trCapture != nil {
+			addEntries(dictTrFaults, trCapture, req.Faults.IDDQ)
+		}
+		_, size, err := ro.Dict.Put(d)
+		if err != nil {
+			return nil, fmt.Errorf("dictionary: %w", err)
+		}
+		dictSpan.SetAttr("entries", strconv.Itoa(len(d.Entries)))
+		dictSpan.SetAttr("bytes", strconv.FormatInt(size, 10))
+		rep.Dictionary = &DictionaryJSON{
+			Key:                 d.Meta.Key,
+			Entries:             d.Meta.Entries,
+			Patterns:            d.Meta.Patterns,
+			IDDQ:                d.Meta.IDDQ,
+			CompressedBytes:     size,
+			Detected:            d.Meta.Resolution.Detected,
+			Classes:             d.Meta.Resolution.Classes,
+			UniquelyDiagnosable: d.Meta.Resolution.UniquelyDiagnosable,
+		}
+		done()
+	}
 
 	_, reportDone := ro.stage(ro.Span, "report")
 	rep.Tables = buildTables(rep)

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cpsinw/internal/dict"
 	"cpsinw/internal/logic"
 	"cpsinw/internal/obs"
 )
@@ -66,7 +67,7 @@ func (j *Job) Status() JobStatus {
 }
 
 func (j *Job) statusLocked() JobStatus {
-	return JobStatus{
+	st := JobStatus{
 		ID:        j.ID,
 		State:     j.state,
 		CacheHit:  j.cacheHit,
@@ -77,6 +78,10 @@ func (j *Job) statusLocked() JobStatus {
 		Finished:  rfc3339(j.finished),
 		Progress:  j.progress,
 	}
+	if j.report != nil {
+		st.Dictionary = j.report.Dictionary
+	}
+	return st
 }
 
 // Report returns the result and whether the job finished successfully.
@@ -115,6 +120,13 @@ type ManagerConfig struct {
 	CacheSize  int           // LRU result cache entries (default 128)
 	MaxJobs    int           // retained job records; oldest finished are pruned (default 4096)
 	JobTimeout time.Duration // per-job deadline (default 60s)
+
+	// DictDir, when set, enables the persistent fault-dictionary store:
+	// campaigns harvest per-fault signatures during simulation and
+	// persist one content-addressed artifact per campaign key there,
+	// served by /v1/campaigns/{id}/dictionary and /v1/diagnose across
+	// process restarts. Empty disables dictionary capture entirely.
+	DictDir string
 
 	// Logger receives structured job lifecycle lines (default: discard).
 	Logger *obs.Logger
@@ -160,6 +172,7 @@ type Manager struct {
 	reg     *obs.Registry
 	tracer  *obs.Tracer
 	log     *obs.Logger
+	dict    *dict.Store // nil unless DictDir is configured
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -191,6 +204,16 @@ func NewManager(cfg ManagerConfig) *Manager {
 		cancel:  cancel,
 		queue:   make(chan *Job, cfg.QueueDepth),
 		jobs:    map[string]*Job{},
+	}
+	if cfg.DictDir != "" {
+		store, err := dict.Open(cfg.DictDir)
+		if err != nil {
+			// A broken dictionary directory must not take the campaign
+			// service down: run without persistence and say so loudly.
+			m.log.Warn("dictionary store disabled", "dir", cfg.DictDir, "error", err.Error())
+		} else {
+			m.dict = store
+		}
 	}
 	registerManagerMetrics(reg, m)
 	for i := 0; i < cfg.Workers; i++ {
@@ -369,6 +392,10 @@ func (m *Manager) Tracer() *obs.Tracer { return m.tracer }
 // Cache exposes the result cache (read-mostly: stats and keys).
 func (m *Manager) Cache() *Cache { return m.cache }
 
+// DictStore exposes the fault-dictionary store, nil when DictDir is
+// unset (capture and the diagnosis endpoints are disabled).
+func (m *Manager) DictStore() *dict.Store { return m.dict }
+
 // Workers reports the pool size.
 func (m *Manager) Workers() int { return m.cfg.Workers }
 
@@ -453,6 +480,8 @@ func (m *Manager) run(job *Job) {
 		Span:     root,
 		OnStage:  m.metrics.ObserveStage,
 		Progress: func(p JobProgress) { m.noteProgress(job, p) },
+		Dict:     m.dict,
+		DictKey:  job.Key,
 	}
 	rep, err := runCampaign(ctx, job.circuit, job.req, observer)
 	root.End()
@@ -466,6 +495,10 @@ func (m *Manager) run(job *Job) {
 		job.report = rep
 		m.cache.Put(job.Key, rep)
 		m.metrics.Completed.Inc()
+		if rep.Dictionary != nil {
+			m.metrics.DictBuilt.Inc()
+			m.metrics.DictBytes.Add(uint64(rep.Dictionary.CompressedBytes))
+		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		job.state = StateCanceled
 		job.err = err.Error()

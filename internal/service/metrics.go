@@ -21,7 +21,7 @@ const (
 var campaignStages = []string{
 	"parse", "patterns", "compile", "simulate",
 	"stuck_at", "transistor", "transistor_iddq", "bridges", "atpg",
-	"report",
+	"dictionary", "report",
 }
 
 // Metrics collects the service counters on an obs.Registry and renders
@@ -58,6 +58,13 @@ type Metrics struct {
 	// running campaigns (before SSE throttling).
 	ProgressEvents *obs.Counter
 
+	// Fault-dictionary accounting: artifacts persisted by completed
+	// campaigns, their compressed on-disk bytes, and diagnosis queries
+	// answered from stored dictionaries.
+	DictBuilt     *obs.Counter
+	DictBytes     *obs.Counter
+	DictDiagnoses *obs.Counter
+
 	// JobDuration observes end-to-end execution time of non-cached
 	// jobs, in seconds.
 	JobDuration *obs.Histogram
@@ -88,6 +95,9 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	m.PackedJobs = engine("packed")
 	m.AutoJobs = engine("auto")
 	m.ProgressEvents = reg.Counter("cpsinw_progress_events_total", "Campaign progress snapshots delivered by running jobs.")
+	m.DictBuilt = reg.Counter("cpsinw_dict_built_total", "Fault-dictionary artifacts persisted by completed campaigns.")
+	m.DictBytes = reg.Counter("cpsinw_dict_bytes_total", "Compressed bytes written to the fault-dictionary store.")
+	m.DictDiagnoses = reg.Counter("cpsinw_dict_diagnoses_total", "Diagnosis queries answered from stored fault dictionaries.")
 	m.JobDuration = reg.Histogram("cpsinw_job_duration_seconds", "End-to-end execution time of non-cached jobs.", nil)
 	m.stages = make(map[string]*obs.Histogram, len(campaignStages))
 	for _, stage := range campaignStages {
@@ -200,6 +210,9 @@ func (m *Metrics) Snapshot(queueDepth, workers int, cache *Cache) map[string]int
 		"jobs_engine_packed":    m.PackedJobs.Value(),
 		"jobs_engine_auto":      m.AutoJobs.Value(),
 		"progress_events":       m.ProgressEvents.Value(),
+		"dict_built":            m.DictBuilt.Value(),
+		"dict_bytes":            m.DictBytes.Value(),
+		"dict_diagnoses":        m.DictDiagnoses.Value(),
 		"cache_hits":            hits,
 		"cache_misses":          misses,
 		"cache_size":            size,

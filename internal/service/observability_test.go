@@ -352,6 +352,9 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 		"cpsinw_jobs_canceled_total counter",
 		"cpsinw_jobs_engine_total counter",
 		"cpsinw_progress_events_total counter",
+		"cpsinw_dict_built_total counter",
+		"cpsinw_dict_bytes_total counter",
+		"cpsinw_dict_diagnoses_total counter",
 		"cpsinw_job_duration_seconds histogram",
 		"cpsinw_stage_duration_seconds histogram",
 		"cpsinw_queue_depth gauge",
@@ -398,6 +401,7 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 		`cpsinw_job_duration_seconds_bucket{le="+Inf"}`,
 		`cpsinw_stage_duration_seconds_bucket{stage="stuck_at",le="+Inf"}`,
 		`cpsinw_stage_duration_seconds_bucket{stage="atpg",le="+Inf"}`,
+		`cpsinw_stage_duration_seconds_bucket{stage="dictionary",le="+Inf"}`,
 	} {
 		if !strings.Contains(body, series) {
 			t.Errorf("series %s missing from the scrape", series)

@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+
+	"cpsinw/internal/dict"
 )
 
 // maxBodyBytes bounds a campaign submission (netlists are small; this
@@ -25,6 +28,8 @@ func NewServer(cfg ManagerConfig) *Server {
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/report", s.handleReport)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/dictionary", s.handleDictionary)
+	s.mux.HandleFunc("POST /v1/diagnose", s.handleDiagnose)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -171,6 +176,105 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, tree)
+}
+
+// handleDictionary serves the fault-dictionary artifact metadata for a
+// finished campaign. 404 means the job produced no dictionary (store
+// not configured, or the job predates it); the artifact itself answers
+// POST /v1/diagnose by key.
+func (s *Server) handleDictionary(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.mgr.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	rep, state, errMsg := job.Report()
+	switch state {
+	case StateDone:
+		if rep.Dictionary == nil {
+			writeError(w, http.StatusNotFound, "campaign has no dictionary artifact (store not configured)")
+			return
+		}
+		writeJSON(w, http.StatusOK, rep.Dictionary)
+	case StateFailed:
+		writeStateError(w, http.StatusInternalServerError, state,
+			fmt.Sprintf("campaign %s: %s", state, errMsg))
+	case StateCanceled:
+		writeStateError(w, http.StatusConflict, state,
+			fmt.Sprintf("campaign %s: %s", state, errMsg))
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeStateError(w, http.StatusConflict, state, fmt.Sprintf("campaign still %s", state))
+	}
+}
+
+// handleDiagnose answers a diagnosis query from a stored dictionary:
+// one bitset-AND pass over the artifact, zero simulation. The
+// dictionary is addressed by content key (stable across restarts) or,
+// as a convenience, by a live campaign ID.
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	store := s.mgr.DictStore()
+	if store == nil {
+		writeError(w, http.StatusServiceUnavailable, "dictionary store not configured (start the server with -dict-dir)")
+		return
+	}
+	var req DiagnoseRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	key := req.Key
+	if key != "" && !dict.ValidKey(key) {
+		writeError(w, http.StatusBadRequest, "malformed dictionary key (want 64 lowercase hex digits)")
+		return
+	}
+	if key == "" {
+		if req.CampaignID == "" {
+			writeError(w, http.StatusBadRequest, "one of key or campaign_id is required")
+			return
+		}
+		job, ok := s.mgr.Get(req.CampaignID)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown campaign")
+			return
+		}
+		key = job.Key
+	} else if req.CampaignID != "" {
+		writeError(w, http.StatusBadRequest, "key and campaign_id are mutually exclusive")
+		return
+	}
+	if len(req.FailingPatterns) == 0 && len(req.LeakingPatterns) == 0 {
+		writeError(w, http.StatusBadRequest, "at least one failing or leaking pattern index is required")
+		return
+	}
+	d, err := store.Get(key)
+	if err != nil {
+		if os.IsNotExist(err) {
+			writeError(w, http.StatusNotFound, "no dictionary artifact for key "+key)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("dictionary load: %v", err))
+		return
+	}
+	for _, i := range append(append([]int{}, req.FailingPatterns...), req.LeakingPatterns...) {
+		if i < 0 || i >= d.Meta.Patterns {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("pattern index %d out of range (dictionary has %d patterns)", i, d.Meta.Patterns))
+			return
+		}
+	}
+	obs := dict.ObservationFrom(d.Meta.Patterns, req.FailingPatterns, req.LeakingPatterns)
+	cands := d.Diagnose(obs, req.TopK)
+	s.mgr.Metrics().DictDiagnoses.Inc()
+	writeJSON(w, http.StatusOK, DiagnoseResponse{
+		Key:        d.Meta.Key,
+		Circuit:    d.Meta.Circuit,
+		Patterns:   d.Meta.Patterns,
+		IDDQ:       d.Meta.IDDQ,
+		Candidates: cands,
+	})
 }
 
 // handleHealthz reports real readiness: 200 while the manager accepts

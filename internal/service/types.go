@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cpsinw/internal/bench"
+	"cpsinw/internal/dict"
 	"cpsinw/internal/faultsim"
 	"cpsinw/internal/logic"
 	"cpsinw/internal/report"
@@ -60,6 +61,14 @@ type CampaignRequest struct {
 	// they are excluded from the cache key.
 	Workers   int   `json:"workers,omitempty"`
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Normalize applies defaults, validates the request and resolves the
+// circuit, returning the canonical form used for content addressing.
+// Exported for CLI front-ends that must derive the same artifact keys
+// as the service (CanonicalKey over the normalized request).
+func (r CampaignRequest) Normalize() (CampaignRequest, *logic.Circuit, error) {
+	return r.normalize()
 }
 
 // normalize applies defaults and validates the request, resolving the
@@ -150,6 +159,46 @@ type ATPGJSON struct {
 	Untestable       int     `json:"untestable"`
 }
 
+// DictionaryJSON is the fault-dictionary artifact metadata carried in
+// CampaignReport and JobStatus and served by GET
+// /v1/campaigns/{id}/dictionary. The artifact itself lives in the
+// manager's dictionary store under Key and answers POST /v1/diagnose
+// after any number of process restarts.
+type DictionaryJSON struct {
+	Key                 string `json:"key"`      // content address, shared with the campaign cache key
+	Entries             int    `json:"entries"`  // faults with stored signatures
+	Patterns            int    `json:"patterns"` // signature width
+	IDDQ                bool   `json:"iddq"`     // leak plane populated
+	CompressedBytes     int64  `json:"compressed_bytes"`
+	Detected            int    `json:"detected"`
+	Classes             int    `json:"classes"`
+	UniquelyDiagnosable int    `json:"uniquely_diagnosable"`
+}
+
+// DiagnoseRequest is the POST /v1/diagnose body. Exactly one of Key (a
+// dictionary artifact's content address) or CampaignID (a convenience:
+// resolved to that job's key) selects the dictionary. FailingPatterns
+// and LeakingPatterns are the observed tester response as pattern
+// indices into the campaign's pattern set.
+type DiagnoseRequest struct {
+	Key             string `json:"key,omitempty"`
+	CampaignID      string `json:"campaign_id,omitempty"`
+	FailingPatterns []int  `json:"failing_patterns"`
+	LeakingPatterns []int  `json:"leaking_patterns,omitempty"`
+	TopK            int    `json:"top_k,omitempty"` // default 5
+}
+
+// DiagnoseResponse ranks the dictionary faults against the observation.
+// The answer comes entirely from the stored dictionary — no simulation
+// runs, so it works after any number of process restarts.
+type DiagnoseResponse struct {
+	Key        string           `json:"key"`
+	Circuit    string           `json:"circuit"`
+	Patterns   int              `json:"patterns"`
+	IDDQ       bool             `json:"iddq"`
+	Candidates []dict.Candidate `json:"candidates"`
+}
+
 // CampaignReport is the GET /v1/campaigns/{id}/report body: structured
 // coverage per fault class plus the same report.Table set the CLI tools
 // render, marshalled through internal/report's JSON form.
@@ -162,6 +211,7 @@ type CampaignReport struct {
 	TransistorIDDQ *CoverageJSON   `json:"transistor_iddq,omitempty"` // voltage + IDDQ
 	Bridges        *CoverageJSON   `json:"bridges,omitempty"`
 	ATPG           *ATPGJSON       `json:"atpg,omitempty"`
+	Dictionary     *DictionaryJSON `json:"dictionary,omitempty"`
 	Tables         []*report.Table `json:"tables"`
 	ElapsedMS      int64           `json:"elapsed_ms"`
 }
@@ -204,16 +254,19 @@ type JobProgress struct {
 }
 
 // JobStatus is the GET /v1/campaigns/{id} body (and the SSE frame).
+// Dictionary is set once the job is done and a fault-dictionary
+// artifact was persisted for it.
 type JobStatus struct {
-	ID        string       `json:"id"`
-	State     JobState     `json:"state"`
-	CacheHit  bool         `json:"cache_hit"`
-	Key       string       `json:"key"` // content address of (netlist, config)
-	Error     string       `json:"error,omitempty"`
-	Submitted string       `json:"submitted,omitempty"`
-	Started   string       `json:"started,omitempty"`
-	Finished  string       `json:"finished,omitempty"`
-	Progress  *JobProgress `json:"progress,omitempty"`
+	ID         string          `json:"id"`
+	State      JobState        `json:"state"`
+	CacheHit   bool            `json:"cache_hit"`
+	Key        string          `json:"key"` // content address of (netlist, config)
+	Error      string          `json:"error,omitempty"`
+	Submitted  string          `json:"submitted,omitempty"`
+	Started    string          `json:"started,omitempty"`
+	Finished   string          `json:"finished,omitempty"`
+	Progress   *JobProgress    `json:"progress,omitempty"`
+	Dictionary *DictionaryJSON `json:"dictionary,omitempty"`
 }
 
 func rfc3339(t time.Time) string {
