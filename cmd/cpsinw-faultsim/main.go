@@ -7,14 +7,19 @@
 // Usage:
 //
 //	cpsinw-faultsim [-circuit name | < netlist.bench] [-patterns n] [-engine auto]
+//	cpsinw-faultsim [-shards k] [-result-dir path]   sharded campaign with durable shard reuse
 //	cpsinw-faultsim -tableiii
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"strings"
+	"sync/atomic"
 
 	"cpsinw/internal/bench"
 	"cpsinw/internal/core"
@@ -22,7 +27,9 @@ import (
 	"cpsinw/internal/faultsim"
 	"cpsinw/internal/logic"
 	"cpsinw/internal/report"
+	"cpsinw/internal/resultstore"
 	"cpsinw/internal/service"
+	"cpsinw/internal/shard"
 )
 
 func main() {
@@ -35,6 +42,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random pattern seed")
 	engineName := flag.String("engine", "compiled", "fault-simulation engine: auto, compiled, packed or reference")
 	list := flag.Bool("list", false, "list built-in benchmarks and exit")
+	shards := flag.Int("shards", 1, "split the campaign into k sub-jobs merged bit-identically (0: auto-size, 1: single-shot)")
+	resultDir := flag.String("result-dir", "", "durable result store; completed shards are reused across runs (empty disables)")
 	flag.Parse()
 
 	engine, err := faultsim.ParseEngine(*engineName)
@@ -44,6 +53,10 @@ func main() {
 
 	if *list {
 		for _, n := range bench.Names() {
+			fmt.Println(n)
+		}
+		fmt.Println("# ISCAS-scale reconstructions (internal/bench/testdata/iscas):")
+		for _, n := range bench.ISCASNames() {
 			fmt.Println(n)
 		}
 		fmt.Println("# parameterized families (any size):")
@@ -62,6 +75,7 @@ func main() {
 	}
 
 	var c *logic.Circuit
+	var netlistSrc string
 	if *circuitName != "" {
 		var err error
 		c, err = bench.Get(*circuitName)
@@ -69,13 +83,22 @@ func main() {
 			log.Fatalf("%v (use -list)", err)
 		}
 	} else {
-		var err error
-		c, err = logic.ParseBench("stdin", os.Stdin)
+		raw, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		netlistSrc = string(raw)
+		c, err = logic.ParseBench("stdin", strings.NewReader(netlistSrc))
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
 	fmt.Printf("circuit: %s  %s\n\n", c.Name, c.Statistics())
+
+	if *shards != 1 || *resultDir != "" {
+		runSharded(*circuitName, netlistSrc, *patterns, *seed, *engineName, *shards, *resultDir)
+		return
+	}
 
 	pats := service.BuildPatterns(c, *patterns, *seed)
 	sim := faultsim.New(c)
@@ -115,4 +138,47 @@ func main() {
 			fmt.Printf("  %v\n", f)
 		}
 	}
+}
+
+// runSharded routes the campaign through the sharded executor: fault
+// lists split into content-addressed sub-jobs whose merged results are
+// bit-identical to the single-shot run, and -result-dir reuses
+// completed shards across invocations of the same campaign.
+func runSharded(benchmark, netlist string, patterns int, seed int64, engine string, shards int, resultDir string) {
+	req := service.CampaignRequest{
+		Benchmark: benchmark,
+		Netlist:   netlist,
+		Faults: service.FaultConfig{
+			StuckAt: true, Polarity: true, StuckOpen: true, StuckOn: true, IDDQ: true,
+		},
+		Patterns: patterns,
+		Seed:     seed,
+		Engine:   engine,
+		Shards:   shards,
+	}
+	norm, c, err := req.Normalize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := service.ShardedOptions{Key: service.CanonicalKey(c, norm), Shards: norm.Shards}
+	var scheduled, hits atomic.Int64 // callbacks fire on scheduler goroutines
+	opt.Events = shard.Events{Scheduled: func(shard.SubJob) { scheduled.Add(1) }}
+	opt.OnCacheHit = func(shard.SubJob) { hits.Add(1) }
+	if resultDir != "" {
+		store, err := resultstore.Open(resultDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.Store = store
+	}
+	rep, err := service.RunCampaignSharded(context.Background(), c, norm, opt, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range rep.Tables {
+		fmt.Print(t.String())
+		fmt.Println()
+	}
+	fmt.Printf("campaign %s: %d shards (%d reused from store), %d ms\n",
+		opt.Key[:12], scheduled.Load(), hits.Load(), rep.ElapsedMS)
 }

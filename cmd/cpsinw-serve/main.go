@@ -8,7 +8,7 @@
 //
 //	cpsinw-serve [-addr :8080] [-workers n] [-queue n] [-cache n]
 //	             [-job-timeout 60s] [-progress-interval 100ms]
-//	             [-dict-dir path]
+//	             [-dict-dir path] [-result-dir path] [-shard-retries n]
 //	             [-log-level info] [-log-format text]
 //	             [-debug-addr 127.0.0.1:6060]
 //
@@ -20,6 +20,8 @@
 //	GET  /v1/campaigns/{id}/events      SSE progress stream, ends with the terminal state
 //	GET  /v1/campaigns/{id}/trace       per-campaign span tree (stage timings)
 //	GET  /v1/campaigns/{id}/dictionary  fault-dictionary artifact metadata (needs -dict-dir)
+//	POST /v1/campaigns/{id}/resume      resubmit a resumable campaign (needs -result-dir)
+//	GET  /v1/resumable                  campaigns recoverable after a restart (needs -result-dir)
 //	POST /v1/diagnose                   rank faults against an observed failure (needs -dict-dir)
 //	GET  /healthz                       readiness: queue depth vs capacity, accepting flag
 //	GET  /metrics                       Prometheus text exposition (?format=json: legacy flat JSON)
@@ -62,6 +64,9 @@ func main() {
 		"minimum spacing between streamed progress events (negative: unthrottled)")
 	dictDir := flag.String("dict-dir", "",
 		"fault-dictionary store directory; campaigns persist signature dictionaries there and /v1/diagnose answers from them (empty disables)")
+	resultDir := flag.String("result-dir", "",
+		"durable result store directory: campaigns run sharded, sub-jobs and merged reports persist under content addresses, and unfinished campaigns resume after restarts (empty disables)")
+	shardRetries := flag.Int("shard-retries", 1, "re-attempts before quarantining a failed campaign shard (negative disables)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text (logfmt) or json")
 	debugAddr := flag.String("debug-addr", "127.0.0.1:6060",
@@ -85,6 +90,8 @@ func main() {
 		JobTimeout:       *jobTimeout,
 		ProgressInterval: *progressEvery,
 		DictDir:          *dictDir,
+		ResultDir:        *resultDir,
+		ShardRetries:     *shardRetries,
 		Logger:           logger,
 	})
 	defer srv.Close()
@@ -139,6 +146,10 @@ func main() {
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Warn("shutdown", "error", err.Error())
 	}
+	// Drain instead of hard-stopping: in-flight shards finish and persist
+	// to the result store, queued campaigns park as resumable state that
+	// the next process recovers via GET /v1/resumable.
+	mgr.Drain()
 	if debugSrv != nil {
 		debugSrv.Shutdown(shutCtx)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -167,6 +168,32 @@ func TestSuite(t *testing.T) {
 	}
 	if totalDP == 0 {
 		t.Error("suite contains no DP gates at all")
+	}
+}
+
+// TestCrossbarScalingRow pins the corpus's >100k-gate scaling point:
+// crossbar8 must build past 100k gates so the fault-sim scaling curve
+// has a memory-array-shaped entry beyond the multiplier family. Gated
+// behind -short because building the 65k-cell array takes real time.
+func TestCrossbarScalingRow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crossbar8 build is a long test")
+	}
+	c, err := Get("crossbar8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Statistics()
+	if st.Gates < 100_000 {
+		t.Fatalf("crossbar8: %d gates, want >100k for the scaling row", st.Gates)
+	}
+	if len(c.Inputs) != 16 || len(c.Outputs) != 256 {
+		t.Fatalf("crossbar8: %d/%d I/O, want 16/256", len(c.Inputs), len(c.Outputs))
+	}
+	// The lifted decoder cap rides along: oversized decoders are now
+	// governed by the uniform gate bound, not a hardcoded width.
+	if _, err := Get("decoder21"); err == nil || !strings.Contains(err.Error(), "gates") {
+		t.Fatalf("decoder21 = %v, want gate-bound rejection", err)
 	}
 }
 

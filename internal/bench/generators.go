@@ -209,6 +209,53 @@ func DecoderN(n int) *logic.Circuit {
 	return ch.MustBuild()
 }
 
+// Crossbar returns an n-address crossbar array: two DecoderN(n)
+// instances (row and column) select one of 2^n x 2^n cross cells, AND
+// cells where row+column is even and NOR cells where it is odd, read
+// out through one OR tree per row. At crossbar8 that is a >100k-gate
+// circuit from ~1.3k-gate decoders, the corpus's memory-array-shaped
+// scaling point (wide shallow fanout, unlike the multiplier's deep
+// carry chains). Inputs r0..r{n-1}, c0..c{n-1}; outputs q0..q{2^n-1}.
+func Crossbar(n int) *logic.Circuit {
+	if n < 1 {
+		n = 1
+	}
+	ch := NewChip(fmt.Sprintf("crossbar%d", n))
+	rowConn := map[string]string{}
+	colConn := map[string]string{}
+	for i := 0; i < n; i++ {
+		r := fmt.Sprintf("r%d", i)
+		ch.Input(r)
+		rowConn[fmt.Sprintf("s%d", i)] = r
+		colConn[fmt.Sprintf("s%d", i)] = fmt.Sprintf("c%d", i)
+	}
+	for i := 0; i < n; i++ {
+		ch.Input(fmt.Sprintf("c%d", i))
+	}
+	dec := DecoderN(n)
+	rows := ch.Instance("row", dec, rowConn)
+	cols := ch.Instance("col", dec, colConn)
+	side := 1 << n
+	for i := 0; i < side; i++ {
+		ri := rows[fmt.Sprintf("d%d", i)]
+		cells := make([]string, side)
+		for j := 0; j < side; j++ {
+			cj := cols[fmt.Sprintf("d%d", j)]
+			cell := fmt.Sprintf("x%d_%d", i, j)
+			if (i+j)%2 == 0 {
+				ch.AND(cell, ri, cj)
+			} else {
+				ch.Gate(gates.NOR2, cell, ri, cj)
+			}
+			cells[j] = cell
+		}
+		out := fmt.Sprintf("q%d", i)
+		ch.OR(out, cells...)
+		ch.Output(out)
+	}
+	return ch.MustBuild()
+}
+
 // ALU returns a width-n ALU over the CP cell library: opcode
 // op2..op0 selects 0 add, 1 sub (two's complement), 2 and, 3 or,
 // 4 xor. The adder is one RippleCarryAdder instance (CP full-adder

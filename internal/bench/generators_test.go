@@ -96,6 +96,46 @@ func TestDecoderNOneHot(t *testing.T) {
 	}
 }
 
+// TestCrossbarReadout checks the cross-cell function against its
+// definition: with row i and column j addressed, cell (i,j) is the AND
+// of the two one-hot selects when i+j is even and their NOR when odd,
+// so row output q[i] ORs a guaranteed-high cell exactly when (i+j) is
+// even, and the odd-parity NOR cells light every *unselected* row.
+func TestCrossbarReadout(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		c := Crossbar(n)
+		side := uint64(1) << uint(n)
+		if got, want := len(c.Outputs), int(side); got != want {
+			t.Fatalf("crossbar%d: %d outputs, want %d", n, got, want)
+		}
+		for i := uint64(0); i < side; i++ {
+			for j := uint64(0); j < side; j++ {
+				assign := map[string]logic.V{}
+				assignBits(assign, "r", n, i)
+				assignBits(assign, "c", n, j)
+				vals := c.Eval(assign)
+				for k := uint64(0); k < side; k++ {
+					// Row k's OR sees: AND cells high only at (i,j) with
+					// matching parity; NOR cells high wherever neither the
+					// row nor the column select hits the cell.
+					want := false
+					for col := uint64(0); col < side; col++ {
+						sel := k == i && col == j
+						if (k+col)%2 == 0 {
+							want = want || sel
+						} else {
+							want = want || (k != i && col != j)
+						}
+					}
+					if got := vals[fmt.Sprintf("q%d", k)]; got != logic.FromBool(want) {
+						t.Fatalf("crossbar%d(r=%d,c=%d): q%d = %v, want %v", n, i, j, k, got, logic.FromBool(want))
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestALUOps(t *testing.T) {
 	const n = 4
 	c := ALU(n)

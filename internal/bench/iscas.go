@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"cpsinw/internal/logic"
+)
+
+// The ISCAS-85-scale reconstruction corpus: deterministic structural
+// stand-ins for c432, c499 and c880 at the originals' canonical I/O
+// footprint (testdata/iscas/README.md documents exactly what that
+// means). They resolve through Get like every other benchmark but are
+// deliberately not part of Suite(), so the fixed-suite goldens and
+// their cache keys are unaffected.
+
+//go:embed testdata/iscas/*.bench
+var iscasFS embed.FS
+
+var iscasOnce struct {
+	sync.Once
+	circuits map[string]*logic.Circuit
+	err      error
+}
+
+// iscas parses the embedded corpus once and caches it.
+func iscas() (map[string]*logic.Circuit, error) {
+	iscasOnce.Do(func() {
+		entries, err := iscasFS.ReadDir("testdata/iscas")
+		if err != nil {
+			iscasOnce.err = err
+			return
+		}
+		m := make(map[string]*logic.Circuit, len(entries))
+		for _, e := range entries {
+			name := strings.TrimSuffix(e.Name(), ".bench")
+			f, err := iscasFS.Open("testdata/iscas/" + e.Name())
+			if err != nil {
+				iscasOnce.err = err
+				return
+			}
+			c, err := logic.ParseBench(name, f)
+			f.Close()
+			if err != nil {
+				iscasOnce.err = fmt.Errorf("embedded %s: %w", e.Name(), err)
+				return
+			}
+			m[name] = c
+		}
+		iscasOnce.circuits = m
+	})
+	return iscasOnce.circuits, iscasOnce.err
+}
+
+// ISCASNames lists the reconstruction corpus names, sorted.
+func ISCASNames() []string {
+	m, err := iscas()
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

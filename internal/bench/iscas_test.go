@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"cpsinw/internal/core"
+	"cpsinw/internal/faultsim"
+	"cpsinw/internal/logic"
+)
+
+// iscasPatterns mirrors the campaign service's random-pattern builder
+// (seeded math/rand over the input list) so the goldens here pin the
+// same stimulus a campaign on these circuits would see.
+func iscasPatterns(c *logic.Circuit, n int, seed int64) []faultsim.Pattern {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]faultsim.Pattern, n)
+	for k := range out {
+		p := faultsim.Pattern{}
+		for _, pi := range c.Inputs {
+			p[pi] = logic.FromBool(rng.Intn(2) == 1)
+		}
+		out[k] = p
+	}
+	return out
+}
+
+// TestISCASCorpusShape pins each reconstruction to its original's
+// canonical I/O footprint — the one property the corpus promises.
+func TestISCASCorpusShape(t *testing.T) {
+	want := map[string]struct{ in, out int }{
+		"c432": {36, 7},
+		"c499": {41, 32},
+		"c880": {60, 26},
+	}
+	names := ISCASNames()
+	if len(names) != len(want) {
+		t.Fatalf("corpus has %d circuits (%v), want %d", len(names), names, len(want))
+	}
+	for name, w := range want {
+		c, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if len(c.Inputs) != w.in || len(c.Outputs) != w.out {
+			t.Errorf("%s: %d inputs / %d outputs, want %d / %d",
+				name, len(c.Inputs), len(c.Outputs), w.in, w.out)
+		}
+		if _, ok := Suite()[name]; ok {
+			t.Errorf("%s leaked into the fixed Suite; the corpus must stay registry-only", name)
+		}
+	}
+}
+
+// TestISCASGoldenCoverage pins fault-coverage baselines for the corpus
+// under 64 seed-1 random patterns. The numbers are goldens for these
+// reconstructions — any change means the netlists or the engines moved.
+func TestISCASGoldenCoverage(t *testing.T) {
+	golden := map[string]struct {
+		saTotal, saDet int // classical stuck-at
+		trTotal, trDet int // CP transistor, voltage only
+		trIDDQDet      int // CP transistor with IDDQ observation
+	}{
+		"c432": {saTotal: 570, saDet: 423, trTotal: 1428, trDet: 180, trIDDQDet: 814},
+		"c499": {saTotal: 1860, saDet: 991, trTotal: 5184, trDet: 722, trIDDQDet: 3030},
+		"c880": {saTotal: 1122, saDet: 1097, trTotal: 2924, trDet: 613, trIDDQDet: 2014},
+	}
+	for name, want := range golden {
+		c, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		pats := iscasPatterns(c, 64, 1)
+		sim := faultsim.New(c)
+		sim.Engine = faultsim.EnginePacked
+
+		sa := faultsim.Summarise(sim.RunStuckAt(core.Universe(c, core.ClassicalOnly()), pats))
+		tr := core.Universe(c, core.UniverseOptions{ChannelBreak: true, Polarity: true, StuckOn: true})
+		noIDDQ, err := sim.RunTransistor(tr, pats, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withIDDQ, err := sim.RunTransistor(tr, pats, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covNo, covYes := faultsim.Summarise(noIDDQ), faultsim.Summarise(withIDDQ)
+
+		t.Logf("%s: sa %d/%d  tr %d/%d  +iddq %d/%d", name,
+			sa.Detected, sa.Total, covNo.Detected, covNo.Total, covYes.Detected, covYes.Total)
+		if sa.Total != want.saTotal || sa.Detected != want.saDet {
+			t.Errorf("%s stuck-at: %d/%d, golden %d/%d", name, sa.Detected, sa.Total, want.saDet, want.saTotal)
+		}
+		if covNo.Total != want.trTotal || covNo.Detected != want.trDet {
+			t.Errorf("%s transistor: %d/%d, golden %d/%d", name, covNo.Detected, covNo.Total, want.trDet, want.trTotal)
+		}
+		if covYes.Detected != want.trIDDQDet {
+			t.Errorf("%s transistor+IDDQ: %d detected, golden %d", name, covYes.Detected, want.trIDDQDet)
+		}
+	}
+}

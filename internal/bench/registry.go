@@ -23,6 +23,7 @@ import (
 //	rcmult<N>           N x N ripple-carry array multiplier
 //	alu<N>              width-N ALU (add/sub/and/or/xor + opcode decoder)
 //	decoder<N>          balanced N-to-2^N decoder tree (~2^(N+1) gates)
+//	crossbar<N>         2^N x 2^N decoded crossbar array (~3*4^N gates)
 //	rand<SEED>x<G>      flat random DAG: 8 inputs, G gates
 //	randl<SEED>_w<W>xd<D>  layered random circuit, W wide x D deep
 //
@@ -36,16 +37,17 @@ import (
 const maxGeneratedGates = 2_000_000
 
 var familyRE = struct {
-	rca, parity, mult, rcmult, alu, decoder, rand, randl *regexp.Regexp
+	rca, parity, mult, rcmult, alu, decoder, crossbar, rand, randl *regexp.Regexp
 }{
-	rca:     regexp.MustCompile(`^rca(\d+)$`),
-	parity:  regexp.MustCompile(`^parity(\d+)$`),
-	mult:    regexp.MustCompile(`^mult(\d+)$`),
-	rcmult:  regexp.MustCompile(`^rcmult(\d+)$`),
-	alu:     regexp.MustCompile(`^alu(\d+)$`),
-	decoder: regexp.MustCompile(`^decoder(\d+)$`),
-	rand:    regexp.MustCompile(`^rand(-?\d+)x(\d+)$`),
-	randl:   regexp.MustCompile(`^randl(-?\d+)_w(\d+)xd(\d+)$`),
+	rca:      regexp.MustCompile(`^rca(\d+)$`),
+	parity:   regexp.MustCompile(`^parity(\d+)$`),
+	mult:     regexp.MustCompile(`^mult(\d+)$`),
+	rcmult:   regexp.MustCompile(`^rcmult(\d+)$`),
+	alu:      regexp.MustCompile(`^alu(\d+)$`),
+	decoder:  regexp.MustCompile(`^decoder(\d+)$`),
+	crossbar: regexp.MustCompile(`^crossbar(\d+)$`),
+	rand:     regexp.MustCompile(`^rand(-?\d+)x(\d+)$`),
+	randl:    regexp.MustCompile(`^randl(-?\d+)_w(\d+)xd(\d+)$`),
 }
 
 // Families describes the parameterized generator families for help
@@ -53,7 +55,7 @@ var familyRE = struct {
 func Families() []string {
 	return []string{
 		"rca<N>", "parity<N>", "mult<N>", "rcmult<N>", "alu<N>",
-		"decoder<N>", "rand<SEED>x<GATES>", "randl<SEED>_w<W>xd<D>",
+		"decoder<N>", "crossbar<N>", "rand<SEED>x<GATES>", "randl<SEED>_w<W>xd<D>",
 	}
 }
 
@@ -74,6 +76,11 @@ func Names() []string {
 func Get(name string) (*logic.Circuit, error) {
 	if c, ok := Suite()[name]; ok {
 		return c, nil
+	}
+	if m, err := iscas(); err == nil {
+		if c, ok := m[name]; ok {
+			return c, nil
+		}
 	}
 	bound := func(label string, gates int) error {
 		if gates > maxGeneratedGates {
@@ -115,13 +122,20 @@ func Get(name string) (*logic.Circuit, error) {
 		return ALU(n), nil
 	case familyRE.decoder.MatchString(name):
 		n := atoi(familyRE.decoder.FindStringSubmatch(name)[1])
-		if n > 20 {
-			return nil, fmt.Errorf("benchmark %q: decoder width capped at 20", name)
-		}
 		if err := bound(name, 4<<n); err != nil {
 			return nil, err
 		}
 		return DecoderN(n), nil
+	case familyRE.crossbar.MatchString(name):
+		n := atoi(familyRE.crossbar.FindStringSubmatch(name)[1])
+		est := maxGeneratedGates + 1 // huge n would overflow the shift
+		if n <= 15 {
+			est = 3 << (2 * n)
+		}
+		if err := bound(name, est); err != nil {
+			return nil, err
+		}
+		return Crossbar(n), nil
 	case familyRE.rand.MatchString(name):
 		m := familyRE.rand.FindStringSubmatch(name)
 		seed, _ := strconv.ParseInt(m[1], 10, 64)
@@ -139,6 +153,6 @@ func Get(name string) (*logic.Circuit, error) {
 		}
 		return RandomLayered(seed, w, d), nil
 	}
-	return nil, fmt.Errorf("unknown benchmark %q (built-ins: %s; families: %s)",
-		name, strings.Join(Names(), ", "), strings.Join(Families(), ", "))
+	return nil, fmt.Errorf("unknown benchmark %q (built-ins: %s; iscas: %s; families: %s)",
+		name, strings.Join(Names(), ", "), strings.Join(ISCASNames(), ", "), strings.Join(Families(), ", "))
 }

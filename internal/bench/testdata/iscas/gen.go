@@ -1,0 +1,315 @@
+//go:build ignore
+
+// gen.go regenerates the ISCAS-85-scale reconstruction netlists in
+// this directory (c432.bench, c499.bench, c880.bench). The circuits
+// are deterministic structural reconstructions at each original's
+// canonical I/O footprint and function class — see README.md for what
+// that does and does not promise. Run from this directory:
+//
+//	go run gen.go
+package main
+
+import (
+	"fmt"
+	"math/bits"
+	"os"
+	"strings"
+)
+
+// netlist accumulates a .bench file: declarations first, gates after,
+// every net name handed out exactly once.
+type netlist struct {
+	name    string
+	ins     []string
+	outs    []string
+	gates   []string
+	defined map[string]bool
+}
+
+func newNetlist(name string) *netlist {
+	return &netlist{name: name, defined: map[string]bool{}}
+}
+
+func (n *netlist) in(name string) string {
+	if n.defined[name] {
+		panic("redefined net " + name)
+	}
+	n.defined[name] = true
+	n.ins = append(n.ins, name)
+	return name
+}
+
+func (n *netlist) out(name string) { n.outs = append(n.outs, name) }
+
+func (n *netlist) gate(name, fn string, args ...string) string {
+	if n.defined[name] {
+		panic("redefined net " + name)
+	}
+	for _, a := range args {
+		if !n.defined[a] {
+			panic(name + " uses undefined net " + a)
+		}
+	}
+	n.defined[name] = true
+	n.gates = append(n.gates, fmt.Sprintf("%s = %s(%s)", name, fn, strings.Join(args, ", ")))
+	return name
+}
+
+func (n *netlist) render(header string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimSpace(header), "\n") {
+		fmt.Fprintf(&b, "# %s\n", strings.TrimSpace(strings.TrimPrefix(line, "#")))
+	}
+	b.WriteString("\n")
+	for _, i := range n.ins {
+		fmt.Fprintf(&b, "INPUT(%s)\n", i)
+	}
+	b.WriteString("\n")
+	for _, o := range n.outs {
+		fmt.Fprintf(&b, "OUTPUT(%s)\n", o)
+	}
+	b.WriteString("\n")
+	for _, g := range n.gates {
+		b.WriteString(g)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func (n *netlist) check(wantIn, wantOut int) {
+	if len(n.ins) != wantIn || len(n.outs) != wantOut {
+		panic(fmt.Sprintf("%s: %d/%d I/O, want %d/%d", n.name, len(n.ins), len(n.outs), wantIn, wantOut))
+	}
+}
+
+// c432: 36-input / 7-output priority interrupt controller. Three 9-bit
+// request buses gated by a 9-bit enable feed a strict priority chain;
+// the outputs are the encoded winning channel, a grant indicator and
+// per-bus source flags.
+func c432() string {
+	g := newNetlist("c432")
+	var E, A, B, C [9]string
+	for i := 0; i < 9; i++ {
+		E[i] = g.in(fmt.Sprintf("E%d", i))
+	}
+	for i := 0; i < 9; i++ {
+		A[i] = g.in(fmt.Sprintf("A%d", i))
+	}
+	for i := 0; i < 9; i++ {
+		B[i] = g.in(fmt.Sprintf("B%d", i))
+	}
+	for i := 0; i < 9; i++ {
+		C[i] = g.in(fmt.Sprintf("C%d", i))
+	}
+
+	var req, blk, grant [9]string
+	for i := 0; i < 9; i++ {
+		any := g.gate(fmt.Sprintf("anyreq%d", i), "OR", A[i], B[i], C[i])
+		req[i] = g.gate(fmt.Sprintf("req%d", i), "AND", E[i], any)
+	}
+	blk[0] = req[0]
+	for i := 1; i < 9; i++ {
+		blk[i] = g.gate(fmt.Sprintf("blk%d", i), "OR", blk[i-1], req[i])
+	}
+	grant[0] = g.gate("grant0", "BUF", req[0])
+	for i := 1; i < 9; i++ {
+		nb := g.gate(fmt.Sprintf("nblk%d", i-1), "NOT", blk[i-1])
+		grant[i] = g.gate(fmt.Sprintf("grant%d", i), "AND", req[i], nb)
+	}
+
+	for b := 0; b < 4; b++ {
+		var set []string
+		for i := 0; i < 9; i++ {
+			if (i>>b)&1 == 1 {
+				set = append(set, grant[i])
+			}
+		}
+		idx := g.gate(fmt.Sprintf("IDX%d", b), "OR", set...)
+		g.out(idx)
+	}
+	anyOut := g.gate("ANY", "BUF", blk[8])
+	g.out(anyOut)
+	var srcA, srcB []string
+	for i := 0; i < 9; i++ {
+		srcA = append(srcA, g.gate(fmt.Sprintf("ga%d", i), "AND", grant[i], A[i]))
+		srcB = append(srcB, g.gate(fmt.Sprintf("gb%d", i), "AND", grant[i], B[i]))
+	}
+	g.out(g.gate("SRCA", "OR", srcA...))
+	g.out(g.gate("SRCB", "OR", srcB...))
+
+	g.check(36, 7)
+	return g.render(`c432 reconstruction: 36-input / 7-output priority interrupt controller.
+		Deterministic structural stand-in for ISCAS-85 c432 (see README.md).
+		Regenerate with: go run gen.go`)
+}
+
+// c499sig gives data bit i its 8-bit check signature: bits 0..5 encode
+// i+1, bit 6 is the always-on global parity check, bit 7 marks even
+// popcount of i+1. Signatures are pairwise distinct, every check
+// covers at least one bit.
+func c499sig(i int) int {
+	s := (i + 1) & 0x3f
+	s |= 1 << 6
+	if bits.OnesCount(uint(i+1))%2 == 0 {
+		s |= 1 << 7
+	}
+	return s
+}
+
+// c499: 41-input / 32-output single-error-correcting decoder. Eight
+// syndrome bits are XOR trees over data subsets against the incoming
+// check bits; a per-bit 8-wide match ANDed with the correction-enable
+// input flips the addressed data bit.
+func c499() string {
+	g := newNetlist("c499")
+	var ID [32]string
+	var IC [8]string
+	for i := 0; i < 32; i++ {
+		ID[i] = g.in(fmt.Sprintf("ID%d", i))
+	}
+	for j := 0; j < 8; j++ {
+		IC[j] = g.in(fmt.Sprintf("IC%d", j))
+	}
+	R := g.in("R")
+
+	var s, ns [8]string
+	for j := 0; j < 8; j++ {
+		args := []string{IC[j]}
+		for i := 0; i < 32; i++ {
+			if (c499sig(i)>>j)&1 == 1 {
+				args = append(args, ID[i])
+			}
+		}
+		s[j] = g.gate(fmt.Sprintf("s%d", j), "XOR", args...)
+		ns[j] = g.gate(fmt.Sprintf("ns%d", j), "NOT", s[j])
+	}
+	for i := 0; i < 32; i++ {
+		var match []string
+		for j := 0; j < 8; j++ {
+			if (c499sig(i)>>j)&1 == 1 {
+				match = append(match, s[j])
+			} else {
+				match = append(match, ns[j])
+			}
+		}
+		cor := g.gate(fmt.Sprintf("cor%d", i), "AND", match...)
+		en := g.gate(fmt.Sprintf("en%d", i), "AND", cor, R)
+		g.out(g.gate(fmt.Sprintf("OD%d", i), "XOR", ID[i], en))
+	}
+
+	g.check(41, 32)
+	return g.render(`c499 reconstruction: 41-input / 32-output single-error correction.
+		Deterministic structural stand-in for ISCAS-85 c499 (see README.md).
+		Regenerate with: go run gen.go`)
+}
+
+// c880: 60-input / 26-output 8-bit ALU slice. Two mask/constant-
+// conditioned operands feed a MAJ-carry ripple adder and a logic unit;
+// a decoded 2-bit select muxes the function, and the flag block plus
+// exported carries and a generate bus fill out the 26 outputs. The
+// 8-bit test bus folds into the parity flag so every input is
+// observable.
+func c880() string {
+	g := newNetlist("c880")
+	var A, B, C, D, M, K [8]string
+	for i := 0; i < 8; i++ {
+		A[i] = g.in(fmt.Sprintf("A%d", i))
+	}
+	for i := 0; i < 8; i++ {
+		B[i] = g.in(fmt.Sprintf("B%d", i))
+	}
+	for i := 0; i < 8; i++ {
+		C[i] = g.in(fmt.Sprintf("C%d", i))
+	}
+	for i := 0; i < 8; i++ {
+		D[i] = g.in(fmt.Sprintf("D%d", i))
+	}
+	for i := 0; i < 8; i++ {
+		M[i] = g.in(fmt.Sprintf("M%d", i))
+	}
+	for i := 0; i < 8; i++ {
+		K[i] = g.in(fmt.Sprintf("K%d", i))
+	}
+	var T [8]string
+	for i := 0; i < 8; i++ {
+		T[i] = g.in(fmt.Sprintf("T%d", i))
+	}
+	S0, S1 := g.in("S0"), g.in("S1")
+	CIN := g.in("CIN")
+	EN := g.in("EN")
+
+	var X, Y [8]string
+	for i := 0; i < 8; i++ {
+		bm := g.gate(fmt.Sprintf("bm%d", i), "AND", B[i], M[i])
+		X[i] = g.gate(fmt.Sprintf("x%d", i), "XOR", A[i], bm)
+		dk := g.gate(fmt.Sprintf("dk%d", i), "AND", D[i], K[i])
+		Y[i] = g.gate(fmt.Sprintf("y%d", i), "OR", C[i], dk)
+	}
+
+	carry := CIN
+	var sum [8]string
+	var carries [9]string
+	carries[0] = carry
+	for i := 0; i < 8; i++ {
+		sum[i] = g.gate(fmt.Sprintf("sum%d", i), "XOR", X[i], Y[i], carry)
+		carry = g.gate(fmt.Sprintf("cy%d", i+1), "MAJ", X[i], Y[i], carry)
+		carries[i+1] = carry
+	}
+
+	var andB, orB, xorB [8]string
+	for i := 0; i < 8; i++ {
+		andB[i] = g.gate(fmt.Sprintf("andb%d", i), "AND", X[i], Y[i])
+		orB[i] = g.gate(fmt.Sprintf("orb%d", i), "OR", X[i], Y[i])
+		xorB[i] = g.gate(fmt.Sprintf("xorb%d", i), "XOR", X[i], Y[i])
+	}
+
+	nS0 := g.gate("ns0", "NOT", S0)
+	nS1 := g.gate("ns1", "NOT", S1)
+	d0 := g.gate("d0", "AND", nS1, nS0)
+	d1 := g.gate("d1", "AND", nS1, S0)
+	d2 := g.gate("d2", "AND", S1, nS0)
+	d3 := g.gate("d3", "AND", S1, S0)
+
+	var F [8]string
+	for i := 0; i < 8; i++ {
+		t0 := g.gate(fmt.Sprintf("m0_%d", i), "AND", d0, sum[i])
+		t1 := g.gate(fmt.Sprintf("m1_%d", i), "AND", d1, andB[i])
+		t2 := g.gate(fmt.Sprintf("m2_%d", i), "AND", d2, orB[i])
+		t3 := g.gate(fmt.Sprintf("m3_%d", i), "AND", d3, xorB[i])
+		f := g.gate(fmt.Sprintf("f%d", i), "OR", t0, t1, t2, t3)
+		F[i] = g.gate(fmt.Sprintf("F%d", i), "AND", f, EN)
+		g.out(F[i])
+	}
+
+	g.out(g.gate("COUT", "BUF", carries[8]))
+	g.out(g.gate("OVF", "XOR", carries[7], carries[8]))
+	g.out(g.gate("ZERO", "NOR", F[0], F[1], F[2], F[3], F[4], F[5], F[6], F[7]))
+	par := g.gate("PAR", "XOR",
+		F[0], F[1], F[2], F[3], F[4], F[5], F[6], F[7],
+		T[0], T[1], T[2], T[3], T[4], T[5], T[6], T[7])
+	g.out(par)
+	for i := 1; i <= 6; i++ {
+		g.out(g.gate(fmt.Sprintf("CO%d", i), "BUF", carries[i]))
+	}
+	for i := 0; i < 8; i++ {
+		g.out(g.gate(fmt.Sprintf("G%d", i), "MAJ", A[i], B[i], C[i]))
+	}
+
+	g.check(60, 26)
+	return g.render(`c880 reconstruction: 60-input / 26-output 8-bit ALU.
+		Deterministic structural stand-in for ISCAS-85 c880 (see README.md).
+		Regenerate with: go run gen.go`)
+}
+
+func main() {
+	for name, body := range map[string]string{
+		"c432.bench": c432(),
+		"c499.bench": c499(),
+		"c880.bench": c880(),
+	} {
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Println("wrote", name)
+	}
+}

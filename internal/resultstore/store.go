@@ -1,0 +1,192 @@
+// Package resultstore is the campaign service's durable,
+// content-addressed result store: finished campaign reports, per-shard
+// sub-job results and pending-campaign markers persist as compressed
+// JSON artifacts under their content address, so a restarted service
+// answers repeat campaigns without re-simulation and resumes interrupted
+// ones from the shards that already completed.
+//
+// Layout (one directory per artifact kind under the store root):
+//
+//	<dir>/reports/<key>.json.gz  merged campaign reports, keyed by the
+//	                             campaign's canonical content address
+//	<dir>/shards/<key>.json.gz   sub-job results, keyed by the shard's
+//	                             derived content address (see internal/shard)
+//	<dir>/pending/<key>.json.gz  normalized requests of accepted-but-
+//	                             unfinished campaigns (resumable state)
+//
+// Writes are atomic (tmp + rename) so a crashed writer never leaves a
+// half-written artifact, and gzip's CRC catches torn or corrupted files
+// at read time. Keys are exactly 64 lowercase hex digits (a SHA-256),
+// which also guards the store against path traversal.
+package resultstore
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Kind names an artifact namespace inside the store.
+type Kind string
+
+const (
+	// KindReport holds merged campaign reports keyed by campaign key.
+	KindReport Kind = "reports"
+	// KindShard holds sub-job results keyed by shard sub-key.
+	KindShard Kind = "shards"
+	// KindPending holds normalized requests of campaigns that were
+	// accepted but have not completed (the resumable state).
+	KindPending Kind = "pending"
+)
+
+// kinds is every valid namespace, for Open to pre-create.
+var kinds = []Kind{KindReport, KindShard, KindPending}
+
+// Ext is the artifact file suffix.
+const Ext = ".json.gz"
+
+// Store is a content-addressed artifact directory tree. All methods are
+// safe for concurrent use; concurrency control is the filesystem's
+// (atomic rename), so multiple processes may share one store.
+type Store struct {
+	dir string
+}
+
+// Open creates the store layout if needed and returns a store over it.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultstore: empty store directory")
+	}
+	for _, k := range kinds {
+		if err := os.MkdirAll(filepath.Join(dir, string(k)), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir reports the store root.
+func (s *Store) Dir() string { return s.dir }
+
+// ValidKey reports whether key is a well-formed artifact key: exactly
+// the 64 lowercase hex digits of a SHA-256.
+func ValidKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(kind Kind, key string) string {
+	return filepath.Join(s.dir, string(kind), key+Ext)
+}
+
+// Put persists v as compressed JSON under (kind, key), atomically, and
+// returns the artifact's on-disk size.
+func (s *Store) Put(kind Kind, key string, v interface{}) (int64, error) {
+	if !ValidKey(key) {
+		return 0, fmt.Errorf("resultstore: invalid artifact key %q", key)
+	}
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, string(kind)), "put-*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	discard := func(err error) (int64, error) {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	zw := gzip.NewWriter(tmp)
+	if err := json.NewEncoder(zw).Encode(v); err != nil {
+		return discard(err)
+	}
+	if err := zw.Close(); err != nil {
+		return discard(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	fi, err := os.Stat(tmp.Name())
+	if err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), s.path(kind, key)); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Get loads the artifact under (kind, key) into out. A missing artifact
+// surfaces as a wrapped os.ErrNotExist; a torn or corrupted artifact as
+// a decode error.
+func (s *Store) Get(kind Kind, key string, out interface{}) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("resultstore: invalid artifact key %q", key)
+	}
+	f, err := os.Open(s.path(kind, key))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return fmt.Errorf("resultstore: artifact %s/%s: %w", kind, key, err)
+	}
+	defer zr.Close()
+	if err := json.NewDecoder(zr).Decode(out); err != nil {
+		return fmt.Errorf("resultstore: artifact %s/%s: %w", kind, key, err)
+	}
+	return nil
+}
+
+// Has reports whether an artifact exists under (kind, key), without
+// reading it.
+func (s *Store) Has(kind Kind, key string) bool {
+	if !ValidKey(key) {
+		return false
+	}
+	_, err := os.Stat(s.path(kind, key))
+	return err == nil
+}
+
+// Delete removes the artifact under (kind, key); deleting a missing
+// artifact is not an error.
+func (s *Store) Delete(kind Kind, key string) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("resultstore: invalid artifact key %q", key)
+	}
+	err := os.Remove(s.path(kind, key))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Keys lists the artifact keys present under kind, sorted.
+func (s *Store) Keys(kind Kind) ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(s.dir, string(kind)))
+	if err != nil {
+		return nil, err
+	}
+	keys := []string{}
+	for _, e := range ents {
+		name := e.Name()
+		if len(name) == 64+len(Ext) && name[64:] == Ext && ValidKey(name[:64]) {
+			keys = append(keys, name[:64])
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

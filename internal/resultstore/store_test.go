@@ -1,0 +1,166 @@
+package resultstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const keyA = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+const keyB = "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"
+
+type payload struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payload{Name: "mult3", Count: 42}
+	size, err := s.Put(KindReport, keyA, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size <= 0 {
+		t.Fatalf("size = %d, want > 0", size)
+	}
+	var got payload
+	if err := s.Get(KindReport, keyA, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestMissingArtifactIsNotExist(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := s.Get(KindShard, keyA, &got); !os.IsNotExist(err) {
+		t.Fatalf("Get(missing) = %v, want not-exist", err)
+	}
+	if s.Has(KindShard, keyA) {
+		t.Fatal("Has(missing) = true")
+	}
+}
+
+func TestKindsAreIsolated(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(KindReport, keyA, payload{Name: "r"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(KindShard, keyA) || s.Has(KindPending, keyA) {
+		t.Fatal("artifact leaked across kinds")
+	}
+	keys, err := s.Keys(KindReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != keyA {
+		t.Fatalf("Keys(reports) = %v", keys)
+	}
+}
+
+func TestDeleteIsIdempotent(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(KindPending, keyB, payload{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(KindPending, keyB); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(KindPending, keyB); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(KindPending, keyB) {
+		t.Fatal("artifact survived delete")
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "short", strings.Repeat("g", 64), "../../../../etc/passwd", strings.Repeat("A", 64)} {
+		if _, err := s.Put(KindReport, bad, payload{}); err == nil {
+			t.Errorf("Put(%q) accepted an invalid key", bad)
+		}
+		if err := s.Get(KindReport, bad, &payload{}); err == nil {
+			t.Errorf("Get(%q) accepted an invalid key", bad)
+		}
+		if s.Has(KindReport, bad) {
+			t.Errorf("Has(%q) = true", bad)
+		}
+	}
+}
+
+func TestCorruptArtifactSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "reports", keyA+Ext), []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := s.Get(KindReport, keyA, &got); err == nil || os.IsNotExist(err) {
+		t.Fatalf("Get(corrupt) = %v, want decode error", err)
+	}
+}
+
+func TestSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(KindReport, keyA, payload{Name: "persisted", Count: 7}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := s2.Get(KindReport, keyA, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "persisted" || got.Count != 7 {
+		t.Fatalf("got %+v after reopen", got)
+	}
+}
+
+func TestKeysSkipsStrayFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(KindShard, keyB, payload{}); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(dir, "shards", "stray.txt"), []byte("x"), 0o644)
+	os.WriteFile(filepath.Join(dir, "shards", "put-123.tmp"), []byte("x"), 0o644)
+	keys, err := s.Keys(KindShard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != keyB {
+		t.Fatalf("Keys = %v, want [%s]", keys, keyB)
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"cpsinw/internal/dict"
 	"cpsinw/internal/logic"
 	"cpsinw/internal/obs"
+	"cpsinw/internal/resultstore"
+	"cpsinw/internal/shard"
 )
 
 // ErrQueueFull is returned by Submit when the bounded queue cannot
@@ -128,6 +130,19 @@ type ManagerConfig struct {
 	// process restarts. Empty disables dictionary capture entirely.
 	DictDir string
 
+	// ResultDir, when set, enables the durable content-addressed result
+	// store: campaigns run sharded, each sub-job and each merged report
+	// persisting under its content address, so repeat campaigns — and
+	// the already-computed shards of interrupted ones — are answered
+	// without re-simulation across process restarts. Campaigns that
+	// were accepted but unfinished when the process stopped surface as
+	// resumable jobs on the next start. Empty disables persistence (and
+	// sharding, unless a request asks for shards explicitly).
+	ResultDir string
+	// ShardRetries re-attempts a failed shard before quarantining it
+	// (default 1; negative disables retry).
+	ShardRetries int
+
 	// Logger receives structured job lifecycle lines (default: discard).
 	Logger *obs.Logger
 	// ProgressInterval throttles progress broadcasts per job: at most
@@ -160,6 +175,12 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	if c.ProgressInterval == 0 {
 		c.ProgressInterval = 100 * time.Millisecond
 	}
+	if c.ShardRetries == 0 {
+		c.ShardRetries = 1
+	}
+	if c.ShardRetries < 0 {
+		c.ShardRetries = 0
+	}
 	return c
 }
 
@@ -172,12 +193,16 @@ type Manager struct {
 	reg     *obs.Registry
 	tracer  *obs.Tracer
 	log     *obs.Logger
-	dict    *dict.Store // nil unless DictDir is configured
+	dict    *dict.Store        // nil unless DictDir is configured
+	store   *resultstore.Store // nil unless ResultDir is configured
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	queue  chan *Job
 	wg     sync.WaitGroup
+	// drain, when closed, tells shard schedulers to stop starting new
+	// sub-jobs and workers to park still-queued jobs as resumable.
+	drain chan struct{}
 
 	subscribers atomic.Int64 // connected SSE event subscribers
 
@@ -203,6 +228,7 @@ func NewManager(cfg ManagerConfig) *Manager {
 		ctx:     ctx,
 		cancel:  cancel,
 		queue:   make(chan *Job, cfg.QueueDepth),
+		drain:   make(chan struct{}),
 		jobs:    map[string]*Job{},
 	}
 	if cfg.DictDir != "" {
@@ -213,6 +239,17 @@ func NewManager(cfg ManagerConfig) *Manager {
 			m.log.Warn("dictionary store disabled", "dir", cfg.DictDir, "error", err.Error())
 		} else {
 			m.dict = store
+		}
+	}
+	if cfg.ResultDir != "" {
+		store, err := resultstore.Open(cfg.ResultDir)
+		if err != nil {
+			// Same posture as the dictionary store: a broken directory
+			// degrades to no persistence, not a dead service.
+			m.log.Warn("result store disabled", "dir", cfg.ResultDir, "error", err.Error())
+		} else {
+			m.store = store
+			m.recoverPending()
 		}
 	}
 	registerManagerMetrics(reg, m)
@@ -271,6 +308,28 @@ func (m *Manager) Submit(req CampaignRequest) (*Job, error) {
 		return job, nil
 	}
 
+	// The persistent result store outlives the LRU and the process: a
+	// stored merged report answers the campaign with zero simulation,
+	// warming the LRU on the way.
+	if m.store != nil {
+		var rep CampaignReport
+		if err := m.store.Get(resultstore.KindReport, key, &rep); err == nil {
+			m.cache.Put(key, &rep)
+			m.metrics.StoreReportHits.Inc()
+			job.cacheHit = true
+			job.state = StateDone
+			job.started = job.submitted
+			job.finished = time.Now()
+			job.report = &rep
+			job.circuit, job.req.Netlist = nil, ""
+			m.jobs[job.ID] = job
+			m.noteTerminalLocked(job.ID)
+			m.metrics.Submitted.Inc()
+			m.log.Debug("campaign answered from result store", "job", job.ID, "key", job.Key)
+			return job, nil
+		}
+	}
+
 	select {
 	case m.queue <- job:
 	default:
@@ -280,8 +339,111 @@ func (m *Manager) Submit(req CampaignRequest) (*Job, error) {
 	}
 	m.jobs[job.ID] = job
 	m.metrics.Submitted.Inc()
+	// The pending marker makes the accepted campaign durable: if the
+	// process stops before the report lands, the next start surfaces it
+	// as a resumable job instead of losing it silently.
+	if m.store != nil {
+		pc := pendingCampaign{Request: job.req, Submitted: rfc3339(job.submitted), JobID: job.ID}
+		if _, err := m.store.Put(resultstore.KindPending, key, pc); err != nil {
+			m.log.Warn("pending marker not persisted", "job", job.ID, "key", key, "error", err.Error())
+		}
+	}
 	m.log.Debug("campaign queued", "job", job.ID, "engine", job.req.Engine, "key", job.Key)
 	return job, nil
+}
+
+// pendingCampaign is the resumable-state artifact in the result store's
+// pending/ tree: the accepted request itself, so a restarted service
+// can resubmit it verbatim (same canonical key, so every shard already
+// computed is reused).
+type pendingCampaign struct {
+	Request   CampaignRequest `json:"request"`
+	Submitted string          `json:"submitted,omitempty"`
+	JobID     string          `json:"job_id,omitempty"` // ID in the accepting process, for log correlation
+}
+
+// recoverPending scans the result store's pending markers at startup:
+// campaigns whose report landed are finished (stale marker, removed),
+// the rest become resumable job records. Runs from NewManager before
+// the workers start, so it needs no locking.
+func (m *Manager) recoverPending() {
+	keys, err := m.store.Keys(resultstore.KindPending)
+	if err != nil {
+		m.log.Warn("pending scan failed", "error", err.Error())
+		return
+	}
+	for _, key := range keys {
+		if m.store.Has(resultstore.KindReport, key) {
+			_ = m.store.Delete(resultstore.KindPending, key)
+			continue
+		}
+		var pc pendingCampaign
+		if err := m.store.Get(resultstore.KindPending, key, &pc); err != nil {
+			m.log.Warn("pending marker unreadable", "key", key, "error", err.Error())
+			continue
+		}
+		m.seq++
+		job := &Job{
+			ID:    fmt.Sprintf("c-%06d", m.seq),
+			Key:   key,
+			state: StateResumable,
+			req:   pc.Request,
+		}
+		if t, err := time.Parse(time.RFC3339Nano, pc.Submitted); err == nil {
+			job.submitted = t
+		}
+		job.finished = time.Now()
+		m.jobs[job.ID] = job
+		m.noteTerminalLocked(job.ID)
+		m.log.Info("campaign recovered as resumable", "job", job.ID, "key", key)
+	}
+}
+
+// Resumable lists the resumable campaign records, oldest first.
+// Records whose pending marker is gone (the campaign was resumed and
+// finished, so the marker was consumed) are filtered out: the listing
+// reflects what a restart would actually recover.
+func (m *Manager) Resumable() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []JobStatus
+	for _, j := range m.jobs {
+		st := j.Status()
+		if st.State != StateResumable {
+			continue
+		}
+		if m.store != nil && !m.store.Has(resultstore.KindPending, st.Key) {
+			continue
+		}
+		out = append(out, st)
+	}
+	sortStatusesByID(out)
+	return out
+}
+
+// Resume resubmits a resumable campaign's stored request as a new job.
+// Shards (and possibly the whole report) already in the result store
+// are served from it, so resuming only pays for the missing work.
+func (m *Manager) Resume(id string) (*Job, error) {
+	j, ok := m.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("service: no such job %s", id)
+	}
+	j.mu.Lock()
+	state, req := j.state, j.req
+	j.mu.Unlock()
+	if state != StateResumable {
+		return nil, fmt.Errorf("service: job %s is %s, not resumable", id, state)
+	}
+	return m.Submit(req)
+}
+
+func sortStatusesByID(sts []JobStatus) {
+	for i := 1; i < len(sts); i++ {
+		for k := i; k > 0 && sts[k].ID < sts[k-1].ID; k-- {
+			sts[k], sts[k-1] = sts[k-1], sts[k]
+		}
+	}
 }
 
 // Get looks a job up by ID.
@@ -396,6 +558,10 @@ func (m *Manager) Cache() *Cache { return m.cache }
 // unset (capture and the diagnosis endpoints are disabled).
 func (m *Manager) DictStore() *dict.Store { return m.dict }
 
+// ResultStore exposes the durable campaign result store, nil when
+// ResultDir is unset (campaign persistence and resume are disabled).
+func (m *Manager) ResultStore() *resultstore.Store { return m.store }
+
 // Workers reports the pool size.
 func (m *Manager) Workers() int { return m.cfg.Workers }
 
@@ -408,6 +574,18 @@ func (m *Manager) Closed() bool {
 
 // Close cancels in-flight jobs and stops the workers.
 func (m *Manager) Close() {
+	m.shutdown(false)
+}
+
+// Drain shuts down gracefully: no new submissions, in-flight shards
+// (and whole unsharded in-flight jobs) run to completion and persist,
+// and still-queued jobs park as resumable state in the result store
+// instead of being canceled. Returns when the workers have exited.
+func (m *Manager) Drain() {
+	m.shutdown(true)
+}
+
+func (m *Manager) shutdown(drain bool) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -415,9 +593,38 @@ func (m *Manager) Close() {
 	}
 	m.closed = true
 	m.mu.Unlock()
-	m.cancel()
+	if drain {
+		close(m.drain)
+	} else {
+		m.cancel()
+	}
 	close(m.queue)
 	m.wg.Wait()
+	m.cancel()
+}
+
+// shardedOptions wires one job's sharded execution to the manager's
+// store, drain signal, metrics and logger.
+func (m *Manager) shardedOptions(job *Job) ShardedOptions {
+	return ShardedOptions{
+		Key:      job.Key,
+		Shards:   job.req.Shards,
+		Store:    m.store,
+		Retries:  m.cfg.ShardRetries,
+		Draining: m.drain,
+		Events: shard.Events{
+			Scheduled: func(shard.SubJob) { m.metrics.ShardScheduled.Inc() },
+			Retried: func(j shard.SubJob, attempt int, err error) {
+				m.metrics.ShardRetried.Inc()
+				m.log.Warn("shard retrying", "job", job.ID, "shard", j.Index, "attempt", attempt, "error", err.Error())
+			},
+			Quarantined: func(j shard.SubJob, err error) {
+				m.metrics.ShardQuarantined.Inc()
+				m.log.Warn("shard quarantined", "job", job.ID, "shard", j.Index, "error", err.Error())
+			},
+		},
+		OnCacheHit: func(shard.SubJob) { m.metrics.ShardCacheHits.Inc() },
+	}
 }
 
 func (m *Manager) worker() {
@@ -435,8 +642,46 @@ func (m *Manager) worker() {
 			m.noteTerminal(job.ID)
 			continue
 		}
+		if m.isDraining() {
+			m.parkResumable(job, "service draining before the campaign started")
+			continue
+		}
 		m.run(job)
 	}
+}
+
+// isDraining reports whether Drain has fired.
+func (m *Manager) isDraining() bool {
+	select {
+	case <-m.drain:
+		return true
+	default:
+		return false
+	}
+}
+
+// parkResumable terminates a job without running it: with a result
+// store its pending marker survives and the record says so; without
+// one there is nothing durable to come back to, so it is canceled.
+func (m *Manager) parkResumable(job *Job, reason string) {
+	job.mu.Lock()
+	if m.store != nil {
+		job.state = StateResumable
+		job.err = reason
+		// Keep req (the resume payload); drop only the parsed circuit.
+		job.circuit = nil
+	} else {
+		job.state = StateCanceled
+		job.err = reason
+		job.circuit, job.req.Netlist = nil, ""
+		m.metrics.Canceled.Inc()
+	}
+	job.finished = time.Now()
+	job.closeSubsLocked()
+	state := job.state
+	job.mu.Unlock()
+	m.noteTerminal(job.ID)
+	m.log.Info("campaign parked", "job", job.ID, "state", string(state))
 }
 
 func (m *Manager) run(job *Job) {
@@ -483,7 +728,17 @@ func (m *Manager) run(job *Job) {
 		Dict:     m.dict,
 		DictKey:  job.Key,
 	}
-	rep, err := runCampaign(ctx, job.circuit, job.req, observer)
+	// Campaigns run sharded when sub-job results can persist (a result
+	// store is configured) or when the request asks for shards
+	// explicitly; otherwise the single-shot path runs unchanged. The
+	// shard differential tests pin the two paths bit-identical.
+	var rep *CampaignReport
+	var err error
+	if m.store != nil || job.req.Shards > 1 {
+		rep, err = RunCampaignSharded(ctx, job.circuit, job.req, m.shardedOptions(job), observer)
+	} else {
+		rep, err = runCampaign(ctx, job.circuit, job.req, observer)
+	}
 	root.End()
 
 	job.mu.Lock()
@@ -499,6 +754,11 @@ func (m *Manager) run(job *Job) {
 			m.metrics.DictBuilt.Inc()
 			m.metrics.DictBytes.Add(uint64(rep.Dictionary.CompressedBytes))
 		}
+	case errors.Is(err, shard.ErrDraining):
+		// In-flight shards finished and persisted; the pending marker
+		// stays, so the campaign resumes cheaply after restart.
+		job.state = StateResumable
+		job.err = err.Error()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		job.state = StateCanceled
 		job.err = err.Error()
@@ -511,10 +771,30 @@ func (m *Manager) run(job *Job) {
 	state, errMsg := job.state, job.err
 	// Release the parsed circuit and netlist text: terminal jobs only
 	// serve status and report reads. Subscribers learn the terminal
-	// state from the channel close.
-	job.circuit, job.req.Netlist = nil, ""
+	// state from the channel close. Resumable jobs keep the request —
+	// it is the resume payload.
+	job.circuit = nil
+	if job.state != StateResumable {
+		job.req.Netlist = ""
+	}
 	job.closeSubsLocked()
 	job.mu.Unlock()
+
+	if m.store != nil {
+		switch state {
+		case StateDone:
+			if _, perr := m.store.Put(resultstore.KindReport, job.Key, rep); perr != nil {
+				m.log.Warn("report not persisted", "job", job.ID, "key", job.Key, "error", perr.Error())
+			}
+			_ = m.store.Delete(resultstore.KindPending, job.Key)
+		case StateFailed:
+			// A deterministic failure would fail again on resume; drop
+			// the marker so it does not resurrect forever.
+			_ = m.store.Delete(resultstore.KindPending, job.Key)
+		}
+		// Canceled (deadline) and resumable keep their markers: both
+		// represent work worth finishing after a restart.
+	}
 	m.metrics.ObserveLatency(elapsed)
 	m.noteTerminal(job.ID)
 	if state == StateDone {

@@ -21,7 +21,7 @@ const (
 var campaignStages = []string{
 	"parse", "patterns", "compile", "simulate",
 	"stuck_at", "transistor", "transistor_iddq", "bridges", "atpg",
-	"dictionary", "report",
+	"merge", "dictionary", "report",
 }
 
 // Metrics collects the service counters on an obs.Registry and renders
@@ -65,6 +65,19 @@ type Metrics struct {
 	DictBytes     *obs.Counter
 	DictDiagnoses *obs.Counter
 
+	// Sharded-execution accounting: sub-jobs dispatched to the shard
+	// scheduler, re-attempts after failures, sub-jobs answered from the
+	// persistent result store without simulation, and sub-jobs that
+	// exhausted their retry budget.
+	ShardScheduled   *obs.Counter
+	ShardRetried     *obs.Counter
+	ShardCacheHits   *obs.Counter
+	ShardQuarantined *obs.Counter
+	// StoreReportHits counts whole campaigns answered from the
+	// persistent result store (merged reports surviving restarts); the
+	// in-memory LRU's hits are cpsinw_cache_hits_total.
+	StoreReportHits *obs.Counter
+
 	// JobDuration observes end-to-end execution time of non-cached
 	// jobs, in seconds.
 	JobDuration *obs.Histogram
@@ -98,6 +111,11 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	m.DictBuilt = reg.Counter("cpsinw_dict_built_total", "Fault-dictionary artifacts persisted by completed campaigns.")
 	m.DictBytes = reg.Counter("cpsinw_dict_bytes_total", "Compressed bytes written to the fault-dictionary store.")
 	m.DictDiagnoses = reg.Counter("cpsinw_dict_diagnoses_total", "Diagnosis queries answered from stored fault dictionaries.")
+	m.ShardScheduled = reg.Counter("cpsinw_shard_scheduled_total", "Campaign sub-jobs dispatched to the shard scheduler.")
+	m.ShardRetried = reg.Counter("cpsinw_shard_retried_total", "Campaign sub-job re-attempts after a failed attempt.")
+	m.ShardCacheHits = reg.Counter("cpsinw_shard_cache_hits_total", "Campaign sub-jobs answered from the persistent result store.")
+	m.ShardQuarantined = reg.Counter("cpsinw_shard_quarantined_total", "Campaign sub-jobs that exhausted their retry budget.")
+	m.StoreReportHits = reg.Counter("cpsinw_resultstore_report_hits_total", "Campaigns answered whole from the persistent result store.")
 	m.JobDuration = reg.Histogram("cpsinw_job_duration_seconds", "End-to-end execution time of non-cached jobs.", nil)
 	m.stages = make(map[string]*obs.Histogram, len(campaignStages))
 	for _, stage := range campaignStages {
@@ -213,6 +231,11 @@ func (m *Metrics) Snapshot(queueDepth, workers int, cache *Cache) map[string]int
 		"dict_built":            m.DictBuilt.Value(),
 		"dict_bytes":            m.DictBytes.Value(),
 		"dict_diagnoses":        m.DictDiagnoses.Value(),
+		"shard_scheduled":       m.ShardScheduled.Value(),
+		"shard_retried":         m.ShardRetried.Value(),
+		"shard_cache_hits":      m.ShardCacheHits.Value(),
+		"shard_quarantined":     m.ShardQuarantined.Value(),
+		"resultstore_hits":      m.StoreReportHits.Value(),
 		"cache_hits":            hits,
 		"cache_misses":          misses,
 		"cache_size":            size,

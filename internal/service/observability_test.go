@@ -355,6 +355,11 @@ func TestMetricsPrometheusExposition(t *testing.T) {
 		"cpsinw_dict_built_total counter",
 		"cpsinw_dict_bytes_total counter",
 		"cpsinw_dict_diagnoses_total counter",
+		"cpsinw_shard_scheduled_total counter",
+		"cpsinw_shard_retried_total counter",
+		"cpsinw_shard_cache_hits_total counter",
+		"cpsinw_shard_quarantined_total counter",
+		"cpsinw_resultstore_report_hits_total counter",
 		"cpsinw_job_duration_seconds histogram",
 		"cpsinw_stage_duration_seconds histogram",
 		"cpsinw_queue_depth gauge",

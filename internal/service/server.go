@@ -29,6 +29,8 @@ func NewServer(cfg ManagerConfig) *Server {
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/dictionary", s.handleDictionary)
+	s.mux.HandleFunc("POST /v1/campaigns/{id}/resume", s.handleResume)
+	s.mux.HandleFunc("GET /v1/resumable", s.handleResumable)
 	s.mux.HandleFunc("POST /v1/diagnose", s.handleDiagnose)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -206,6 +208,51 @@ func (s *Server) handleDictionary(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 		writeStateError(w, http.StatusConflict, state, fmt.Sprintf("campaign still %s", state))
 	}
+}
+
+// handleResumable lists campaigns that were accepted but unfinished
+// when a previous process stopped: their requests persist in the result
+// store, and each entry resumes via POST /v1/campaigns/{id}/resume.
+func (s *Server) handleResumable(w http.ResponseWriter, _ *http.Request) {
+	sts := s.mgr.Resumable()
+	if sts == nil {
+		sts = []JobStatus{}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"resumable": sts})
+}
+
+// handleResume resubmits a resumable campaign's stored request as a new
+// job. Completed shards (or the whole report) already in the result
+// store are reused, so resuming only pays for the missing work.
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.mgr.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	if st := job.Status(); st.State != StateResumable {
+		writeStateError(w, http.StatusConflict, st.State,
+			fmt.Sprintf("campaign is %s, not resumable", st.State))
+		return
+	}
+	nj, err := s.mgr.Resume(id)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	st := nj.Status()
+	w.Header().Set("Location", "/v1/campaigns/"+nj.ID)
+	code := http.StatusAccepted
+	if st.CacheHit {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
 }
 
 // handleDiagnose answers a diagnosis query from a stored dictionary:

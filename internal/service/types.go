@@ -61,6 +61,14 @@ type CampaignRequest struct {
 	// they are excluded from the cache key.
 	Workers   int   `json:"workers,omitempty"`
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Shards splits the campaign's fault lists into independently
+	// scheduled, independently cached sub-jobs whose merged results are
+	// bit-identical to the unsharded run: 0 auto-sizes from the circuit
+	// gate count and fault population, 1 forces single-shot. Like
+	// Workers, sharding cannot affect results, so it is excluded from
+	// the cache key — a sharded and an unsharded submission of the same
+	// campaign share one content address (and one stored report).
+	Shards int `json:"shards,omitempty"`
 }
 
 // Normalize applies defaults, validates the request and resolves the
@@ -89,6 +97,9 @@ func (r CampaignRequest) normalize() (CampaignRequest, *logic.Circuit, error) {
 	}
 	if r.Faults.BridgeWindow <= 0 {
 		r.Faults.BridgeWindow = 2
+	}
+	if r.Shards < 0 {
+		r.Shards = 0 // auto
 	}
 	if !r.Faults.Bridges {
 		r.Faults.BridgeWindow = 0 // irrelevant: keep the cache key stable
@@ -220,16 +231,24 @@ type CampaignReport struct {
 type JobState string
 
 const (
-	StateQueued   JobState = "queued"
-	StateRunning  JobState = "running"
-	StateDone     JobState = "done"
-	StateFailed   JobState = "failed"
-	StateCanceled JobState = "canceled"
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+	// StateResumable marks a campaign that was persisted to the result
+	// store but never finished: it was queued or draining when the
+	// service stopped. The job record is terminal (this process will not
+	// run it on its own), but the stored request survives restarts —
+	// POST /v1/campaigns/{id}/resume resubmits it, and completed shards
+	// already in the result store are reused, not re-simulated.
+	StateResumable JobState = "resumable"
+	StateCanceled  JobState = "canceled"
 )
 
-// Terminal reports whether the state is final.
+// Terminal reports whether the state is final for this job record
+// (resumable campaigns continue under a new job ID via resume).
 func (s JobState) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateResumable
 }
 
 // JobProgress is a live snapshot of a running campaign stage, carried
@@ -251,6 +270,11 @@ type JobProgress struct {
 	GateEvals  uint64  `json:"gate_evals,omitempty"`
 	Coverage   float64 `json:"coverage_percent"`
 	ETASeconds float64 `json:"eta_seconds,omitempty"`
+	// Sharded campaigns aggregate per-shard progress: Shards is the
+	// plan size, ShardsDone the sub-jobs finished (cache-served shards
+	// count immediately). Zero on unsharded campaigns.
+	Shards     int `json:"shards,omitempty"`
+	ShardsDone int `json:"shards_done,omitempty"`
 }
 
 // JobStatus is the GET /v1/campaigns/{id} body (and the SSE frame).

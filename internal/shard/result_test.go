@@ -1,0 +1,160 @@
+package shard
+
+import (
+	"testing"
+
+	"cpsinw/internal/core"
+	"cpsinw/internal/faultsim"
+)
+
+func sigFixture(t *testing.T, nFaults, nPatterns int, leak bool) *faultsim.SignatureCapture {
+	t.Helper()
+	c := faultsim.NewSignatureCapture(nFaults, nPatterns)
+	for f := 0; f < nFaults; f++ {
+		for p := 0; p < nPatterns; p++ {
+			if (f+p)%3 == 0 {
+				c.Out(f)[p/64] |= 1 << uint(p%64)
+			}
+			if leak && (f*p)%5 == 1 {
+				c.Leak(f)[p/64] |= 1 << uint(p%64)
+			}
+		}
+	}
+	return c
+}
+
+// slice cuts a full capture down to one shard's rows, simulating what a
+// shard that simulated only faults [r.Start, r.End) would have encoded.
+func sliceRows(rows []string, r Range) []string {
+	return rows[r.Start:r.End]
+}
+
+func TestMergeSignaturesRoundTrip(t *testing.T) {
+	const nFaults, nPatterns = 23, 130 // spans >2 words per row
+	for _, withLeak := range []bool{false, true} {
+		full := sigFixture(t, nFaults, nPatterns, withLeak)
+		outRows := EncodeSigRows(full, false)
+		leakRows := EncodeSigRows(full, true)
+
+		parts := make([]*ClassResult, 0, 4)
+		for _, r := range Partition(nFaults, 4) {
+			p := &ClassResult{
+				Range: r,
+				Dets:  make([]Det, r.Len()),
+				Out:   sliceRows(outRows, r),
+			}
+			if withLeak {
+				p.Leak = sliceRows(leakRows, r)
+			}
+			parts = append(parts, p)
+		}
+		// Shuffle order: merge must sort by range.
+		parts[0], parts[2] = parts[2], parts[0]
+
+		merged, err := MergeSignatures(nFaults, nPatterns, parts, withLeak)
+		if err != nil {
+			t.Fatalf("withLeak=%t: %v", withLeak, err)
+		}
+		for f := 0; f < nFaults; f++ {
+			for w, v := range full.Out(f) {
+				if merged.Out(f)[w] != v {
+					t.Fatalf("withLeak=%t: out plane differs at fault %d word %d", withLeak, f, w)
+				}
+			}
+			if withLeak {
+				for w, v := range full.Leak(f) {
+					if merged.Leak(f)[w] != v {
+						t.Fatalf("leak plane differs at fault %d word %d", f, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMergeSignaturesRejectsGapsAndMissingRows(t *testing.T) {
+	const nFaults, nPatterns = 10, 8
+	full := sigFixture(t, nFaults, nPatterns, false)
+	rows := EncodeSigRows(full, false)
+
+	gap := []*ClassResult{
+		{Range: Range{0, 4}, Dets: make([]Det, 4), Out: sliceRows(rows, Range{0, 4})},
+		{Range: Range{5, 10}, Dets: make([]Det, 5), Out: sliceRows(rows, Range{5, 10})},
+	}
+	if _, err := MergeSignatures(nFaults, nPatterns, gap, false); err == nil {
+		t.Fatal("merge accepted a coverage gap")
+	}
+
+	missing := []*ClassResult{
+		{Range: Range{0, 10}, Dets: make([]Det, 10)},
+	}
+	if _, err := MergeSignatures(nFaults, nPatterns, missing, false); err == nil {
+		t.Fatal("merge accepted parts without signature rows")
+	}
+
+	short := []*ClassResult{
+		{Range: Range{0, 10}, Dets: make([]Det, 10), Out: append([]string{"AAAA"}, sliceRows(rows, Range{1, 10})...)},
+	}
+	if _, err := MergeSignatures(nFaults, nPatterns, short, false); err == nil {
+		t.Fatal("merge accepted a malformed signature row")
+	}
+}
+
+func TestMergeDetectionsRoundTrip(t *testing.T) {
+	universe := make([]core.Fault, 9)
+	for i := range universe {
+		universe[i] = core.Fault{Net: string(rune('a' + i)), GateIdx: i, Pin: -1}
+	}
+	full := make([]faultsim.Detection, len(universe))
+	for i := range full {
+		full[i] = faultsim.Detection{Fault: universe[i], Method: faultsim.ByOutput, Pattern: i * 2}
+	}
+	full[4].Method = faultsim.ByNone // undetected fault keeps its zero record
+
+	parts := make([]*ClassResult, 0, 3)
+	for _, r := range Partition(len(universe), 3) {
+		parts = append(parts, &ClassResult{
+			Range: r,
+			Dets:  EncodeDetections(full[r.Start:r.End]),
+		})
+	}
+	merged, err := MergeDetections(universe, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full {
+		if merged[i] != full[i] {
+			t.Fatalf("detection %d: got %+v, want %+v", i, merged[i], full[i])
+		}
+	}
+
+	// Overlap detection: duplicated range must fail.
+	bad := append(parts[:0:0], parts...)
+	bad = append(bad, parts[1])
+	if _, err := MergeDetections(universe, bad); err == nil {
+		t.Fatal("merge accepted overlapping ranges")
+	}
+}
+
+func TestMatchesRejectsMismatches(t *testing.T) {
+	plan := NewPlan("eeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeeee", 2, 8, 6, 0, false)
+	j := plan.Jobs[1]
+	ok := &Result{
+		Key: j.Key, CampaignKey: plan.CampaignKey, Index: j.Index, Total: j.Total,
+		StuckAt:     &ClassResult{Range: j.StuckAt, Dets: make([]Det, j.StuckAt.Len())},
+		TransistorV: &ClassResult{Range: j.Transistor, Dets: make([]Det, j.Transistor.Len())},
+	}
+	if err := ok.Matches(j); err != nil {
+		t.Fatal(err)
+	}
+	wrongKey := *ok
+	wrongKey.Key = plan.Jobs[0].Key
+	if err := wrongKey.Matches(j); err == nil {
+		t.Fatal("accepted a result keyed for another shard")
+	}
+	wrongRange := *ok
+	wrongRange.StuckAt = &ClassResult{Range: plan.Jobs[0].StuckAt, Dets: make([]Det, plan.Jobs[0].StuckAt.Len())}
+	if err := wrongRange.Matches(j); err == nil {
+		t.Fatal("accepted a result with another shard's range")
+	}
+}

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# shard-smoke.sh — sharded campaign execution + durable result store
+# smoke test.
+#
+# Builds cpsinw-serve (race detector on), boots it with a result store,
+# runs a sharded campaign and checks the shard scheduler showed up in
+# /metrics and the per-shard aggregation in the job's progress. Then it
+# kills the server outright and boots a second life over the same
+# store: resubmitting the identical campaign must be answered from the
+# persisted report — born done, cache_hit true — with every
+# cpsinw_faultsim_gate_evals_total sample still exactly 0, proving the
+# second life simulated nothing. CI runs this as the shard-smoke job.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+addr="127.0.0.1:18082"
+resultdir="$workdir/results"
+body='{"benchmark":"mult3","faults":{"stuck_at":true,"polarity":true,"iddq":true},"engine":"packed","shards":4}'
+
+cleanup() {
+    [[ -n "${server_pid:-}" ]] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build (race) =="
+go build -race -o "$workdir/cpsinw-serve" ./cmd/cpsinw-serve
+
+boot() {
+    "$workdir/cpsinw-serve" -addr "$addr" -debug-addr "" -result-dir "$resultdir" \
+        -log-format json >>"$workdir/serve.log" 2>&1 &
+    server_pid=$!
+    for _ in $(seq 1 100); do
+        curl -sf "http://$addr/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    echo "server never became ready" >&2
+    cat "$workdir/serve.log" >&2
+    exit 1
+}
+
+submit() {
+    curl -sf -X POST "http://$addr/v1/campaigns" -d "$body" \
+        | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -1
+}
+
+wait_done() {
+    local id=$1 state=""
+    for _ in $(seq 1 300); do
+        state=$(curl -sf "http://$addr/v1/campaigns/$id" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+        [[ "$state" == "done" ]] && return 0
+        [[ "$state" == "failed" || "$state" == "canceled" ]] && break
+        sleep 0.2
+    done
+    echo "campaign $id ended in state '$state'" >&2
+    curl -s "http://$addr/v1/campaigns/$id" >&2 || true
+    exit 1
+}
+
+echo "== boot (first life) =="
+boot
+
+echo "== sharded campaign =="
+id=$(submit)
+[[ -n "$id" ]] || { echo "no campaign id in submit response" >&2; exit 1; }
+wait_done "$id"
+
+echo "== shard observability =="
+metrics=$(curl -sf "http://$addr/metrics")
+scheduled=$(printf '%s\n' "$metrics" | awk '/^cpsinw_shard_scheduled_total /{print $2}')
+[[ "${scheduled:-0}" == "4" ]] || {
+    echo "cpsinw_shard_scheduled_total = '${scheduled:-missing}', want 4" >&2
+    exit 1
+}
+curl -sf "http://$addr/v1/campaigns/$id/trace" | grep -q '"shard"' || {
+    echo "campaign trace has no per-shard spans" >&2
+    exit 1
+}
+shardfiles=$(ls "$resultdir/shards" | wc -l)
+[[ "$shardfiles" -eq 4 ]] || { echo "store holds $shardfiles shard artifacts, want 4" >&2; exit 1; }
+
+echo "== kill (no graceful shutdown) =="
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+echo "== boot (second life, same store) =="
+boot
+
+echo "== resubmit: answered from the store, zero simulation =="
+id2=$(submit)
+[[ -n "$id2" ]] || { echo "no campaign id in second submit" >&2; exit 1; }
+status=$(curl -sf "http://$addr/v1/campaigns/$id2")
+echo "$status" | grep -q '"state": *"done"' || { echo "second life did not answer done: $status" >&2; exit 1; }
+echo "$status" | grep -q '"cache_hit": *true' || { echo "second life missed the store: $status" >&2; exit 1; }
+
+metrics2=$(curl -sf "http://$addr/metrics")
+evals=$(printf '%s\n' "$metrics2" | awk '/^cpsinw_faultsim_gate_evals_total/{print $NF}')
+[[ -n "$evals" ]] || { echo "no cpsinw_faultsim_gate_evals_total samples in second life" >&2; exit 1; }
+for v in $evals; do
+    [[ "$v" == "0" ]] || {
+        echo "second life simulated: cpsinw_faultsim_gate_evals_total sample = $v, want 0" >&2
+        printf '%s\n' "$metrics2" | grep gate_evals >&2
+        exit 1
+    }
+done
+hits=$(printf '%s\n' "$metrics2" | awk '/^cpsinw_resultstore_report_hits_total /{print $2}')
+[[ "${hits:-0}" == "1" ]] || { echo "cpsinw_resultstore_report_hits_total = '${hits:-missing}', want 1" >&2; exit 1; }
+
+echo "shard smoke passed: 4 shards scheduled and persisted; restart answered from the store with 0 gate evaluations"
